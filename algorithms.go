@@ -1,0 +1,71 @@
+package ires
+
+import (
+	"github.com/asap-project/ires/internal/analytics"
+	"github.com/asap-project/ires/internal/datagen"
+)
+
+// Reference implementations of the analytics operators the paper's
+// workflows run, plus the synthetic data generators that substitute for
+// the proprietary CDR/WARC inputs. Examples execute these for real at
+// laptop scale while the platform schedules them.
+type (
+	// Edge is one directed call-graph edge.
+	Edge = datagen.Edge
+	// Document is one corpus entry.
+	Document = datagen.Document
+	// Vector is a dense feature vector.
+	Vector = datagen.Vector
+	// SparseVector maps term -> tf-idf weight.
+	SparseVector = analytics.SparseVector
+	// KMeansResult packages a clustering outcome.
+	KMeansResult = analytics.KMeansResult
+)
+
+// GenerateCallGraph produces a power-law directed graph with the given
+// number of edges (a synthetic CDR trace).
+func GenerateCallGraph(edges int, seed int64) []Edge {
+	return datagen.CallGraph(edges, seed)
+}
+
+// GenerateCorpus produces a Zipf-vocabulary document corpus (a synthetic
+// web crawl).
+func GenerateCorpus(docs, meanLen int, seed int64) []Document {
+	return datagen.Corpus(docs, meanLen, seed)
+}
+
+// PageRank runs power iteration over the edge list.
+func PageRank(edges []Edge, iterations int, damping float64) []float64 {
+	return analytics.PageRank(edges, iterations, damping)
+}
+
+// TopRanked returns the k most influential vertices by rank.
+func TopRanked(rank []float64, k int) []int {
+	return analytics.TopRanked(rank, k)
+}
+
+// TFIDF computes tf-idf vectors for a corpus.
+func TFIDF(corpus []Document) []SparseVector {
+	return analytics.TFIDF(corpus)
+}
+
+// VectorizeTFIDF embeds sparse tf-idf vectors into a dense space spanned
+// by the top dims terms.
+func VectorizeTFIDF(vecs []SparseVector, dims int) []Vector {
+	return analytics.VectorizeTFIDF(vecs, dims)
+}
+
+// KMeans clusters dense vectors (k-means++ seeding, Lloyd iterations).
+func KMeans(points []Vector, k, maxIters int, seed int64) (*KMeansResult, error) {
+	return analytics.KMeans(points, k, maxIters, seed)
+}
+
+// WordCount counts token frequencies over a corpus.
+func WordCount(corpus []Document) map[string]int {
+	return analytics.WordCount(corpus)
+}
+
+// CorpusSizeBytes approximates the serialized size of a corpus.
+func CorpusSizeBytes(corpus []Document) int64 {
+	return datagen.SizeOfCorpus(corpus)
+}

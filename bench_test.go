@@ -1,0 +1,229 @@
+package ires_test
+
+// One benchmark per paper table/figure (D3.3 §4 + the MuSQLE appendix),
+// each regenerating the corresponding experiment through the harnesses in
+// internal/experiments, plus micro-benchmarks of the planner-critical
+// paths. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"github.com/asap-project/ires/internal/experiments"
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/musqle"
+	"github.com/asap-project/ires/internal/pegasus"
+	"github.com/asap-project/ires/internal/sqldata"
+)
+
+// BenchmarkFig11GraphAnalytics regenerates Figure 11 (graph analytics,
+// single engines vs IReS across input scales).
+func BenchmarkFig11GraphAnalytics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12TextAnalytics regenerates Figure 12 (text analytics with
+// hybrid plans).
+func BenchmarkFig12TextAnalytics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Relational regenerates Figure 13 (relational workflow over
+// three stores vs TPC-H scale).
+func BenchmarkFig13Relational(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14PlannerScaling regenerates Figure 14 (planner time over the
+// five Pegasus categories; reduced sweep per iteration).
+func BenchmarkFig14PlannerScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14([]int{30, 100, 300}, []int{4, 8}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15EngineScaling regenerates Figure 15 (planner time vs engine
+// count for Montage/Epigenomics).
+func BenchmarkFig15EngineScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15([]int{30, 100}, []int{2, 4, 6, 8}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16Modeling regenerates Figure 16a (estimation error vs
+// executions under online refinement).
+func BenchmarkFig16Modeling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16a(50, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16bInfraChange regenerates Figure 16b (error under an
+// HDD->SSD swap).
+func BenchmarkFig16bInfraChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig16b(120, 60, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig17Provisioning regenerates Figure 17 (NSGA-II resource
+// provisioning vs static min/max).
+func BenchmarkFig17Provisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig17(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig20to22Replan regenerates Table 1 / Figures 18-22 (fault
+// tolerance: IResReplan vs TrivialReplan vs SubOptPlan).
+func BenchmarkFig20to22Replan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FaultTolerance(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMusqleOptTime regenerates MuSQLE Figures 4-5 (optimization time
+// vs query size and engine count).
+func BenchmarkMusqleOptTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MusqleOptTime(int64(i+1), 2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.MusqleEngineScaling(int64(i+1), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMusqleExec regenerates MuSQLE Figures 7-10 (18-query workload,
+// multi-engine vs forced single engines at 20GB statistics).
+func BenchmarkMusqleExec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MusqleExec(int64(i+1), 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDP regenerates the DP-vs-exhaustive planner ablation.
+func BenchmarkAblationDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDPvsExhaustive(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationModelSelection regenerates the CV-selection ablation.
+func BenchmarkAblationModelSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationModelSelection(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of planner-critical paths ---
+
+// BenchmarkPlannerMontage1000 measures one optimization pass over a
+// 1000-node Montage workflow with 8 engines (the paper's extreme case,
+// bounded at 10s there).
+func BenchmarkPlannerMontage1000(b *testing.B) {
+	g, err := pegasus.Generate(pegasus.Montage, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PlanPegasus(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetadataMatch measures the one-pass tree matching primitive.
+func BenchmarkMetadataMatch(b *testing.B) {
+	abstract := metadata.MustParse(`
+Constraints.Input.number=1
+Constraints.OpSpecification.Algorithm.name=TF_IDF
+Constraints.Output.number=1
+`)
+	materialized := metadata.MustParse(`
+Constraints.Engine=Hadoop
+Constraints.Input.number=1
+Constraints.Input0.type=SequenceFile
+Constraints.Input0.Engine.FS=HDFS
+Constraints.OpSpecification.Algorithm.name=TF_IDF
+Constraints.Output.number=1
+Constraints.Output0.type=SequenceFile
+Execution.LuaScript=tfidf.lua
+Optimization.model.execTime=UserFunction
+`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !metadata.Matches(abstract, materialized) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+// BenchmarkMusqleOptimize7Tables measures one DP join-ordering pass for a
+// 7-table query over 3 engines.
+func BenchmarkMusqleOptimize7Tables(b *testing.B) {
+	cat := musqle.NewCatalog()
+	if err := cat.LoadTPCH(sqldata.Generate(0.002, 1)); err != nil {
+		b.Fatal(err)
+	}
+	reg := musqle.DefaultRegistry()
+	opt := musqle.NewOptimizer(cat, reg)
+	q, err := musqle.GenerateQuery(cat, 7, true, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashJoin measures the MuSQLE execution hash join on ~60k rows.
+func BenchmarkHashJoin(b *testing.B) {
+	tables := sqldata.Generate(0.01, 1)
+	pred := []musqle.JoinPred{{
+		LeftTable: "lineitem", LeftCol: "l_orderkey",
+		RightTable: "orders", RightCol: "o_orderkey",
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := musqle.HashJoin(tables["lineitem"], tables["orders"], pred)
+		if err != nil || out.NumRows() == 0 {
+			b.Fatalf("join failed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command ires is the IReS platform CLI. It loads an asapLibrary-style
+// directory (the D3.3 §3 format: datasets/, operators/, abstractOperators/,
+// abstractWorkflows/<name>/graph), materializes a named abstract workflow
+// into the optimal multi-engine plan, and optionally executes it on the
+// simulated cluster.
+//
+// Usage:
+//
+//	ires -lib <dir> [-workflow <name>] [-policy time|cost|balanced]
+//	     [-profile] [-execute] [-kill <engine>] [-dot]
+//
+// Without -workflow, the available workflows and registered operators are
+// listed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	ires "github.com/asap-project/ires"
+	"github.com/asap-project/ires/internal/engine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ires:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lib := flag.String("lib", "", "asapLibrary-style directory to load (required)")
+	workflowName := flag.String("workflow", "", "abstract workflow to materialize")
+	policy := flag.String("policy", "time", "optimization policy: time|cost|balanced")
+	doProfile := flag.Bool("profile", true, "profile operators offline before planning")
+	execute := flag.Bool("execute", false, "execute the materialized plan on the simulated cluster")
+	kill := flag.String("kill", "", "engine to mark unavailable before planning (what-if)")
+	dot := flag.Bool("dot", false, "print the abstract workflow in Graphviz format")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *lib == "" {
+		flag.Usage()
+		return fmt.Errorf("-lib is required")
+	}
+	var pol ires.Policy
+	switch *policy {
+	case "time":
+		pol = ires.MinTime
+	case "cost":
+		pol = ires.MinCost
+	case "balanced":
+		pol = ires.Balanced
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	p, err := ires.NewPlatform(ires.Options{Seed: *seed, Policy: pol})
+	if err != nil {
+		return err
+	}
+	workflows, err := p.LoadLibraryDir(*lib)
+	if err != nil {
+		return err
+	}
+
+	if *workflowName == "" {
+		fmt.Println("abstract workflows:")
+		names := make([]string, 0, len(workflows))
+		for n := range workflows {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			g := workflows[n]
+			fmt.Printf("  %s (%d nodes, target %s)\n", n, g.Len(), g.Target)
+		}
+		fmt.Println("materialized operators:")
+		for _, mo := range p.Library.Operators() {
+			fmt.Printf("  %s [%s/%s]\n", mo.Name, mo.Engine(), mo.Algorithm())
+		}
+		return nil
+	}
+
+	g, ok := workflows[*workflowName]
+	if !ok {
+		return fmt.Errorf("unknown workflow %q (run without -workflow to list)", *workflowName)
+	}
+	if *dot {
+		fmt.Println(g.DOT())
+	}
+
+	if *doProfile {
+		for _, mo := range p.Library.Operators() {
+			space := ires.ProfileSpace{
+				Records:        []int64{1_000, 10_000, 100_000, 1_000_000},
+				BytesPerRecord: 1_000,
+				Resources: []engine.Resources{
+					{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456},
+					{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456},
+				},
+			}
+			if _, err := p.ProfileOperator(mo.Name, space); err != nil {
+				return fmt.Errorf("profiling %s: %w", mo.Name, err)
+			}
+		}
+		fmt.Printf("profiled %d operators\n", p.Library.Len())
+	}
+	if *kill != "" {
+		p.SetEngineAvailable(*kill, false)
+		fmt.Printf("engine %s marked unavailable\n", *kill)
+	}
+
+	plan, err := p.Plan(g)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Describe())
+
+	if *execute {
+		res, err := p.Execute(g, plan)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("executed in %v (simulated), cost %.1f units, %d replans\n",
+			res.Makespan, res.TotalCostUnits, res.Replans)
+		for _, log := range res.StepLog {
+			status := "ok"
+			if log.Failed {
+				status = "FAILED: " + log.Failure
+			}
+			fmt.Printf("  %-40s %-12s %10v -> %10v  %s\n", log.Name, log.Engine, log.Start, log.End, status)
+		}
+	}
+	return nil
+}

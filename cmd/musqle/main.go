@@ -1,0 +1,110 @@
+// Command musqle runs multi-engine SQL over a TPC-H-like catalog spread
+// across simulated PostgreSQL, MemSQL and SparkSQL engines (the Appendix B
+// side system).
+//
+// Usage:
+//
+//	musqle [-sf 0.01] [-placement home|everywhere] [-stats-sf 0]
+//	       [-explain] "SELECT ... FROM ... WHERE ..."
+//
+// Without a query argument, the catalog is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/asap-project/ires/internal/musqle"
+	"github.com/asap-project/ires/internal/sqldata"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "musqle:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor of the generated data")
+	placement := flag.String("placement", "home", "table placement: home|everywhere")
+	statsSF := flag.Float64("stats-sf", 0, "override planning statistics to this scale factor (0 = physical)")
+	explain := flag.Bool("explain", false, "print the optimized plan without executing")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	flag.Parse()
+
+	cat := musqle.NewCatalog()
+	tables := sqldata.Generate(*sf, *seed)
+	var err error
+	switch *placement {
+	case "home":
+		err = cat.LoadTPCH(tables)
+	case "everywhere":
+		err = cat.LoadTPCHEverywhere(tables)
+	default:
+		err = fmt.Errorf("unknown placement %q", *placement)
+	}
+	if err != nil {
+		return err
+	}
+	if *statsSF > 0 {
+		if err := cat.ScaleStatsTo(*statsSF); err != nil {
+			return err
+		}
+	}
+	reg := musqle.DefaultRegistry()
+	opt := musqle.NewOptimizer(cat, reg)
+
+	if flag.NArg() == 0 {
+		fmt.Print(sqldata.Describe(tables))
+		for _, name := range cat.Tables() {
+			ti, _ := cat.Table(name)
+			fmt.Printf("%s @ %v\n", name, ti.Engines)
+		}
+		return nil
+	}
+
+	sql := strings.Join(flag.Args(), " ")
+	q, err := musqle.Parse(sql, cat)
+	if err != nil {
+		return err
+	}
+	plan, err := opt.Optimize(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimized in %v, estimated %.3fs, engines %v\n",
+		plan.OptimizationTime, plan.EstSec, plan.EnginesUsed)
+	fmt.Print(plan.Describe())
+	if *explain {
+		return nil
+	}
+	if *statsSF > 0 {
+		fmt.Println("(execution skipped: statistics overridden beyond physical data)")
+		return nil
+	}
+	res, err := musqle.Execute(plan, q, cat, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result: %d rows in %.3f simulated seconds (%d rows moved between engines)\n",
+		res.Table.NumRows(), res.SimSec, res.MoveRows)
+	limit := res.Table.NumRows()
+	if limit > 10 {
+		limit = 10
+	}
+	fmt.Println(strings.Join(res.Table.Cols, "\t"))
+	for _, row := range res.Table.Rows[:limit] {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	if res.Table.NumRows() > limit {
+		fmt.Printf("... (%d more rows)\n", res.Table.NumRows()-limit)
+	}
+	return nil
+}

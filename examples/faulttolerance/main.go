@@ -1,0 +1,108 @@
+// Fault tolerance (the §4.5 scenario): a four-operator HelloWorld chain
+// executes while an engine is killed mid-flight. IReS detects the failure,
+// replans only the remaining workflow — reusing every materialized
+// intermediate — and finishes on the surviving engines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ires "github.com/asap-project/ires"
+	"github.com/asap-project/ires/internal/engine"
+)
+
+func main() {
+	p, err := ires.NewPlatform(ires.Options{Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Table 1 of the paper: per-operator engine alternatives.
+	alternatives := []struct {
+		alg     string
+		engines []string
+	}{
+		{"HelloWorld", []string{ires.EnginePython}},
+		{"HelloWorld1", []string{ires.EngineSpark, ires.EnginePython}},
+		{"HelloWorld2", []string{ires.EngineSpark, "MLlib", ires.EnginePostgreSQL, "Hive"}},
+		{"HelloWorld3", []string{ires.EngineSpark, ires.EnginePython}},
+	}
+	for _, alt := range alternatives {
+		for _, eng := range alt.engines {
+			fs := "HDFS"
+			res := []engine.Resources{{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}}
+			if eng == ires.EnginePython {
+				fs = "LFS"
+				res = []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
+			} else if eng == ires.EnginePostgreSQL {
+				fs = "PostgreSQL"
+				res = []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
+			}
+			name := alt.alg + "_" + eng
+			if err := p.RegisterOperator(name,
+				"Constraints.Engine="+eng+
+					"\nConstraints.OpSpecification.Algorithm.name="+alt.alg+
+					"\nConstraints.Input0.Engine.FS="+fs+
+					"\nConstraints.Output0.Engine.FS="+fs); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := p.ProfileOperator(name, ires.ProfileSpace{
+				Records:        []int64{200, 1_000, 5_000},
+				BytesPerRecord: 1_000,
+				Resources:      res,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// d0 -> HelloWorld -> d1 -> HelloWorld1 -> d2 -> HelloWorld2 -> d3 -> HelloWorld3 -> d4
+	b := p.NewWorkflow().
+		DatasetWithMeta("d0", "Constraints.Engine.FS=LFS\nExecution.path=/d0\nOptimization.documents=1000\nOptimization.size=1000000")
+	prev := "d0"
+	for i, alg := range []string{"HelloWorld", "HelloWorld1", "HelloWorld2", "HelloWorld3"} {
+		op := fmt.Sprintf("op%d", i)
+		out := fmt.Sprintf("d%d", i+1)
+		b = b.Operator(op, "Constraints.OpSpecification.Algorithm.name="+alg).
+			Dataset(out).Chain(prev, op, out)
+		prev = out
+	}
+	wf, err := b.Target(prev).Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := p.Plan(wf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal plan:")
+	fmt.Print(plan.Describe())
+	victim := ""
+	for _, s := range plan.OperatorSteps() {
+		if s.WorkflowNode == "op2" {
+			victim = s.Engine
+		}
+	}
+
+	// Kill HelloWorld2's engine the moment HelloWorld1 finishes.
+	p.SetRunObserver(func(op string, run *ires.RunMetrics) {
+		if run.Algorithm == "HelloWorld1" && !run.Failed {
+			fmt.Printf(">>> killing engine %s mid-execution\n", victim)
+			p.SetEngineAvailable(victim, false)
+		}
+	})
+	res, err := p.Execute(wf, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finished in %v with %d replan(s); replanning took %v of real time\n",
+		res.Makespan, res.Replans, res.ReplanTime)
+	for _, step := range res.StepLog {
+		status := "ok"
+		if step.Failed {
+			status = "FAILED -> replanned"
+		}
+		fmt.Printf("  %-35s %-12s %s\n", step.Name, step.Engine, status)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/asap-project/ires
+
+go 1.22

@@ -1,0 +1,272 @@
+// Package cluster simulates the YARN-managed multi-engine cloud IReS
+// enforces plans on: nodes with core/memory capacity, container-level
+// allocation, and the two health mechanisms of D3.3 §2.3 — per-node health
+// scripts (HEALTHY/UNHEALTHY) and per-service availability checks (ON/OFF,
+// tracked by engine.Environment and polled through the Monitor here).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/asap-project/ires/internal/vtime"
+)
+
+// ErrInsufficientResources indicates no healthy node can host the requested
+// container(s).
+var ErrInsufficientResources = errors.New("cluster: insufficient resources")
+
+// ErrUnknownNode indicates a node name not present in the cluster.
+var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// Node is one machine of the simulated cluster.
+type Node struct {
+	Name   string
+	Cores  int
+	MemMB  int
+	Labels map[string]string
+
+	healthy   bool
+	usedCores int
+	usedMemMB int
+}
+
+// FreeCores returns the node's unallocated cores.
+func (n *Node) FreeCores() int { return n.Cores - n.usedCores }
+
+// FreeMemMB returns the node's unallocated memory.
+func (n *Node) FreeMemMB() int { return n.MemMB - n.usedMemMB }
+
+// Healthy reports the node's last health verdict.
+func (n *Node) Healthy() bool { return n.healthy }
+
+// Container is a granted resource lease on one node.
+type Container struct {
+	ID       int
+	NodeName string
+	Cores    int
+	MemMB    int
+
+	released bool
+}
+
+// Cluster is the simulated resource manager. It is safe for concurrent use.
+type Cluster struct {
+	mu     sync.Mutex
+	nodes  map[string]*Node
+	order  []string
+	clock  *vtime.Clock
+	nextID int
+
+	// healthScript is the customizable per-node health probe; the default
+	// returns the node's current flag (set via SetNodeHealth, the failure
+	// injection hook).
+	healthScript func(n *Node) bool
+}
+
+// New builds a cluster of count identical nodes named node0..node<count-1>.
+func New(clock *vtime.Clock, count, coresPerNode, memMBPerNode int) *Cluster {
+	c := &Cluster{nodes: make(map[string]*Node), clock: clock}
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("node%d", i)
+		c.nodes[name] = &Node{Name: name, Cores: coresPerNode, MemMB: memMBPerNode, healthy: true}
+		c.order = append(c.order, name)
+	}
+	return c
+}
+
+// SetHealthScript installs a custom health probe, mirroring the
+// yarn.nodemanager.services-running health-script mechanism.
+func (c *Cluster) SetHealthScript(fn func(n *Node) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.healthScript = fn
+}
+
+// RunHealthChecks executes the health script on every node, updates node
+// states and returns the per-node verdicts.
+func (c *Cluster) RunHealthChecks() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.nodes))
+	for _, name := range c.order {
+		n := c.nodes[name]
+		if c.healthScript != nil {
+			n.healthy = c.healthScript(n)
+		}
+		out[name] = n.healthy
+	}
+	return out
+}
+
+// SetNodeHealth flips a node's health flag directly (failure injection).
+func (c *Cluster) SetNodeHealth(name string, healthy bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	n.healthy = healthy
+	return nil
+}
+
+// Nodes returns the cluster's nodes in stable order.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, len(c.order))
+	for i, name := range c.order {
+		out[i] = c.nodes[name]
+	}
+	return out
+}
+
+// HealthyNodes returns the currently healthy nodes.
+func (c *Cluster) HealthyNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes() {
+		if n.Healthy() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Allocate grants count containers of (cores, memMB) each, spread over the
+// healthy nodes with a most-free-first policy. Allocation is atomic: either
+// all containers are granted or none.
+func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
+	if count <= 0 || cores <= 0 || memMB <= 0 {
+		return nil, fmt.Errorf("cluster: invalid request %dx(%dc,%dMB)", count, cores, memMB)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	type slot struct{ node *Node }
+	var granted []*Container
+	rollback := func() {
+		for _, ctr := range granted {
+			n := c.nodes[ctr.NodeName]
+			n.usedCores -= ctr.Cores
+			n.usedMemMB -= ctr.MemMB
+		}
+	}
+	for i := 0; i < count; i++ {
+		// Most-free node first, name as tiebreak for determinism.
+		var best *Node
+		for _, name := range c.order {
+			n := c.nodes[name]
+			if !n.healthy || n.FreeCores() < cores || n.FreeMemMB() < memMB {
+				continue
+			}
+			if best == nil || n.FreeCores() > best.FreeCores() ||
+				(n.FreeCores() == best.FreeCores() && n.Name < best.Name) {
+				best = n
+			}
+		}
+		if best == nil {
+			rollback()
+			return nil, fmt.Errorf("%w: want %dx(%dc,%dMB)", ErrInsufficientResources, count, cores, memMB)
+		}
+		best.usedCores += cores
+		best.usedMemMB += memMB
+		c.nextID++
+		granted = append(granted, &Container{ID: c.nextID, NodeName: best.Name, Cores: cores, MemMB: memMB})
+	}
+	return granted, nil
+}
+
+// Release returns a container's resources to its node. Releasing twice is a
+// safe no-op.
+func (c *Cluster) Release(ctr *Container) {
+	if ctr == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctr.released {
+		return
+	}
+	ctr.released = true
+	if n, ok := c.nodes[ctr.NodeName]; ok {
+		n.usedCores -= ctr.Cores
+		n.usedMemMB -= ctr.MemMB
+	}
+}
+
+// ReleaseAll releases a batch of containers.
+func (c *Cluster) ReleaseAll(ctrs []*Container) {
+	for _, ctr := range ctrs {
+		c.Release(ctr)
+	}
+}
+
+// Available sums the free resources over healthy nodes.
+func (c *Cluster) Available() (cores, memMB int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.healthy {
+			cores += n.FreeCores()
+			memMB += n.FreeMemMB()
+		}
+	}
+	return cores, memMB
+}
+
+// Capacity sums total resources over all nodes, healthy or not.
+func (c *Cluster) Capacity() (cores, memMB int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		cores += n.Cores
+		memMB += n.MemMB
+	}
+	return cores, memMB
+}
+
+// Utilization returns allocated cores over healthy capacity in [0,1].
+func (c *Cluster) Utilization() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total, used := 0, 0
+	for _, n := range c.nodes {
+		if n.healthy {
+			total += n.Cores
+			used += n.usedCores
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}
+
+// Clock exposes the cluster's virtual clock.
+func (c *Cluster) Clock() *vtime.Clock { return c.clock }
+
+// CheckInvariants verifies resource-accounting invariants; tests call it
+// after random allocate/release sequences.
+func (c *Cluster) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := c.nodes[name]
+		if n.usedCores < 0 || n.usedMemMB < 0 {
+			return fmt.Errorf("cluster: node %s negative usage (%d cores, %d MB)", name, n.usedCores, n.usedMemMB)
+		}
+		if n.usedCores > n.Cores || n.usedMemMB > n.MemMB {
+			return fmt.Errorf("cluster: node %s over-allocated (%d/%d cores, %d/%d MB)",
+				name, n.usedCores, n.Cores, n.usedMemMB, n.MemMB)
+		}
+	}
+	return nil
+}

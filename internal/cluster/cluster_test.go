@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/vtime"
+)
+
+func newTestCluster() *Cluster {
+	return New(vtime.NewClock(), 4, 8, 16384)
+}
+
+func TestAllocateRelease(t *testing.T) {
+	c := newTestCluster()
+	ctrs, err := c.Allocate(4, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrs) != 4 {
+		t.Fatalf("got %d containers", len(ctrs))
+	}
+	cores, _ := c.Available()
+	if cores != 4*8-8 {
+		t.Fatalf("available cores = %d", cores)
+	}
+	c.ReleaseAll(ctrs)
+	cores, mem := c.Available()
+	if cores != 32 || mem != 4*16384 {
+		t.Fatalf("after release: %d cores %d MB", cores, mem)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateSpreads(t *testing.T) {
+	c := newTestCluster()
+	ctrs, err := c.Allocate(4, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, ctr := range ctrs {
+		seen[ctr.NodeName]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("containers not spread: %v", seen)
+	}
+}
+
+func TestAllocateAtomicRollback(t *testing.T) {
+	c := newTestCluster()
+	// 5 containers of 8 cores cannot fit on 4 nodes of 8 cores.
+	if _, err := c.Allocate(5, 8, 1024); !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("err = %v", err)
+	}
+	cores, _ := c.Available()
+	if cores != 32 {
+		t.Fatalf("failed allocation leaked resources: %d cores free", cores)
+	}
+}
+
+func TestAllocateInvalid(t *testing.T) {
+	c := newTestCluster()
+	for _, req := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		if _, err := c.Allocate(req[0], req[1], req[2]); err == nil {
+			t.Fatalf("invalid request %v accepted", req)
+		}
+	}
+}
+
+func TestDoubleReleaseSafe(t *testing.T) {
+	c := newTestCluster()
+	ctrs, err := c.Allocate(1, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release(ctrs[0])
+	c.Release(ctrs[0])
+	c.Release(nil)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	cores, _ := c.Available()
+	if cores != 32 {
+		t.Fatalf("double release corrupted accounting: %d", cores)
+	}
+}
+
+func TestUnhealthyNodesSkipped(t *testing.T) {
+	c := newTestCluster()
+	if err := c.SetNodeHealth("node0", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeHealth("missing", false); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	ctrs, err := c.Allocate(4, 8, 1024) // exactly fills remaining 3... should fail
+	if err == nil {
+		// 4 containers x 8 cores over 3 healthy nodes of 8 cores: impossible.
+		t.Fatalf("allocation on unhealthy cluster succeeded: %v", ctrs)
+	}
+	ctrs, err = c.Allocate(3, 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctr := range ctrs {
+		if ctr.NodeName == "node0" {
+			t.Fatal("container placed on unhealthy node")
+		}
+	}
+	if len(c.HealthyNodes()) != 3 {
+		t.Fatal("HealthyNodes wrong")
+	}
+}
+
+func TestHealthScript(t *testing.T) {
+	c := newTestCluster()
+	c.SetHealthScript(func(n *Node) bool { return n.Name != "node2" })
+	verdicts := c.RunHealthChecks()
+	if verdicts["node2"] || !verdicts["node0"] {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+	if n := c.Nodes()[2]; n.Healthy() {
+		t.Fatal("health script result not applied")
+	}
+}
+
+func TestUtilizationAndCapacity(t *testing.T) {
+	c := newTestCluster()
+	if u := c.Utilization(); u != 0 {
+		t.Fatalf("idle utilization = %v", u)
+	}
+	ctrs, _ := c.Allocate(4, 4, 1024)
+	if u := c.Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	cores, mem := c.Capacity()
+	if cores != 32 || mem != 65536 {
+		t.Fatalf("capacity = %d/%d", cores, mem)
+	}
+	c.ReleaseAll(ctrs)
+}
+
+func TestMonitorPolling(t *testing.T) {
+	clock := vtime.NewClock()
+	c := New(clock, 2, 4, 4096)
+	env := engine.NewDefaultEnvironment(1)
+	m := NewMonitor(c, env, 10*time.Second)
+
+	var changes int
+	m.OnChange(func() { changes++ })
+	m.Start()
+	m.Start() // idempotent
+
+	if !m.NodeHealthy("node0") || !m.ServiceOn(engine.EngineSpark) {
+		t.Fatal("initial poll missing statuses")
+	}
+	first := changes
+
+	// Kill a service and a node; the next periodic poll must notice.
+	env.SetAvailable(engine.EngineSpark, false)
+	c.SetNodeHealth("node1", false)
+	clock.Advance(10 * time.Second)
+
+	if m.ServiceOn(engine.EngineSpark) {
+		t.Fatal("dead service still reported ON")
+	}
+	if m.NodeHealthy("node1") {
+		t.Fatal("dead node still reported healthy")
+	}
+	if changes <= first {
+		t.Fatal("OnChange not fired")
+	}
+	if m.Ticks() < 2 {
+		t.Fatalf("ticks = %d", m.Ticks())
+	}
+	found := false
+	for _, e := range m.AvailableEngines() {
+		if e == engine.EngineSpark {
+			t.Fatal("Spark listed available")
+		}
+		if e == engine.EngineJava {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Java missing from available engines")
+	}
+}
+
+// Property: any random allocate/release sequence keeps accounting sane, and
+// full release restores full capacity.
+func TestQuickAccountingInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(vtime.NewClock(), r.Intn(6)+1, r.Intn(8)+1, (r.Intn(8)+1)*1024)
+		var live []*Container
+		for i := 0; i < 50; i++ {
+			if r.Intn(2) == 0 || len(live) == 0 {
+				ctrs, err := c.Allocate(r.Intn(3)+1, r.Intn(4)+1, (r.Intn(4)+1)*256)
+				if err == nil {
+					live = append(live, ctrs...)
+				}
+			} else {
+				j := r.Intn(len(live))
+				c.Release(live[j])
+				live = append(live[:j], live[j+1:]...)
+			}
+			if c.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for _, ctr := range live {
+			c.Release(ctr)
+		}
+		freeC, freeM := c.Available()
+		capC, capM := c.Capacity()
+		return freeC == capC && freeM == capM
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

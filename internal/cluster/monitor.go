@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"github.com/asap-project/ires/internal/engine"
+)
+
+// Monitor is the execution monitor of the IReS executor layer: it
+// periodically runs the cluster health checks and polls engine service
+// availability, keeping a status board the planner and executor consult
+// (unavailable engines are excluded from planning; failures during
+// execution trigger replanning).
+type Monitor struct {
+	mu      sync.Mutex
+	cluster *Cluster
+	env     *engine.Environment
+	period  time.Duration
+
+	nodeHealth map[string]bool
+	services   map[string]bool
+	started    bool
+	ticks      int
+	onChange   func()
+}
+
+// NewMonitor builds a monitor over the cluster and engine environment,
+// polling with the given virtual-time period.
+func NewMonitor(c *Cluster, env *engine.Environment, period time.Duration) *Monitor {
+	return &Monitor{
+		cluster:    c,
+		env:        env,
+		period:     period,
+		nodeHealth: make(map[string]bool),
+		services:   make(map[string]bool),
+	}
+}
+
+// OnChange registers a callback fired (synchronously, during Poll) whenever
+// a node or service changes status.
+func (m *Monitor) OnChange(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onChange = fn
+}
+
+// Start schedules periodic polls on the cluster's virtual clock. It is
+// idempotent.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	m.Poll()
+	m.scheduleNext()
+}
+
+func (m *Monitor) scheduleNext() {
+	clock := m.cluster.Clock()
+	if clock == nil {
+		return
+	}
+	clock.After(m.period, func(time.Duration) {
+		m.Poll()
+		m.scheduleNext()
+	})
+}
+
+// Poll runs one monitoring round immediately and returns whether any status
+// changed.
+func (m *Monitor) Poll() bool {
+	health := m.cluster.RunHealthChecks()
+
+	m.mu.Lock()
+	changed := false
+	for node, ok := range health {
+		if prev, seen := m.nodeHealth[node]; !seen || prev != ok {
+			changed = true
+		}
+		m.nodeHealth[node] = ok
+	}
+	if m.env != nil {
+		for _, name := range m.env.Engines() {
+			on := m.env.Available(name)
+			if prev, seen := m.services[name]; !seen || prev != on {
+				changed = true
+			}
+			m.services[name] = on
+		}
+	}
+	m.ticks++
+	cb := m.onChange
+	m.mu.Unlock()
+
+	if changed && cb != nil {
+		cb()
+	}
+	return changed
+}
+
+// NodeHealthy returns the last observed health of a node (false when never
+// observed).
+func (m *Monitor) NodeHealthy(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nodeHealth[name]
+}
+
+// ServiceOn returns the last observed availability of an engine service.
+func (m *Monitor) ServiceOn(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.services[name]
+}
+
+// AvailableEngines lists engines last observed ON.
+func (m *Monitor) AvailableEngines() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for name, on := range m.services {
+		if on {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Ticks reports the number of completed polls.
+func (m *Monitor) Ticks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ticks
+}

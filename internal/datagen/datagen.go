@@ -1,0 +1,208 @@
+// Package datagen produces the synthetic stand-ins for the paper's
+// proprietary inputs: power-law call graphs for the WIND telecom CDR traces
+// (graph analytics), Zipf-vocabulary document corpora for the IMR web
+// crawls (text analytics), and clustered numeric vectors. Experiments
+// depend only on input size scaling, which the generators parameterise.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Edge is one directed graph edge (a call from Src to Dst).
+type Edge struct {
+	Src, Dst int32
+}
+
+// CallGraph generates a directed graph with the given number of edges over
+// ~edges/10 vertices using preferential-attachment-style endpoint sampling,
+// yielding the heavy-tailed degree distribution of real call graphs.
+func CallGraph(edges int, seed int64) []Edge {
+	if edges <= 0 {
+		return nil
+	}
+	vertices := edges / 10
+	if vertices < 2 {
+		vertices = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(vertices-1))
+	out := make([]Edge, edges)
+	for i := range out {
+		src := int32(zipf.Uint64())
+		dst := int32(zipf.Uint64())
+		if src == dst {
+			dst = (dst + 1) % int32(vertices)
+		}
+		out[i] = Edge{Src: src, Dst: dst}
+	}
+	return out
+}
+
+// VertexCount returns the number of distinct vertices referenced by edges.
+func VertexCount(edges []Edge) int {
+	max := int32(-1)
+	for _, e := range edges {
+		if e.Src > max {
+			max = e.Src
+		}
+		if e.Dst > max {
+			max = e.Dst
+		}
+	}
+	return int(max + 1)
+}
+
+// Document is one corpus entry.
+type Document struct {
+	ID     int
+	Tokens []string
+}
+
+// Corpus generates docs documents whose tokens follow a Zipf distribution
+// over a synthetic vocabulary, with per-document length jitter — the
+// statistical shape tf-idf and wordcount care about.
+func Corpus(docs, meanLen int, seed int64) []Document {
+	if docs <= 0 {
+		return nil
+	}
+	if meanLen <= 0 {
+		meanLen = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vocab := docs*meanLen/20 + 50
+	zipf := rand.NewZipf(rng, 1.1, 2, uint64(vocab-1))
+	out := make([]Document, docs)
+	for i := range out {
+		n := meanLen/2 + rng.Intn(meanLen+1)
+		tokens := make([]string, n)
+		for j := range tokens {
+			tokens[j] = word(zipf.Uint64())
+		}
+		out[i] = Document{ID: i, Tokens: tokens}
+	}
+	return out
+}
+
+// word renders a vocabulary index as a deterministic pseudo-word.
+func word(idx uint64) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if idx == 0 {
+		return "a"
+	}
+	var buf []byte
+	for idx > 0 {
+		buf = append(buf, letters[idx%26])
+		idx /= 26
+	}
+	return string(buf)
+}
+
+// Vector is a dense numeric feature vector.
+type Vector []float64
+
+// ClusteredVectors generates n vectors in dims dimensions drawn from k
+// Gaussian clusters, returning the vectors and the true cluster of each —
+// ideal k-means input with known structure.
+func ClusteredVectors(n, dims, k int, seed int64) ([]Vector, []int) {
+	if n <= 0 || dims <= 0 || k <= 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Vector, k)
+	for c := range centers {
+		centers[c] = make(Vector, dims)
+		for d := range centers[c] {
+			centers[c][d] = rng.Float64() * 100
+		}
+	}
+	vecs := make([]Vector, n)
+	truth := make([]int, n)
+	for i := range vecs {
+		c := i % k
+		truth[i] = c
+		v := make(Vector, dims)
+		for d := range v {
+			v[d] = centers[c][d] + rng.NormFloat64()*2
+		}
+		vecs[i] = v
+	}
+	return vecs, truth
+}
+
+// Lines renders n synthetic log lines (for linecount/grep workloads).
+func Lines(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("2017-02-%02d %02d:%02d:%02d event=%s id=%d",
+			1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			[]string{"INFO", "WARN", "ERROR", "DEBUG"}[rng.Intn(4)], rng.Intn(1<<20))
+	}
+	return out
+}
+
+// SizeOfCorpus approximates the byte size of a corpus (what a SequenceFile
+// of it would occupy).
+func SizeOfCorpus(docs []Document) int64 {
+	var total int64
+	for _, d := range docs {
+		for _, t := range d.Tokens {
+			total += int64(len(t)) + 1
+		}
+		total += 16
+	}
+	return total
+}
+
+// Stats summarises a corpus for quick sanity checks.
+func Stats(docs []Document) (nDocs int, nTokens int, vocab int) {
+	seen := make(map[string]struct{})
+	for _, d := range docs {
+		nTokens += len(d.Tokens)
+		for _, t := range d.Tokens {
+			seen[t] = struct{}{}
+		}
+	}
+	return len(docs), nTokens, len(seen)
+}
+
+// ZipfSkew measures how skewed the degree distribution of a graph is: the
+// fraction of edges touching the top 1% of vertices. Power-law graphs score
+// far above uniform ones.
+func ZipfSkew(edges []Edge) float64 {
+	if len(edges) == 0 {
+		return 0
+	}
+	deg := make(map[int32]int)
+	for _, e := range edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	var counts []int
+	for _, c := range deg {
+		counts = append(counts, c)
+	}
+	// Partial selection of the top 1%.
+	top := int(math.Ceil(float64(len(counts)) / 100))
+	if top < 1 {
+		top = 1
+	}
+	// Simple selection sort of the top segment (counts are small).
+	for i := 0; i < top; i++ {
+		maxJ := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxJ] {
+				maxJ = j
+			}
+		}
+		counts[i], counts[maxJ] = counts[maxJ], counts[i]
+	}
+	sumTop := 0
+	for i := 0; i < top; i++ {
+		sumTop += counts[i]
+	}
+	return float64(sumTop) / float64(2*len(edges))
+}

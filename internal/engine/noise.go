@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// noiseSource produces deterministic, seed-driven multiplicative noise for
+// run durations. Real clusters show run-to-run variance from collocation,
+// GC, and network jitter; the profiler's models must cope with it, and the
+// Fig 16a learning-curve experiment depends on it.
+type noiseSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	// sigma is the standard deviation of the log-normal noise.
+	sigma float64
+}
+
+func newNoiseSource(seed int64) *noiseSource {
+	return &noiseSource{rng: rand.New(rand.NewSource(seed)), sigma: 0.08}
+}
+
+// factor returns a multiplicative noise factor around 1.0. The engine and
+// algorithm names perturb the draw so interleaving runs of different
+// operators does not produce correlated noise.
+func (n *noiseSource) factor(engine, algorithm string) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	z := n.rng.NormFloat64()
+	_ = engine
+	_ = algorithm
+	f := math.Exp(n.sigma*z - n.sigma*n.sigma/2)
+	// Clamp pathological tails.
+	if f < 0.5 {
+		f = 0.5
+	}
+	if f > 2.0 {
+		f = 2.0
+	}
+	return f
+}

@@ -1,0 +1,362 @@
+// Package executor implements the IReS executor layer (D3.3 §2.3): the
+// enforcer walks a materialized plan over the simulated YARN cluster,
+// allocating containers per step, charging virtual time, feeding run metrics
+// back to the model-refinement path, detecting failures in real time and —
+// instead of discarding completed work — replanning only the remaining
+// workflow, reusing every materialized intermediate result.
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/asap-project/ires/internal/cluster"
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/metrics"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/vtime"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// ErrDeadlock indicates no step can start and none is running (unsatisfied
+// dependencies or permanently insufficient resources).
+var ErrDeadlock = errors.New("executor: no runnable step")
+
+// ErrTooManyReplans indicates the failure/replan loop exceeded MaxReplans.
+var ErrTooManyReplans = errors.New("executor: too many replans")
+
+// Replanner produces a new plan for the remaining workflow given the
+// intermediates that already exist. The core platform wires this to the
+// planner with engine availability checked live, so failed engines are
+// excluded automatically.
+type Replanner interface {
+	Replan(g *workflow.Graph, done []planner.MaterializedIntermediate) (*planner.Plan, error)
+}
+
+// Executor enforces materialized plans.
+type Executor struct {
+	Env     *engine.Environment
+	Cluster *cluster.Cluster
+	Clock   *vtime.Clock
+	// Observer receives the monitoring record of every operator run
+	// (model refinement); may be nil.
+	Observer func(operatorName string, run *metrics.Run)
+	// Replanner enables fault-tolerant partial replanning; nil makes
+	// failures fatal.
+	Replanner Replanner
+	// MaxReplans bounds the failure/replan loop (default 5).
+	MaxReplans int
+	// LaunchOverheadSec is the per-operator-step YARN container launch
+	// overhead added to each run's duration (the "couple of seconds" the
+	// paper attributes to YARN-based execution).
+	LaunchOverheadSec float64
+}
+
+// StepExec logs one step execution attempt.
+type StepExec struct {
+	Name    string
+	Engine  string
+	Start   time.Duration
+	End     time.Duration
+	Failed  bool
+	Failure string
+}
+
+// Result summarises one workflow execution.
+type Result struct {
+	// Makespan is the simulated wall-clock duration of the execution.
+	Makespan time.Duration
+	// TotalCostUnits accumulates the paper's resource-cost metric over all
+	// runs.
+	TotalCostUnits float64
+	// Runs holds the monitoring record of every attempted step.
+	Runs []*metrics.Run
+	// Replans counts fault-triggered replanning rounds.
+	Replans int
+	// ReplanTime accumulates the (real) planning time of replans.
+	ReplanTime time.Duration
+	// FinalRecords/FinalBytes describe the target dataset.
+	FinalRecords int64
+	FinalBytes   int64
+	StepLog      []StepExec
+}
+
+// Execute enforces the plan for the workflow. On step failure it asks the
+// Replanner for a plan over the remaining work and continues, reusing
+// materialized intermediates.
+func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, error) {
+	if e.Env == nil || e.Cluster == nil || e.Clock == nil {
+		return nil, fmt.Errorf("executor: Env, Cluster and Clock are required")
+	}
+	maxReplans := e.MaxReplans
+	if maxReplans == 0 {
+		maxReplans = 5
+	}
+
+	res := &Result{}
+	start := e.Clock.Now()
+
+	// Materialized datasets available to steps: workflow sources up front,
+	// intermediates as they complete.
+	datasets := make(map[string]*dataset)
+	for _, d := range g.Datasets() {
+		if d.Dataset.IsMaterialized() {
+			datasets[d.Name] = &dataset{
+				records: d.Dataset.Records(),
+				bytes:   d.Dataset.SizeBytes(),
+				meta:    d.Dataset.Constraints(),
+			}
+		}
+	}
+
+	current := plan
+	for {
+		failed, err := e.runPlan(g, current, datasets, res)
+		if err != nil {
+			return res, err
+		}
+		if failed == nil {
+			break // plan completed
+		}
+		if e.Replanner == nil {
+			return res, fmt.Errorf("executor: step %s failed and no replanner configured: %s", failed.Name, failed.Failure)
+		}
+		res.Replans++
+		if res.Replans > maxReplans {
+			return res, fmt.Errorf("%w: %d", ErrTooManyReplans, res.Replans)
+		}
+		done := intermediates(g, datasets)
+		next, err := e.Replanner.Replan(g, done)
+		if err != nil {
+			return res, fmt.Errorf("executor: replan after %s failed: %w", failed.Name, err)
+		}
+		res.ReplanTime += next.PlanningTime
+		current = next
+	}
+
+	res.Makespan = e.Clock.Now() - start
+	if target, ok := datasets[g.Target]; ok {
+		res.FinalRecords = target.records
+		res.FinalBytes = target.bytes
+	}
+	return res, nil
+}
+
+type dataset struct {
+	records int64
+	bytes   int64
+	meta    *metadata.Tree
+}
+
+// outMetaOf returns the dataset tag a completed step produced.
+func outMetaOf(s *planner.Step) *metadata.Tree {
+	if s.OutMeta != nil {
+		return s.OutMeta.Clone()
+	}
+	t := metadata.New()
+	if s.Kind == planner.StepOperator {
+		t.Set("Engine", s.Engine)
+	}
+	return t
+}
+
+// runPlan executes one plan until completion or first failure. It returns
+// the failed step log entry (nil on success).
+func (e *Executor) runPlan(g *workflow.Graph, plan *planner.Plan, datasets map[string]*dataset, res *Result) (*StepExec, error) {
+	type running struct {
+		step *planner.Step
+		end  time.Duration
+		ctrs []*cluster.Container
+		run  *metrics.Run
+	}
+
+	doneSteps := make(map[int]*dataset) // step ID -> output
+	inFlight := make(map[int]*running)
+	completed := 0
+
+	ready := func(s *planner.Step) bool {
+		if _, ok := doneSteps[s.ID]; ok {
+			return false
+		}
+		if _, ok := inFlight[s.ID]; ok {
+			return false
+		}
+		for _, dep := range s.DependsOn {
+			if _, ok := doneSteps[dep]; !ok {
+				return false
+			}
+		}
+		for _, src := range s.SourceInputs {
+			if _, ok := datasets[src]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	inputOf := func(s *planner.Step) (records, bytes int64) {
+		for _, dep := range s.DependsOn {
+			if d := doneSteps[dep]; d != nil {
+				records += d.records
+				bytes += d.bytes
+			}
+		}
+		for _, src := range s.SourceInputs {
+			if d := datasets[src]; d != nil {
+				records += d.records
+				bytes += d.bytes
+			}
+		}
+		return records, bytes
+	}
+
+	var failure *StepExec
+	for completed < len(plan.Steps) && failure == nil {
+		// Start every ready step whose containers fit.
+		startedAny := false
+		for _, s := range plan.Steps {
+			if !ready(s) {
+				continue
+			}
+			inRecords, inBytes := inputOf(s)
+			now := e.Clock.Now()
+
+			if s.Kind == planner.StepMove {
+				dur := e.Env.TransferSec(inBytes)
+				run := &metrics.Run{
+					Operator: s.Name, Algorithm: "move", Engine: "move",
+					ExecTimeSec:  dur,
+					InputRecords: inRecords, InputBytes: inBytes,
+					OutputRecords: inRecords, OutputBytes: inBytes,
+					Date: time.Unix(0, 0).Add(now),
+				}
+				inFlight[s.ID] = &running{step: s, end: now + secs(dur), run: run}
+				startedAny = true
+				continue
+			}
+
+			eRes := engine.Resources{Nodes: s.Res.Nodes, CoresPerN: s.Res.CoresPerN, MemMBPerN: s.Res.MemMBPerN}
+			ctrs, err := e.Cluster.Allocate(eRes.Nodes, eRes.CoresPerN, eRes.MemMBPerN)
+			if err != nil {
+				if errors.Is(err, cluster.ErrInsufficientResources) {
+					continue // wait for a completion to free resources
+				}
+				return nil, err
+			}
+			in := engine.Input{Records: inRecords, Bytes: inBytes, Params: s.Params}
+			run, err := e.Env.Execute(s.Engine, s.Algorithm, in, eRes, now)
+			if run != nil {
+				run.Operator = s.Op.Name
+			}
+			if err != nil {
+				e.Cluster.ReleaseAll(ctrs)
+				log := StepExec{Name: s.Name, Engine: s.Engine, Start: now, End: now, Failed: true, Failure: err.Error()}
+				res.StepLog = append(res.StepLog, log)
+				if run != nil {
+					res.Runs = append(res.Runs, run)
+					if e.Observer != nil {
+						e.Observer(s.Op.Name, run)
+					}
+				}
+				failure = &log
+				break
+			}
+			inFlight[s.ID] = &running{step: s, end: now + secs(run.ExecTimeSec+e.LaunchOverheadSec), ctrs: ctrs, run: run}
+			startedAny = true
+		}
+		if failure != nil {
+			break
+		}
+		if len(inFlight) == 0 {
+			if !startedAny {
+				return nil, fmt.Errorf("%w: %d/%d steps done", ErrDeadlock, completed, len(plan.Steps))
+			}
+			continue
+		}
+
+		// Advance to the earliest completion.
+		var next *running
+		for _, r := range inFlight {
+			if next == nil || r.end < next.end ||
+				(r.end == next.end && r.step.ID < next.step.ID) {
+				next = r
+			}
+		}
+		e.Clock.AdvanceTo(next.end)
+		delete(inFlight, next.step.ID)
+		e.Cluster.ReleaseAll(next.ctrs)
+		completed++
+
+		s := next.step
+		out := &dataset{records: next.run.OutputRecords, bytes: next.run.OutputBytes, meta: outMetaOf(s)}
+		doneSteps[s.ID] = out
+		res.Runs = append(res.Runs, next.run)
+		res.TotalCostUnits += next.run.CostUnits
+		res.StepLog = append(res.StepLog, StepExec{
+			Name: s.Name, Engine: s.Engine,
+			Start: next.end - secs(next.run.ExecTimeSec), End: next.end,
+		})
+		if s.Kind == planner.StepOperator {
+			if e.Observer != nil {
+				e.Observer(s.Op.Name, next.run)
+			}
+			if s.OutDataset != "" {
+				datasets[s.OutDataset] = out
+			}
+		}
+	}
+
+	// Let in-flight steps finish so their intermediates survive the
+	// failure (the paper's executor keeps successfully produced results).
+	for len(inFlight) > 0 {
+		var next *running
+		for _, r := range inFlight {
+			if next == nil || r.end < next.end {
+				next = r
+			}
+		}
+		e.Clock.AdvanceTo(next.end)
+		delete(inFlight, next.step.ID)
+		e.Cluster.ReleaseAll(next.ctrs)
+		s := next.step
+		out := &dataset{records: next.run.OutputRecords, bytes: next.run.OutputBytes, meta: outMetaOf(s)}
+		res.Runs = append(res.Runs, next.run)
+		res.TotalCostUnits += next.run.CostUnits
+		res.StepLog = append(res.StepLog, StepExec{
+			Name: s.Name, Engine: s.Engine,
+			Start: next.end - secs(next.run.ExecTimeSec), End: next.end,
+		})
+		if s.Kind == planner.StepOperator && s.OutDataset != "" {
+			datasets[s.OutDataset] = out
+			if e.Observer != nil {
+				e.Observer(s.Op.Name, next.run)
+			}
+		}
+	}
+	return failure, nil
+}
+
+// intermediates lists the currently materialized intermediate datasets
+// (excluding the workflow's original sources).
+func intermediates(g *workflow.Graph, datasets map[string]*dataset) []planner.MaterializedIntermediate {
+	var out []planner.MaterializedIntermediate
+	for _, d := range g.Datasets() {
+		state, ok := datasets[d.Name]
+		if !ok || d.Dataset.IsMaterialized() {
+			continue
+		}
+		out = append(out, planner.MaterializedIntermediate{
+			Dataset: d.Name,
+			Meta:    state.meta,
+			Records: state.records,
+			Bytes:   state.bytes,
+		})
+	}
+	return out
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+
+	ires "github.com/asap-project/ires"
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/model"
+)
+
+// fastFactories is the reduced model zoo the experiment harnesses use so a
+// full evaluation run stays in the seconds range. (Fig 16 uses its own
+// richer set.)
+func fastFactories(seed int64) []model.Factory {
+	return []model.Factory{
+		func() model.Model { return model.NewLinear() },
+		func() model.Model { return model.NewKNN(2) },
+		func() model.Model { return model.NewTree(8, 2) },
+	}
+}
+
+// GraphPlatform builds a platform with the paper's three PageRank
+// implementations (Java, Hama, Spark) registered and profiled — the Fig 11
+// setup.
+func GraphPlatform(seed int64) (*ires.Platform, error) {
+	p, err := ires.NewPlatform(ires.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	p.Profiler.Factories = fastFactories(seed)
+	ops := map[string]string{
+		"pagerank_java":  pagerankDesc(ires.EngineJava),
+		"pagerank_hama":  pagerankDesc(ires.EngineHama),
+		"pagerank_spark": pagerankDesc(ires.EngineSpark),
+	}
+	for name, desc := range ops {
+		if err := p.RegisterOperator(name, desc); err != nil {
+			return nil, err
+		}
+	}
+	resFor := func(eng string) []engine.Resources {
+		if eng == ires.EngineJava {
+			return []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
+		}
+		return []engine.Resources{
+			{Nodes: 8, CoresPerN: 2, MemMBPerN: 3456},
+			{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456},
+		}
+	}
+	records := []int64{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 200_000_000}
+	for name := range ops {
+		mo, _ := p.Library.Operator(name)
+		space := ires.ProfileSpace{
+			Records:        records,
+			BytesPerRecord: 40,
+			Params:         map[string][]float64{"iterations": {10}},
+			Resources:      resFor(mo.Engine()),
+		}
+		if _, err := p.ProfileOperator(name, space); err != nil {
+			return nil, fmt.Errorf("profiling %s: %w", name, err)
+		}
+	}
+	return p, nil
+}
+
+func pagerankDesc(eng string) string {
+	return "Constraints.Engine=" + eng + `
+Constraints.OpSpecification.Algorithm.name=pagerank
+Constraints.Input.number=1
+Constraints.Output.number=1
+Constraints.Input0.Engine.FS=HDFS
+Constraints.Output0.Engine.FS=HDFS
+Optimization.param.iterations=10
+`
+}
+
+// GraphWorkflow builds the CDR influence workflow: cdr -> pagerank -> scores.
+func GraphWorkflow(p *ires.Platform, edges int64) (*ires.Workflow, error) {
+	return p.NewWorkflow().
+		DatasetWithMeta("cdr",
+			"Constraints.Engine.FS=HDFS\nConstraints.type=csv\nExecution.path=hdfs:///cdr"+
+				fmt.Sprintf("\nOptimization.documents=%d\nOptimization.size=%d", edges, edges*40)).
+		Operator("pagerank", "Constraints.OpSpecification.Algorithm.name=pagerank").
+		Dataset("scores").
+		Chain("cdr", "pagerank", "scores").
+		Target("scores").
+		Build()
+}
+
+// TextPlatform builds the Fig 12 setup: tf-idf and k-means on scikit
+// (centralized) and Spark/MLlib (distributed), profiled.
+func TextPlatform(seed int64) (*ires.Platform, error) {
+	p, err := ires.NewPlatform(ires.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	p.Profiler.Factories = fastFactories(seed)
+	ops := map[string]string{
+		"tfidf_scikit":  textDesc(ires.EngineScikit, "TF_IDF", "LFS", "csv"),
+		"tfidf_spark":   textDesc(ires.EngineSpark, "TF_IDF", "HDFS", "SequenceFile"),
+		"kmeans_scikit": textDesc(ires.EngineScikit, "kmeans", "LFS", "csv"),
+		"kmeans_spark":  textDesc(ires.EngineSpark, "kmeans", "HDFS", "SequenceFile"),
+	}
+	for name, desc := range ops {
+		if err := p.RegisterOperator(name, desc); err != nil {
+			return nil, err
+		}
+	}
+	for name := range ops {
+		mo, _ := p.Library.Operator(name)
+		res := []engine.Resources{{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}}
+		if mo.Engine() == ires.EngineScikit {
+			res = []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
+		}
+		space := ires.ProfileSpace{
+			Records:        []int64{1_000, 3_000, 10_000, 30_000, 100_000, 1_000_000},
+			BytesPerRecord: 5_000,
+			Resources:      res,
+		}
+		if _, err := p.ProfileOperator(name, space); err != nil {
+			return nil, fmt.Errorf("profiling %s: %w", name, err)
+		}
+	}
+	return p, nil
+}
+
+func textDesc(eng, alg, fs, typ string) string {
+	return "Constraints.Engine=" + eng +
+		"\nConstraints.OpSpecification.Algorithm.name=" + alg +
+		"\nConstraints.Input0.Engine.FS=" + fs +
+		"\nConstraints.Input0.type=" + typ +
+		"\nConstraints.Output0.Engine.FS=" + fs +
+		"\nConstraints.Output0.type=" + typ + "\n"
+}
+
+// TextWorkflow builds web-content -> tf-idf -> d1 -> k-means -> clusters.
+func TextWorkflow(p *ires.Platform, docs int64) (*ires.Workflow, error) {
+	return p.NewWorkflow().
+		DatasetWithMeta("webContent",
+			"Constraints.Engine.FS=HDFS\nConstraints.type=SequenceFile\nExecution.path=hdfs:///warc"+
+				fmt.Sprintf("\nOptimization.documents=%d\nOptimization.size=%d", docs, docs*5_000)).
+		Operator("tfidf", "Constraints.OpSpecification.Algorithm.name=TF_IDF").
+		Operator("kmeans", "Constraints.OpSpecification.Algorithm.name=kmeans").
+		Dataset("d1").
+		Dataset("clusters").
+		Chain("webContent", "tfidf", "d1", "kmeans", "clusters").
+		Target("clusters").
+		Build()
+}
+
+// SQLPlatform builds the Fig 13 setup: the three SPJ queries as black-box
+// operators, each implemented on PostgreSQL, MemSQL and Spark, with input
+// tables resident in their home stores.
+func SQLPlatform(seed int64) (*ires.Platform, error) {
+	p, err := ires.NewPlatform(ires.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	p.Profiler.Factories = fastFactories(seed)
+	engines := []string{ires.EnginePostgreSQL, ires.EngineMemSQL, ires.EngineSpark}
+	fsOf := map[string]string{
+		ires.EnginePostgreSQL: "PostgreSQL",
+		ires.EngineMemSQL:     "MemSQL",
+		ires.EngineSpark:      "HDFS",
+	}
+	for q := 1; q <= 3; q++ {
+		for _, eng := range engines {
+			name := fmt.Sprintf("sql_q%d_%s", q, eng)
+			desc := "Constraints.Engine=" + eng +
+				fmt.Sprintf("\nConstraints.OpSpecification.Algorithm.name=sql_q%d", q) +
+				"\nConstraints.Input0.Engine.FS=" + fsOf[eng] +
+				"\nConstraints.Output0.Engine.FS=" + fsOf[eng] + "\n"
+			if err := p.RegisterOperator(name, desc); err != nil {
+				return nil, err
+			}
+			res := []engine.Resources{{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}}
+			if eng == ires.EnginePostgreSQL {
+				res = []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
+			}
+			space := ires.ProfileSpace{
+				// One record ~ one scanned row; 1GB ~ 6M rows. The grid
+				// covers the full operating range of Fig 13 (1-50GB, with
+				// the q1/q2 subsets reaching down to ~150k rows).
+				Records: []int64{150_000, 600_000, 3_000_000, 12_000_000,
+					60_000_000, 150_000_000, 300_000_000},
+				BytesPerRecord: 170,
+				Resources:      res,
+			}
+			if _, err := p.ProfileOperator(name, space); err != nil {
+				return nil, fmt.Errorf("profiling %s: %w", name, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+// SQLWorkflow builds the relational workflow at a TPC-H scale (GB): the
+// three queries read their resident table groups and a final Spark join
+// combines them. Row counts follow TPC-H proportions (~6M rows/GB for the
+// fact tables, ~7% for the medium group, ~2.6% for the small group).
+func SQLWorkflow(p *ires.Platform, scaleGB float64) (*ires.Workflow, error) {
+	rows := func(frac float64) int64 { return int64(scaleGB * 6_000_000 * frac) }
+	ds := func(name, fs string, records int64) string {
+		return "Constraints.Engine.FS=" + fs + "\nExecution.path=" + fs + ":///" + name +
+			fmt.Sprintf("\nOptimization.documents=%d\nOptimization.size=%d", records, records*170)
+	}
+	return p.NewWorkflow().
+		DatasetWithMeta("legacyTables", ds("legacy", "PostgreSQL", rows(0.026))).
+		DatasetWithMeta("mediumTables", ds("medium", "MemSQL", rows(0.07))).
+		DatasetWithMeta("factTables", ds("fact", "HDFS", rows(1.0))).
+		Operator("q1", "Constraints.OpSpecification.Algorithm.name=sql_q1").
+		Operator("q2", "Constraints.OpSpecification.Algorithm.name=sql_q2").
+		Operator("q3", "Constraints.OpSpecification.Algorithm.name=sql_q3").
+		Dataset("r1").Dataset("r2").Dataset("r3").
+		Operator("combine", "Constraints.OpSpecification.Algorithm.name=join").
+		Dataset("result").
+		Chain("legacyTables", "q1", "r1", "combine").
+		Chain("mediumTables", "q2", "r2", "combine").
+		Chain("factTables", "q3", "r3", "combine").
+		Connect("combine", "result").
+		Target("result").
+		Build()
+}
+
+// RegisterCombineOps registers the final-join implementations for the SQL
+// workflow and profiles them.
+func RegisterCombineOps(p *ires.Platform) error {
+	for _, eng := range []string{ires.EngineSpark, ires.EnginePostgreSQL} {
+		fs := "HDFS"
+		res := []engine.Resources{{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}}
+		if eng == ires.EnginePostgreSQL {
+			fs = "PostgreSQL"
+			res = []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
+		}
+		name := "join_" + eng
+		desc := "Constraints.Engine=" + eng +
+			"\nConstraints.OpSpecification.Algorithm.name=join" +
+			"\nConstraints.Input0.Engine.FS=" + fs +
+			"\nConstraints.Input1.Engine.FS=" + fs +
+			"\nConstraints.Input2.Engine.FS=" + fs +
+			"\nConstraints.Output0.Engine.FS=" + fs + "\n"
+		if err := p.RegisterOperator(name, desc); err != nil {
+			return err
+		}
+		space := ires.ProfileSpace{
+			Records:        []int64{50_000, 200_000, 1_000_000, 5_000_000, 20_000_000},
+			BytesPerRecord: 170,
+			Resources:      res,
+		}
+		if _, err := p.ProfileOperator(name, space); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package metadata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's running example: an abstract TF_IDF operator and its
+// materialized mahout/Hadoop implementation (D3.3 Figures 2-3).
+const abstractTFIDF = `
+Constraints.Input.number=1
+Constraints.OpSpecification.Algorithm.name=TF_IDF
+Constraints.Output.number=1
+`
+
+const materializedTFIDFMahout = `
+Constraints.Engine=Hadoop
+Constraints.Input.number=1
+Constraints.Input0.type=SequenceFile
+Constraints.Input0.Engine.FS=HDFS
+Constraints.OpSpecification.Algorithm.name=TF_IDF
+Constraints.Output.number=1
+Constraints.Output0.type=SequenceFile
+Execution.LuaScript=tfidf.lua
+Optimization.model.execTime=UserFunction
+`
+
+func TestPaperExampleMatches(t *testing.T) {
+	a := MustParse(abstractTFIDF)
+	m := MustParse(materializedTFIDFMahout)
+	if !Matches(a, m) {
+		t.Fatalf("abstract TF_IDF should match mahout implementation: %s",
+			MatchReason(a, m))
+	}
+	// A different algorithm must not match.
+	other := m.Clone()
+	other.Set("Constraints.OpSpecification.Algorithm.name", "kmeans")
+	if Matches(a, other) {
+		t.Fatal("TF_IDF matched a kmeans operator")
+	}
+}
+
+func TestDatasetToOperatorMatching(t *testing.T) {
+	// Dataset description (Figure 2.a) vs the operator's Input0 constraints.
+	dataset := MustParse(`
+Constraints.Engine.FS=HDFS
+Constraints.type=SequenceFile
+Execution.path=hdfs:///user/crawl
+Optimization.documents=50000
+`)
+	inputReq := MustParse(`
+Engine.FS=HDFS
+type=SequenceFile
+`)
+	if !Matches(inputReq, dataset.Node("Constraints")) {
+		t.Fatal("dataset should satisfy operator input constraints")
+	}
+	badReq := MustParse("type=arff")
+	if Matches(badReq, dataset.Node("Constraints")) {
+		t.Fatal("arff requirement matched a SequenceFile dataset")
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	a := New()
+	a.Set("Constraints.Engine", Wildcard)
+	withEngine := MustParse("Constraints.Engine=Spark")
+	without := MustParse("Constraints.Input.number=1")
+	if !Matches(a, withEngine) {
+		t.Fatal("wildcard should match any value")
+	}
+	if Matches(a, without) {
+		t.Fatal("wildcard should require field presence")
+	}
+}
+
+func TestEmptyAbstractValueIsUnconstrained(t *testing.T) {
+	a := New()
+	a.Set("Constraints.Engine", "") // node exists, no constraint
+	m := MustParse("Constraints.Input.number=1")
+	if !Matches(a, m) {
+		t.Fatal("empty abstract value must not constrain")
+	}
+}
+
+func TestMatchesNilAbstract(t *testing.T) {
+	if !Matches(nil, MustParse("a=1")) {
+		t.Fatal("nil abstract matches anything")
+	}
+	if !Matches(New(), nil) {
+		t.Fatal("empty abstract matches nil materialized")
+	}
+}
+
+func TestMatchReason(t *testing.T) {
+	a := MustParse("Constraints.Engine=Spark")
+	m := MustParse("Constraints.Engine=Hadoop")
+	if r := MatchReason(a, m); r == "" {
+		t.Fatal("expected a mismatch reason")
+	}
+	if r := MatchReason(a, MustParse("Constraints.Engine=Spark")); r != "" {
+		t.Fatalf("unexpected reason for matching trees: %s", r)
+	}
+	if r := MatchReason(a, New()); r == "" {
+		t.Fatal("expected missing-field reason")
+	}
+}
+
+// Property: every materialized tree matches an "erasure" of itself — a tree
+// with a random subset of its fields, with some values replaced by "*".
+func TestQuickErasureMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := FromProperties(randomProps(r))
+		a := New()
+		for _, p := range m.Properties() {
+			switch r.Intn(3) {
+			case 0:
+				a.Set(p.Path, p.Value)
+			case 1:
+				a.Set(p.Path, Wildcard)
+			case 2:
+				// omit
+			}
+		}
+		return Matches(a, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Matches(a, m) agrees with MatchReason(a, m) == "".
+func TestQuickMatchesAgreesWithReason(t *testing.T) {
+	f := func(seedA, seedM int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rm := rand.New(rand.NewSource(seedM))
+		a := FromProperties(randomProps(ra))
+		m := FromProperties(randomProps(rm))
+		return Matches(a, m) == (MatchReason(a, m) == "")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: self-match — every tree matches itself (its values state exact
+// constraints that it itself satisfies).
+func TestQuickSelfMatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := FromProperties(randomProps(r))
+		return Matches(m, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString("novalue"); err == nil {
+		t.Fatal("expected error for missing '='")
+	}
+	if _, err := ParseString("=v"); err == nil {
+		t.Fatal("expected error for empty key")
+	}
+	if _, err := ParseString("a..b=v"); err == nil {
+		t.Fatal("expected error for empty segment")
+	}
+}
+
+func TestParseCommentsAndEscapes(t *testing.T) {
+	tr, err := ParseString("# comment\n\n// also comment\nExecution.path=hdfs\\:///user/root/log\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Get("Execution.path"); v != "hdfs:///user/root/log" {
+		t.Fatalf("escaped colon not handled: %q", v)
+	}
+}

@@ -1,0 +1,74 @@
+package metadata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a description file in the dotted-property format of D3.3 §3:
+//
+//	# comment
+//	Constraints.Engine=Spark
+//	Constraints.OpSpecification.Algorithm.name = LineCount
+//	Execution.path=hdfs:///user/root/asap-server.log
+//
+// Blank lines and lines starting with '#' or '//' are ignored. Whitespace
+// around keys and values is trimmed. Escaped colons ("\:") — which appear in
+// the paper's HDFS paths — are unescaped.
+func Parse(r io.Reader) (*Tree, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("metadata: line %d: missing '=' in %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		val = strings.ReplaceAll(val, `\:`, ":")
+		if key == "" {
+			return nil, fmt.Errorf("metadata: line %d: empty key", lineNo)
+		}
+		if err := validateKey(key); err != nil {
+			return nil, fmt.Errorf("metadata: line %d: %v", lineNo, err)
+		}
+		t.Set(key, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metadata: read: %w", err)
+	}
+	return t, nil
+}
+
+// ParseString parses a description from a string.
+func ParseString(s string) (*Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses a description and panics on error. Intended for
+// package-level literals in tests and examples.
+func MustParse(s string) *Tree {
+	t, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func validateKey(key string) error {
+	for _, part := range strings.Split(key, ".") {
+		if part == "" {
+			return fmt.Errorf("empty path segment in key %q", key)
+		}
+	}
+	return nil
+}

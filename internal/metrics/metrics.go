@@ -1,0 +1,114 @@
+// Package metrics defines the monitoring record IReS collects for every
+// operator execution (D3.3 §2.2.1 lists 45 monitored metrics: execution
+// time, input/output sizes and counts, operator parameters, experiment date,
+// and a periodic timeline of cluster system metrics pulled from Ganglia).
+// The simulated engines produce the same records the real monitoring layer
+// would, so the profiler/modeler code is identical to what would run against
+// a live cluster.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Snapshot is one sample of the periodic system-metric timeline.
+type Snapshot struct {
+	AtSec       float64 // seconds since run start
+	CPUUtil     float64 // [0,1] cluster-average CPU utilisation
+	MemUsedMB   float64
+	NetworkMBps float64
+	DiskIOPS    float64
+}
+
+// Run is the full monitoring record of a single operator execution.
+type Run struct {
+	Operator  string // materialized operator name
+	Algorithm string
+	Engine    string
+
+	// Params carries the data-, operator- and resource-specific input
+	// parameters of the run (e.g. "documents", "k", "iterations", "nodes",
+	// "cores", "memoryMB"). These are the model features.
+	Params map[string]float64
+
+	ExecTimeSec   float64
+	CostUnits     float64 // #VM * cores/VM * GB/VM * t (Truong-Dustdar style)
+	InputBytes    int64
+	OutputBytes   int64
+	InputRecords  int64
+	OutputRecords int64
+
+	Timeline []Snapshot
+	Date     time.Time
+
+	Failed        bool
+	FailureReason string
+}
+
+// Feature returns a named feature of the run, looking first at Params and
+// then at the built-in scalar metrics.
+func (r *Run) Feature(name string) (float64, bool) {
+	if v, ok := r.Params[name]; ok {
+		return v, true
+	}
+	switch name {
+	case "execTime":
+		return r.ExecTimeSec, true
+	case "cost":
+		return r.CostUnits, true
+	case "inputBytes":
+		return float64(r.InputBytes), true
+	case "outputBytes":
+		return float64(r.OutputBytes), true
+	case "inputRecords":
+		return float64(r.InputRecords), true
+	case "outputRecords":
+		return float64(r.OutputRecords), true
+	}
+	return 0, false
+}
+
+// Features extracts the named features as a vector, returning an error when
+// one is missing.
+func (r *Run) Features(names []string) ([]float64, error) {
+	out := make([]float64, len(names))
+	for i, n := range names {
+		v, ok := r.Feature(n)
+		if !ok {
+			return nil, fmt.Errorf("metrics: run of %s/%s lacks feature %q", r.Algorithm, r.Engine, n)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParamNames returns the sorted parameter names of the run.
+func (r *Run) ParamNames() []string {
+	names := make([]string, 0, len(r.Params))
+	for n := range r.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MetricNames enumerates the monitored metric surface, mirroring the 45
+// metrics listed in the paper: scalar run metrics, operator parameters, and
+// the periodic system timeline (8 samples x 4 system metrics).
+func MetricNames() []string {
+	names := []string{
+		"execTime", "cost",
+		"inputBytes", "outputBytes", "inputRecords", "outputRecords",
+		"date",
+		"param.records", "param.bytes", "param.iterations", "param.k",
+		"param.nodes", "param.cores", "param.memoryMB",
+	}
+	for i := 0; i < 8; i++ {
+		for _, m := range []string{"cpuUtil", "memUsedMB", "networkMBps", "diskIOPS"} {
+			names = append(names, fmt.Sprintf("timeline[%d].%s", i, m))
+		}
+	}
+	return names // 14 + 32 = 46 monitored metrics (paper: "45 in total")
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleRun() *Run {
+	return &Run{
+		Operator:  "tfidf_spark",
+		Algorithm: "TF_IDF",
+		Engine:    "Spark",
+		Params: map[string]float64{
+			"records": 1000, "bytes": 5e6, "nodes": 16, "cores": 2, "memoryMB": 3456,
+		},
+		ExecTimeSec:   12.5,
+		CostUnits:     800,
+		InputBytes:    5_000_000,
+		OutputBytes:   2_500_000,
+		InputRecords:  1000,
+		OutputRecords: 1000,
+		Timeline:      []Snapshot{{AtSec: 0, CPUUtil: 0.3}, {AtSec: 12.5, CPUUtil: 0.3}},
+		Date:          time.Unix(100, 0),
+	}
+}
+
+func TestFeatureLookup(t *testing.T) {
+	r := sampleRun()
+	cases := map[string]float64{
+		"records":       1000,
+		"nodes":         16,
+		"execTime":      12.5,
+		"cost":          800,
+		"inputBytes":    5e6,
+		"outputBytes":   2.5e6,
+		"inputRecords":  1000,
+		"outputRecords": 1000,
+	}
+	for name, want := range cases {
+		got, ok := r.Feature(name)
+		if !ok || got != want {
+			t.Errorf("Feature(%s) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := r.Feature("nonexistent"); ok {
+		t.Error("unknown feature reported present")
+	}
+}
+
+func TestFeaturesVector(t *testing.T) {
+	r := sampleRun()
+	v, err := r.Features([]string{"records", "nodes", "execTime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 || v[0] != 1000 || v[1] != 16 || v[2] != 12.5 {
+		t.Fatalf("Features = %v", v)
+	}
+	if _, err := r.Features([]string{"records", "missing"}); err == nil {
+		t.Fatal("missing feature accepted")
+	}
+}
+
+func TestParamNamesSorted(t *testing.T) {
+	names := sampleRun().ParamNames()
+	if len(names) != 5 {
+		t.Fatalf("ParamNames = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+}
+
+func TestMetricNamesSurface(t *testing.T) {
+	names := MetricNames()
+	// The paper reports 45 monitored metrics; we enumerate 46.
+	if len(names) < 45 {
+		t.Fatalf("metric surface has %d entries, want >= 45", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate metric name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,116 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Score summarises one model family's cross-validated fit.
+type Score struct {
+	Name string
+	RMSE float64
+	// RelErr is the mean absolute relative error |pred-actual|/actual over
+	// validation folds (the paper's Fig 16 metric).
+	RelErr float64
+}
+
+// CrossValidate performs k-fold cross-validation of every factory on the
+// samples and returns the per-family scores, sorted by the input factory
+// order. Folds are shuffled deterministically by seed.
+func CrossValidate(factories []Factory, X [][]float64, y []float64, k int, seed int64) ([]Score, error) {
+	if _, err := validate(X, y); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(X))
+
+	scores := make([]Score, len(factories))
+	for fi, fac := range factories {
+		var se, re float64
+		var n int
+		name := ""
+		for fold := 0; fold < k; fold++ {
+			var trX, vaX [][]float64
+			var trY, vaY []float64
+			for i, p := range perm {
+				if i%k == fold {
+					vaX = append(vaX, X[p])
+					vaY = append(vaY, y[p])
+				} else {
+					trX = append(trX, X[p])
+					trY = append(trY, y[p])
+				}
+			}
+			if len(trX) == 0 || len(vaX) == 0 {
+				continue
+			}
+			m := fac()
+			name = m.Name()
+			if err := m.Train(trX, trY); err != nil {
+				// A family that cannot train on this fold is penalised, not
+				// fatal: other families may still fit.
+				se += math.Inf(1)
+				n += len(vaX)
+				continue
+			}
+			for i := range vaX {
+				pred := m.Predict(vaX[i])
+				d := pred - vaY[i]
+				se += d * d
+				if vaY[i] != 0 {
+					re += math.Abs(d) / math.Abs(vaY[i])
+				}
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("model: cross-validation produced no folds")
+		}
+		scores[fi] = Score{
+			Name:   name,
+			RMSE:   math.Sqrt(se / float64(n)),
+			RelErr: re / float64(n),
+		}
+	}
+	return scores, nil
+}
+
+// SelectBest cross-validates every factory and returns the winning family
+// (by RMSE) trained on the full dataset, together with all scores. Ties
+// and NaNs resolve to the earliest factory.
+func SelectBest(factories []Factory, X [][]float64, y []float64, k int, seed int64) (Model, []Score, error) {
+	return selectBest(factories, X, y, k, seed, func(s Score) float64 { return s.RMSE })
+}
+
+// SelectBestRelative selects by mean relative error instead of RMSE. For
+// targets spanning orders of magnitude (execution times from seconds to
+// hours), relative error weights every scale equally — the criterion the
+// paper's estimation-accuracy evaluation uses.
+func SelectBestRelative(factories []Factory, X [][]float64, y []float64, k int, seed int64) (Model, []Score, error) {
+	return selectBest(factories, X, y, k, seed, func(s Score) float64 { return s.RelErr })
+}
+
+func selectBest(factories []Factory, X [][]float64, y []float64, k int, seed int64, key func(Score) float64) (Model, []Score, error) {
+	scores, err := CrossValidate(factories, X, y, k, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	best := 0
+	for i, s := range scores {
+		if !math.IsNaN(key(s)) && key(s) < key(scores[best]) {
+			best = i
+		}
+	}
+	m := factories[best]()
+	if err := m.Train(X, y); err != nil {
+		return nil, scores, err
+	}
+	return m, scores, nil
+}

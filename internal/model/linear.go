@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Linear is ordinary least-squares linear regression over standardized
+// features, with an intercept and a whisper of ridge regularisation.
+// Standardization matters: the platform's raw features span nine orders of
+// magnitude (bytes vs core counts) and include exactly collinear and
+// constant columns, which wreck an unconditioned normal-equation solve.
+type Linear struct {
+	weights []float64 // last entry is the intercept
+	std     *standardizer
+	ridge   float64
+}
+
+// NewLinear returns an untrained linear regressor.
+func NewLinear() *Linear { return &Linear{ridge: 1e-9} }
+
+// Name implements Model.
+func (l *Linear) Name() string { return "LinearRegression" }
+
+// Train implements Model.
+func (l *Linear) Train(X [][]float64, y []float64) error {
+	if _, err := validate(X, y); err != nil {
+		return err
+	}
+	l.std = fitStandardizer(X)
+	aug := augment(l.std.applyAll(X))
+	w, err := normalEquations(aug, y, l.ridge)
+	if err != nil {
+		// Degenerate design: escalate regularisation.
+		w, err = normalEquations(aug, y, 1e-4)
+		if err != nil {
+			return err
+		}
+	}
+	l.weights = w
+	return nil
+}
+
+// Predict implements Model.
+func (l *Linear) Predict(x []float64) float64 {
+	if l.weights == nil {
+		return 0
+	}
+	z := l.std.apply(x)
+	s := l.weights[len(l.weights)-1]
+	for i := 0; i < len(l.weights)-1 && i < len(z); i++ {
+		s += l.weights[i] * z[i]
+	}
+	return s
+}
+
+// augment appends the constant-1 intercept column.
+func augment(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row)+1)
+		copy(r, row)
+		r[len(row)] = 1
+		out[i] = r
+	}
+	return out
+}
+
+// LeastMedianSquares is the robust regression flavour WEKA exposes
+// (Rousseeuw & Leroy): it fits OLS on many random subsamples and keeps the
+// fit with the smallest median squared residual, which shrugs off the
+// outlier runs a busy cluster produces.
+type LeastMedianSquares struct {
+	inner   *Linear
+	seed    int64
+	samples int
+}
+
+// NewLeastMedianSquares returns an untrained LMS regressor.
+func NewLeastMedianSquares(seed int64) *LeastMedianSquares {
+	return &LeastMedianSquares{seed: seed, samples: 40}
+}
+
+// Name implements Model.
+func (l *LeastMedianSquares) Name() string { return "LeastMedSq" }
+
+// Train implements Model.
+func (l *LeastMedianSquares) Train(X [][]float64, y []float64) error {
+	dims, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	n := len(X)
+	subset := dims + 2 // minimal sample size for a determined fit
+	if subset >= n {
+		// Too few points for subsampling: plain OLS.
+		l.inner = NewLinear()
+		return l.inner.Train(X, y)
+	}
+	rng := rand.New(rand.NewSource(l.seed))
+	var best *Linear
+	bestMed := 0.0
+	for s := 0; s < l.samples; s++ {
+		idx := rng.Perm(n)[:subset]
+		sx := make([][]float64, subset)
+		sy := make([]float64, subset)
+		for i, j := range idx {
+			sx[i], sy[i] = X[j], y[j]
+		}
+		cand := NewLinear()
+		if err := cand.Train(sx, sy); err != nil {
+			continue
+		}
+		med := medianSquaredResidual(cand, X, y)
+		if best == nil || med < bestMed {
+			best, bestMed = cand, med
+		}
+	}
+	if best == nil {
+		best = NewLinear()
+		if err := best.Train(X, y); err != nil {
+			return err
+		}
+	}
+	l.inner = best
+	return nil
+}
+
+// Predict implements Model.
+func (l *LeastMedianSquares) Predict(x []float64) float64 {
+	if l.inner == nil {
+		return 0
+	}
+	return l.inner.Predict(x)
+}
+
+func medianSquaredResidual(m Model, X [][]float64, y []float64) float64 {
+	res := make([]float64, len(X))
+	for i := range X {
+		d := m.Predict(X[i]) - y[i]
+		res[i] = d * d
+	}
+	sort.Float64s(res)
+	return res[len(res)/2]
+}

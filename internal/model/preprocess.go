@@ -1,0 +1,76 @@
+package model
+
+import "math"
+
+// standardizer rescales features to zero mean and unit variance; constant
+// features map to zero. Several models (kNN, RBF, MLP, GP) depend on it
+// because the platform's raw features span wildly different magnitudes
+// (record counts in the millions next to core counts below ten).
+type standardizer struct {
+	mean  []float64
+	scale []float64
+}
+
+func fitStandardizer(X [][]float64) *standardizer {
+	if len(X) == 0 {
+		return &standardizer{}
+	}
+	d := len(X[0])
+	s := &standardizer{mean: make([]float64, d), scale: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		m := 0.0
+		for _, row := range X {
+			m += row[j]
+		}
+		m /= float64(len(X))
+		v := 0.0
+		for _, row := range X {
+			dlt := row[j] - m
+			v += dlt * dlt
+		}
+		v /= float64(len(X))
+		s.mean[j] = m
+		if sd := math.Sqrt(v); sd > 1e-12 {
+			s.scale[j] = 1 / sd
+		} else {
+			s.scale[j] = 0 // constant feature: contributes nothing
+		}
+	}
+	return s
+}
+
+func (s *standardizer) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		if j < len(s.mean) {
+			out[j] = (x[j] - s.mean[j]) * s.scale[j]
+		}
+	}
+	return out
+}
+
+func (s *standardizer) applyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.apply(row)
+	}
+	return out
+}
+
+// targetScaler standardizes the regression target; MLP training needs it
+// for stable gradients.
+type targetScaler struct {
+	mean, sd float64
+}
+
+func fitTargetScaler(y []float64) *targetScaler {
+	m := mean(y)
+	sd := math.Sqrt(variance(y))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	return &targetScaler{mean: m, sd: sd}
+}
+
+func (t *targetScaler) encode(v float64) float64 { return (v - t.mean) / t.sd }
+func (t *targetScaler) decode(v float64) float64 { return v*t.sd + t.mean }

@@ -1,0 +1,125 @@
+package musqle
+
+import (
+	"testing"
+
+	"github.com/asap-project/ires/internal/sqldata"
+)
+
+// liarEngine wraps an engine and reports estimates scaled by estFactor —
+// the cost-API inaccuracy scenario of Appendix B §V-B (engines can
+// misestimate by 1000x).
+type liarEngine struct {
+	Engine
+	estFactor float64
+}
+
+func (l liarEngine) ScanSec(rows, bytes float64) float64 {
+	return l.Engine.ScanSec(rows, bytes) * l.estFactor
+}
+
+func (l liarEngine) JoinSec(a, b, out float64) (float64, bool) {
+	sec, ok := l.Engine.JoinSec(a, b, out)
+	return sec * l.estFactor, ok
+}
+
+func (l liarEngine) LoadSec(rows, bytes float64) float64 {
+	return l.Engine.LoadSec(rows, bytes) * l.estFactor
+}
+
+func TestCalibratorFixesLyingEngine(t *testing.T) {
+	tables := sqldata.Generate(0.002, 7)
+	cat := NewCatalog()
+	// Both engines hold everything; planning is purely a cost contest.
+	for _, name := range sqldata.TableNames() {
+		if err := cat.AddTable(tables[name], "honest", "liar"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	honest := SyntheticEngine{ID: "honest", ScanRate: 1e6, JoinRate: 1e6, Fixed: 0.01, LoadRate: 50e6}
+	// The liar is actually 4x slower but claims to be 40x faster.
+	slow := SyntheticEngine{ID: "liar", ScanRate: 0.25e6, JoinRate: 0.25e6, Fixed: 0.04, LoadRate: 50e6}
+
+	// Planning registry sees the lying estimates; the execution registry is
+	// the ground truth.
+	planReg := NewRegistry(honest, liarEngine{Engine: slow, estFactor: 0.1})
+	execReg := NewRegistry(honest, slow)
+
+	q, err := Parse("SELECT o_orderkey FROM orders, lineitem, customer WHERE o_orderkey = l_orderkey AND o_custkey = c_custkey", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	naive := NewOptimizer(cat, planReg)
+	plan, err := naive.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.EnginesUsed) != 1 || plan.EnginesUsed[0] != "liar" {
+		t.Fatalf("precondition: uncalibrated optimizer should fall for the liar, used %v", plan.EnginesUsed)
+	}
+	uncalibrated, err := Execute(plan, q, cat, execReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train the calibrator from a few observed executions.
+	cal := NewCalibrator()
+	for i := 0; i < 6; i++ {
+		tq, err := GenerateQuery(cat, 2+i%3, i%2 == 0, int64(50+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := naive.Optimize(tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(p, tq, cat, execReg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pair the lying estimates with truthful actuals.
+		cal.ObserveExecution(p, res)
+	}
+	if cal.SampleCount("liar") == 0 {
+		t.Fatal("calibrator saw no liar samples")
+	}
+
+	calibrated := NewOptimizer(cat, planReg)
+	calibrated.Calibrator = cal
+	plan2, err := calibrated.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Execute(plan2, q, cat, execReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SimSec > uncalibrated.SimSec*1.01 {
+		t.Fatalf("calibration did not help: %.3fs vs %.3fs", res2.SimSec, uncalibrated.SimSec)
+	}
+	for _, e := range plan2.EnginesUsed {
+		if e == "liar" && len(plan2.EnginesUsed) == 1 {
+			t.Fatalf("calibrated optimizer still trusts the liar exclusively:\n%s", plan2.Describe())
+		}
+	}
+}
+
+func TestDistrustPenalty(t *testing.T) {
+	c := NewCalibrator()
+	// Uncorrelated samples for engine "x".
+	pairs := [][2]float64{{1, 90}, {2, 5}, {3, 70}, {4, 12}, {5, 66}, {6, 8}}
+	for _, p := range pairs {
+		c.Record("x", p[0], p[1])
+	}
+	o := &Optimizer{Calibrator: c, MinCorrelation: 0.9}
+	raw := 10.0
+	if got := o.adjust("x", raw); got <= c.Adjust("x", raw) {
+		t.Fatalf("distrusted engine not penalised: %v", got)
+	}
+	// Without a calibrator the estimate passes through.
+	o2 := &Optimizer{}
+	if got := o2.adjust("x", raw); got != raw {
+		t.Fatalf("nil calibrator changed estimate: %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package musqle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/asap-project/ires/internal/sqldata"
+)
+
+func TestCalibratorLinearCorrection(t *testing.T) {
+	c := NewCalibrator()
+	// Engine consistently underestimates 3x (actual = 3*estimated + 1).
+	for _, est := range []float64{1, 2, 5, 10, 20} {
+		c.Record("biased", est, 3*est+1)
+	}
+	got := c.Adjust("biased", 8)
+	if math.Abs(got-25) > 1e-6 {
+		t.Fatalf("Adjust = %v, want 25", got)
+	}
+	if corr := c.Correlation("biased"); corr < 0.999 {
+		t.Fatalf("correlation = %v, want ~1", corr)
+	}
+	if !c.Trusted("biased", 0.9) {
+		t.Fatal("well-correlated engine not trusted")
+	}
+}
+
+func TestCalibratorPassThroughWithFewSamples(t *testing.T) {
+	c := NewCalibrator()
+	c.Record("fresh", 10, 30)
+	if got := c.Adjust("fresh", 10); got != 10 {
+		t.Fatalf("early Adjust = %v, want pass-through", got)
+	}
+	if !c.Trusted("fresh", 0.9) {
+		t.Fatal("bootstrap engine should be trusted")
+	}
+}
+
+func TestCalibratorUncorrelatedEngineDistrusted(t *testing.T) {
+	c := NewCalibrator()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		// Estimates carry no signal at all.
+		c.Record("noisy", 1+rng.Float64()*10, 1+rng.Float64()*100)
+	}
+	if corr := c.Correlation("noisy"); math.Abs(corr) > 0.5 {
+		t.Fatalf("correlation = %v for noise", corr)
+	}
+	if c.Trusted("noisy", 0.8) {
+		t.Fatal("uncorrelated engine trusted")
+	}
+	if got := c.Engines(); len(got) != 1 || got[0] != "noisy" {
+		t.Fatalf("Engines = %v", got)
+	}
+}
+
+func TestCalibratorIgnoresInvalidSamples(t *testing.T) {
+	c := NewCalibrator()
+	c.Record("x", 0, 5)
+	c.Record("x", 5, -1)
+	if c.SampleCount("x") != 0 {
+		t.Fatal("invalid samples recorded")
+	}
+}
+
+func TestCalibratorAntiCorrelatedRefused(t *testing.T) {
+	c := NewCalibrator()
+	for _, est := range []float64{1, 2, 5, 10} {
+		c.Record("anti", est, 100/est)
+	}
+	// Negative slope fits are refused; estimates pass through.
+	if got := c.Adjust("anti", 4); got != 4 {
+		t.Fatalf("anti-correlated Adjust = %v, want pass-through", got)
+	}
+}
+
+func TestObserveExecutionFeedsCalibrator(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.LoadTPCH(sqldata.Generate(0.002, 5)); err != nil {
+		t.Fatal(err)
+	}
+	reg := DefaultRegistry()
+	opt := NewOptimizer(cat, reg)
+	cal := NewCalibrator()
+	for i := 0; i < 5; i++ {
+		q, err := GenerateQuery(cat, 3, true, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(plan, q, cat, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal.ObserveExecution(plan, res)
+	}
+	if len(cal.Engines()) == 0 {
+		t.Fatal("no engines observed")
+	}
+	for _, e := range cal.Engines() {
+		if cal.SampleCount(e) == 0 {
+			t.Fatalf("engine %s has no samples", e)
+		}
+	}
+	cal.ObserveExecution(nil, nil) // no-op safety
+}
+
+// Property: for any affine relation with positive slope, Adjust recovers
+// actual values exactly once enough samples exist.
+func TestQuickCalibratorRecoversAffine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := 0.5 + rng.Float64()*5
+		intercept := rng.Float64() * 10
+		c := NewCalibrator()
+		for i := 0; i < 10; i++ {
+			est := 1 + rng.Float64()*50
+			c.Record("e", est, slope*est+intercept)
+		}
+		probe := 1 + rng.Float64()*50
+		want := slope*probe + intercept
+		got := c.Adjust("e", probe)
+		return math.Abs(got-want) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package musqle implements the MuSQLE side system of D3.3 §5 / Appendix B:
+// multi-engine SQL execution with a location-aware dynamic-programming join
+// optimizer. Engines expose the paper's generic API — cost/statistics
+// estimation, load cost, statistics injection and execution — and the
+// optimizer keeps, for every connected join subgraph, the best plan per
+// engine location, inserting intermediate-result moves where beneficial.
+package musqle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/asap-project/ires/internal/sqldata"
+)
+
+// TableInfo is one catalog entry: the data itself plus its locations.
+type TableInfo struct {
+	Table *sqldata.Table
+	// Engines lists the engine names holding the table.
+	Engines []string
+	// RowsOverride, when positive, replaces the physical cardinality in
+	// catalog statistics — used to plan against scales too large to
+	// materialize in memory (the 20/50GB TPC-H experiments).
+	RowsOverride int
+	// DistinctOverride optionally replaces per-column distinct counts.
+	DistinctOverride map[string]int
+}
+
+// Catalog is MuSQLE's metastore: schema, statistics and table locations.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*TableInfo
+	// colOwner resolves an unqualified column to its table.
+	colOwner map[string]string
+	// distinct memoizes per-column distinct counts.
+	distinct map[string]int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:   make(map[string]*TableInfo),
+		colOwner: make(map[string]string),
+		distinct: make(map[string]int),
+	}
+}
+
+// AddTable registers a table resident on the given engines.
+func (c *Catalog) AddTable(t *sqldata.Table, engines ...string) error {
+	if t == nil || t.Name == "" {
+		return fmt.Errorf("musqle: nil or unnamed table")
+	}
+	if len(engines) == 0 {
+		return fmt.Errorf("musqle: table %s has no location", t.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, col := range t.Cols {
+		if owner, ok := c.colOwner[col]; ok && owner != t.Name {
+			return fmt.Errorf("musqle: column %s of %s collides with table %s", col, t.Name, owner)
+		}
+	}
+	c.tables[t.Name] = &TableInfo{Table: t, Engines: append([]string(nil), engines...)}
+	for _, col := range t.Cols {
+		c.colOwner[col] = t.Name
+	}
+	return nil
+}
+
+// Table returns a catalog entry.
+func (c *Catalog) Table(name string) (*TableInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ti, ok := c.tables[name]
+	return ti, ok
+}
+
+// Tables lists catalog table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OwnerOf resolves an unqualified column name to its table.
+func (c *Catalog) OwnerOf(col string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.colOwner[col]
+	return t, ok
+}
+
+// Rows returns a table's cardinality (0 for unknown tables), honouring any
+// statistics override.
+func (c *Catalog) Rows(table string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ti, ok := c.tables[table]; ok {
+		if ti.RowsOverride > 0 {
+			return ti.RowsOverride
+		}
+		return ti.Table.NumRows()
+	}
+	return 0
+}
+
+// Distinct returns the (memoized) distinct count of table.col, honouring
+// any statistics override.
+func (c *Catalog) Distinct(table, col string) int {
+	key := table + "." + col
+	c.mu.RLock()
+	if ti, ok := c.tables[table]; ok && ti.DistinctOverride != nil {
+		if v, ok2 := ti.DistinctOverride[col]; ok2 {
+			c.mu.RUnlock()
+			return v
+		}
+	}
+	if v, ok := c.distinct[key]; ok {
+		c.mu.RUnlock()
+		return v
+	}
+	ti, ok := c.tables[table]
+	c.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	v := ti.Table.DistinctCount(col)
+	c.mu.Lock()
+	c.distinct[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// SetStatsOverride installs synthetic statistics for a table — planning at
+// arbitrary scale factors without materializing the data. distinct may be
+// nil (physical distinct counts are then used).
+func (c *Catalog) SetStatsOverride(table string, rows int, distinct map[string]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ti, ok := c.tables[table]
+	if !ok {
+		return fmt.Errorf("musqle: unknown table %q", table)
+	}
+	ti.RowsOverride = rows
+	ti.DistinctOverride = distinct
+	return nil
+}
+
+// ScaleStatsTo multiplies every variable-size TPC-H table's statistics to
+// the given scale factor (region and nation stay fixed). Key-column
+// distinct counts scale with the table.
+func (c *Catalog) ScaleStatsTo(sf float64) error {
+	rowsAt := map[string]int{
+		"supplier": int(10_000 * sf), "customer": int(150_000 * sf),
+		"part": int(200_000 * sf), "partsupp": int(800_000 * sf),
+		"orders": int(1_500_000 * sf), "lineitem": int(6_000_000 * sf),
+	}
+	keyCols := map[string][]string{
+		"supplier": {"s_suppkey"}, "customer": {"c_custkey"},
+		"part": {"p_partkey"}, "partsupp": {"ps_partkey", "ps_suppkey"},
+		"orders": {"o_orderkey", "o_custkey"}, "lineitem": {"l_orderkey", "l_partkey", "l_suppkey"},
+	}
+	refRows := map[string]int{
+		"ps_partkey": int(200_000 * sf), "ps_suppkey": int(10_000 * sf),
+		"o_orderkey": int(1_500_000 * sf), "o_custkey": int(150_000 * sf),
+		"l_orderkey": int(1_500_000 * sf), "l_partkey": int(200_000 * sf), "l_suppkey": int(10_000 * sf),
+		"s_suppkey": int(10_000 * sf), "c_custkey": int(150_000 * sf), "p_partkey": int(200_000 * sf),
+	}
+	for table, rows := range rowsAt {
+		if rows < 2 {
+			rows = 2
+		}
+		distinct := make(map[string]int)
+		for _, col := range keyCols[table] {
+			d := refRows[col]
+			if d < 2 {
+				d = 2
+			}
+			if d > rows {
+				d = rows
+			}
+			distinct[col] = d
+		}
+		if err := c.SetStatsOverride(table, rows, distinct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadTPCH registers a generated TPC-H-like dataset with the paper's
+// placement (Fig 13): small legacy tables in PostgreSQL, medium tables in
+// MemSQL, large fact tables in HDFS/Spark.
+func (c *Catalog) LoadTPCH(tables map[string]*sqldata.Table) error {
+	placement := map[string]string{
+		"region": EnginePostgres, "nation": EnginePostgres, "customer": EnginePostgres,
+		"part": EngineMemSQL, "partsupp": EngineMemSQL, "supplier": EngineMemSQL,
+		"orders": EngineSpark, "lineitem": EngineSpark,
+	}
+	for _, name := range sqldata.TableNames() {
+		t, ok := tables[name]
+		if !ok {
+			return fmt.Errorf("musqle: missing table %s", name)
+		}
+		if err := c.AddTable(t, placement[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadTPCHEverywhere registers every table on all three engines (the
+// "tables stored in all engines" scenario of MuSQLE Fig 7).
+func (c *Catalog) LoadTPCHEverywhere(tables map[string]*sqldata.Table) error {
+	for _, name := range sqldata.TableNames() {
+		t, ok := tables[name]
+		if !ok {
+			return fmt.Errorf("musqle: missing table %s", name)
+		}
+		if err := c.AddTable(t, EnginePostgres, EngineMemSQL, EngineSpark); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package musqle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/asap-project/ires/internal/sqldata"
+)
+
+// GenerateQuery builds a random connected SPJ query over nTables tables of
+// the TPC-H join graph, with optional filters — the query workload of the
+// MuSQLE evaluation (18 join-only and join-filter queries over 2-7 tables).
+func GenerateQuery(cat *Catalog, nTables int, withFilters bool, seed int64) (*Query, error) {
+	fks := sqldata.ForeignKeys()
+	adj := make(map[string][]sqldata.ForeignKey)
+	for _, fk := range fks {
+		adj[fk.Table] = append(adj[fk.Table], fk)
+		adj[fk.RefTable] = append(adj[fk.RefTable], fk)
+	}
+	if nTables < 1 {
+		return nil, fmt.Errorf("musqle: nTables must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	starts := sqldata.TableNames()
+	q := &Query{}
+	in := make(map[string]bool)
+	add := func(t string) {
+		if !in[t] {
+			in[t] = true
+			q.Tables = append(q.Tables, t)
+		}
+	}
+	add(starts[rng.Intn(len(starts))])
+	for len(q.Tables) < nTables {
+		// Pick a random FK edge touching the current set and extending it.
+		var candidates []sqldata.ForeignKey
+		for t := range in {
+			for _, fk := range adj[t] {
+				other := fk.Table
+				if other == t {
+					other = fk.RefTable
+				}
+				if !in[other] {
+					candidates = append(candidates, fk)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("musqle: cannot grow query to %d tables from %v", nTables, q.Tables)
+		}
+		fk := candidates[rng.Intn(len(candidates))]
+		add(fk.Table)
+		add(fk.RefTable)
+		q.Joins = append(q.Joins, JoinPred{
+			LeftTable: fk.Table, LeftCol: fk.Col,
+			RightTable: fk.RefTable, RightCol: fk.RefCol,
+		})
+	}
+	if withFilters {
+		nf := 1 + rng.Intn(2)
+		filterable := map[string][2]interface{}{
+			"part":     {"p_retailprice", int64(150_000)},
+			"customer": {"c_acctbal", int64(500_000)},
+			"orders":   {"o_totalprice", int64(25_000_000)},
+			"lineitem": {"l_quantity", int64(25)},
+			"supplier": {"s_acctbal", int64(500_000)},
+			"nation":   {"n_name", int64(7)},
+		}
+		for t := range in {
+			if nf == 0 {
+				break
+			}
+			if spec, ok := filterable[t]; ok {
+				op := OpGt
+				if spec[0].(string) == "n_name" {
+					op = OpEq
+				}
+				q.Filters = append(q.Filters, Filter{
+					Table: t, Col: spec[0].(string), Op: op, Value: spec[1].(int64),
+				})
+				nf--
+			}
+		}
+	}
+	return q, nil
+}
+
+// Fig13Queries returns the three SPJ queries of the relational analytics
+// workflow (D3.3 Figure 10): q1 joins the small PostgreSQL-resident legacy
+// tables, q2 the medium MemSQL-resident tables, q3 the large HDFS-resident
+// fact tables.
+func Fig13Queries(cat *Catalog) ([]*Query, error) {
+	sqls := []string{
+		"SELECT c_custkey FROM customer, nation, region WHERE c_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 2",
+		"SELECT ps_partkey FROM part, partsupp WHERE p_partkey = ps_partkey AND p_retailprice > 150000",
+		"SELECT o_orderkey FROM orders, lineitem WHERE o_orderkey = l_orderkey AND l_quantity > 25",
+	}
+	out := make([]*Query, 0, len(sqls))
+	for _, s := range sqls {
+		q, err := Parse(s, cat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// QuerySet18 generates the evaluation's 18-query workload: queries Q0-Q8
+// are join-only, Q9-Q17 add filters, spanning 2-7 tables.
+func QuerySet18(cat *Catalog) ([]*Query, error) {
+	var out []*Query
+	for i := 0; i < 18; i++ {
+		n := 2 + i%6
+		q, err := GenerateQuery(cat, n, i >= 9, int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package nsga2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// schaffer is the classic single-variable bi-objective test problem
+// (f1 = x^2, f2 = (x-2)^2) with Pareto front x in [0,2].
+func schaffer() Problem {
+	return Problem{
+		Vars:       []Variable{{Min: -10, Max: 10}},
+		Objectives: 2,
+		Evaluate: func(x []float64) []float64 {
+			return []float64{x[0] * x[0], (x[0] - 2) * (x[0] - 2)}
+		},
+	}
+}
+
+func TestSchafferFront(t *testing.T) {
+	front, err := Run(schaffer(), Config{PopSize: 60, Generations: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 10 {
+		t.Fatalf("front too small: %d", len(front))
+	}
+	for _, ind := range front {
+		if ind.X[0] < -0.25 || ind.X[0] > 2.25 {
+			t.Errorf("front point x=%.3f far from true Pareto set [0,2]", ind.X[0])
+		}
+	}
+}
+
+func TestFrontMutuallyNonDominated(t *testing.T) {
+	front, err := Run(schaffer(), Config{PopSize: 40, Generations: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range front {
+		for j := range front {
+			if i != j && Dominates(front[i], front[j]) {
+				t.Fatalf("front member %d dominates member %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSingleObjectiveConvergence(t *testing.T) {
+	// Sphere function: minimum at (3, -1).
+	p := Problem{
+		Vars:       []Variable{{Min: -10, Max: 10}, {Min: -10, Max: 10}},
+		Objectives: 1,
+		Evaluate: func(x []float64) []float64 {
+			return []float64{(x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)}
+		},
+	}
+	front, err := Run(p, Config{PopSize: 40, Generations: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := front[0]
+	if best.F[0] > 0.05 {
+		t.Fatalf("did not converge: f=%.4f at %v", best.F[0], best.X)
+	}
+}
+
+func TestIntegerVariables(t *testing.T) {
+	// Minimise (n-7)^2 over integer n in [1,16].
+	p := Problem{
+		Vars:       []Variable{{Min: 1, Max: 16, Integer: true}},
+		Objectives: 1,
+		Evaluate: func(x []float64) []float64 {
+			if x[0] != math.Round(x[0]) {
+				t.Errorf("non-integer value passed to Evaluate: %v", x[0])
+			}
+			return []float64{(x[0] - 7) * (x[0] - 7)}
+		},
+	}
+	front, err := Run(p, Config{PopSize: 20, Generations: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front[0].X[0] != 7 {
+		t.Fatalf("integer optimum not found: %v", front[0].X)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a, err := Run(schaffer(), Config{PopSize: 30, Generations: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(schaffer(), Config{PopSize: 30, Generations: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("different front sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].X[0] != b[i].X[0] {
+			t.Fatal("non-deterministic result")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Problem{}, Config{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := Run(Problem{Vars: []Variable{{0, 1, false}}, Objectives: 1}, Config{}); err == nil {
+		t.Fatal("nil Evaluate accepted")
+	}
+	if _, err := Run(Problem{
+		Vars: []Variable{{Min: 5, Max: 1}}, Objectives: 1,
+		Evaluate: func(x []float64) []float64 { return []float64{0} },
+	}, Config{}); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Individual{F: []float64{1, 2}}
+	b := Individual{F: []float64{2, 3}}
+	c := Individual{F: []float64{1, 2}}
+	d := Individual{F: []float64{0, 5}}
+	if !Dominates(a, b) || Dominates(b, a) {
+		t.Fatal("basic domination wrong")
+	}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Fatal("equal points must not dominate")
+	}
+	if Dominates(a, d) || Dominates(d, a) {
+		t.Fatal("incomparable points must not dominate")
+	}
+}
+
+// Property: the NSGA-II front dominates (or matches) random search under
+// the same evaluation budget on a bi-objective problem.
+func TestQuickBeatsRandomSearch(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{PopSize: 24, Generations: 25, Seed: seed}
+		front, err := Run(schaffer(), cfg)
+		if err != nil || len(front) == 0 {
+			return false
+		}
+		// Random search with identical budget.
+		rng := rand.New(rand.NewSource(seed + 1))
+		budget := cfg.PopSize * (cfg.Generations + 1)
+		p := schaffer()
+		var randPts []Individual
+		for i := 0; i < budget; i++ {
+			x := []float64{p.Vars[0].Min + rng.Float64()*(p.Vars[0].Max-p.Vars[0].Min)}
+			randPts = append(randPts, Individual{X: x, F: p.Evaluate(x)})
+		}
+		// Compare hypervolume proxies: best f1+f2 sum.
+		bestGA, bestRS := math.Inf(1), math.Inf(1)
+		for _, ind := range front {
+			bestGA = math.Min(bestGA, ind.F[0]+ind.F[1])
+		}
+		for _, ind := range randPts {
+			bestRS = math.Min(bestRS, ind.F[0]+ind.F[1])
+		}
+		// The true minimum of f1+f2 is 2; GA must be close and not much
+		// worse than random search.
+		return bestGA < bestRS+0.5 && bestGA < 2.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package operator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/asap-project/ires/internal/metadata"
+)
+
+// Library is the IReS operator library: the store of materialized operators
+// and named datasets. Matching an abstract operator against the library is
+// accelerated by an index on highly selective metadata attributes — the
+// algorithm name — so only operators with the right algorithm are examined
+// by the full tree-matching pass (D3.3 §2.2.3).
+//
+// Library is safe for concurrent use.
+type Library struct {
+	mu          sync.RWMutex
+	ops         map[string]*Materialized
+	byAlgorithm map[string][]string // algorithm -> sorted operator names
+	datasets    map[string]*Dataset
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{
+		ops:         make(map[string]*Materialized),
+		byAlgorithm: make(map[string][]string),
+		datasets:    make(map[string]*Dataset),
+	}
+}
+
+// AddOperator registers a materialized operator. Re-registering a name
+// replaces the previous definition.
+func (l *Library) AddOperator(m *Materialized) error {
+	if m == nil {
+		return fmt.Errorf("library: nil operator")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old, ok := l.ops[m.Name]; ok {
+		l.removeFromIndexLocked(old)
+	}
+	l.ops[m.Name] = m
+	alg := m.Algorithm()
+	names := l.byAlgorithm[alg]
+	i := sort.SearchStrings(names, m.Name)
+	if i == len(names) || names[i] != m.Name {
+		names = append(names, "")
+		copy(names[i+1:], names[i:])
+		names[i] = m.Name
+		l.byAlgorithm[alg] = names
+	}
+	return nil
+}
+
+// AddOperatorDescription parses a description string and registers the
+// resulting operator under the given name.
+func (l *Library) AddOperatorDescription(name, description string) (*Materialized, error) {
+	meta, err := metadata.ParseString(description)
+	if err != nil {
+		return nil, fmt.Errorf("library: operator %s: %w", name, err)
+	}
+	m, err := NewMaterialized(name, meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.AddOperator(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RemoveOperator deletes an operator by name; it reports whether the
+// operator existed.
+func (l *Library) RemoveOperator(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m, ok := l.ops[name]
+	if !ok {
+		return false
+	}
+	delete(l.ops, name)
+	l.removeFromIndexLocked(m)
+	return true
+}
+
+func (l *Library) removeFromIndexLocked(m *Materialized) {
+	alg := m.Algorithm()
+	names := l.byAlgorithm[alg]
+	i := sort.SearchStrings(names, m.Name)
+	if i < len(names) && names[i] == m.Name {
+		l.byAlgorithm[alg] = append(names[:i], names[i+1:]...)
+	}
+}
+
+// Operator returns a registered operator by name.
+func (l *Library) Operator(name string) (*Materialized, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	m, ok := l.ops[name]
+	return m, ok
+}
+
+// Operators returns all registered operators sorted by name.
+func (l *Library) Operators() []*Materialized {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	names := make([]string, 0, len(l.ops))
+	for n := range l.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Materialized, len(names))
+	for i, n := range names {
+		out[i] = l.ops[n]
+	}
+	return out
+}
+
+// FindMaterialized returns all materialized operators matching the abstract
+// operator, in deterministic (name) order. When the abstract operator
+// declares an algorithm, only the indexed candidates are tree-matched.
+func (l *Library) FindMaterialized(a *Abstract) []*Materialized {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var candidates []string
+	if alg := a.Algorithm(); alg != "" && alg != metadata.Wildcard {
+		candidates = l.byAlgorithm[alg]
+	} else {
+		candidates = make([]string, 0, len(l.ops))
+		for n := range l.ops {
+			candidates = append(candidates, n)
+		}
+		sort.Strings(candidates)
+	}
+	var out []*Materialized
+	for _, name := range candidates {
+		m := l.ops[name]
+		if m.MatchesAbstract(a) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AddDataset registers a named dataset description.
+func (l *Library) AddDataset(d *Dataset) error {
+	if d == nil {
+		return fmt.Errorf("library: nil dataset")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.datasets[d.Name] = d
+	return nil
+}
+
+// AddDatasetDescription parses a dataset description string and registers it.
+func (l *Library) AddDatasetDescription(name, description string) (*Dataset, error) {
+	meta, err := metadata.ParseString(description)
+	if err != nil {
+		return nil, fmt.Errorf("library: dataset %s: %w", name, err)
+	}
+	d := NewDataset(name, meta)
+	if err := l.AddDataset(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Dataset returns a registered dataset by name.
+func (l *Library) Dataset(name string) (*Dataset, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	d, ok := l.datasets[name]
+	return d, ok
+}
+
+// Datasets returns all registered datasets sorted by name.
+func (l *Library) Datasets() []*Dataset {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	names := make([]string, 0, len(l.datasets))
+	for n := range l.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Dataset, len(names))
+	for i, n := range names {
+		out[i] = l.datasets[n]
+	}
+	return out
+}
+
+// Len reports the number of registered operators.
+func (l *Library) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.ops)
+}

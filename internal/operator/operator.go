@@ -1,0 +1,205 @@
+// Package operator defines the execution artefacts of IReS: datasets,
+// abstract operators, materialized operators, and the operator library that
+// stores materialized implementations together with a selective-attribute
+// index used by the planner's matching phase (D3.3 §2.1, §2.2.3).
+package operator
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/asap-project/ires/internal/metadata"
+)
+
+// Well-known metadata paths used across the platform. These mirror the
+// description files of D3.3 §3.
+const (
+	PathEngine        = "Constraints.Engine"
+	PathEngineFS      = "Constraints.Engine.FS"
+	PathAlgorithm     = "Constraints.OpSpecification.Algorithm.name"
+	PathInputNumber   = "Constraints.Input.number"
+	PathOutputNumber  = "Constraints.Output.number"
+	PathExecutionPath = "Execution.path"
+	PathDocuments     = "Optimization.documents"
+	PathSize          = "Optimization.size"
+	PathType          = "Constraints.type"
+)
+
+// Dataset describes a dataset node. A dataset is materialized when it has
+// concrete execution information (a path) and existing metadata; abstract
+// datasets (intermediate results in a workflow) carry no execution info.
+type Dataset struct {
+	Name string
+	Meta *metadata.Tree
+}
+
+// NewDataset builds a dataset from its description tree. A nil tree is
+// replaced by an empty one.
+func NewDataset(name string, meta *metadata.Tree) *Dataset {
+	if meta == nil {
+		meta = metadata.New()
+	}
+	return &Dataset{Name: name, Meta: meta}
+}
+
+// IsMaterialized reports whether the dataset refers to existing data
+// (carries an Execution.path).
+func (d *Dataset) IsMaterialized() bool {
+	if d == nil || d.Meta == nil {
+		return false
+	}
+	v, ok := d.Meta.Get(PathExecutionPath)
+	return ok && v != ""
+}
+
+// SizeBytes returns the Optimization.size field (bytes), or 0 when unknown.
+func (d *Dataset) SizeBytes() int64 {
+	if d == nil || d.Meta == nil {
+		return 0
+	}
+	v, _ := d.Meta.Get(PathSize)
+	n, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0
+	}
+	return int64(n)
+}
+
+// Records returns the record count of the dataset: Optimization.documents,
+// falling back to Optimization.count, or 0 when unknown.
+func (d *Dataset) Records() int64 {
+	if d == nil || d.Meta == nil {
+		return 0
+	}
+	for _, p := range []string{PathDocuments, "Optimization.count"} {
+		if v, ok := d.Meta.Get(p); ok {
+			if n, err := strconv.ParseFloat(v, 64); err == nil {
+				return int64(n)
+			}
+		}
+	}
+	return 0
+}
+
+// Constraints returns the dataset's Constraints subtree (possibly nil).
+func (d *Dataset) Constraints() *metadata.Tree {
+	if d == nil || d.Meta == nil {
+		return nil
+	}
+	return d.Meta.Node("Constraints")
+}
+
+// Abstract is an operator as it appears in an abstract workflow: a
+// functionality contract (algorithm name, arity) that materialized
+// implementations must satisfy.
+type Abstract struct {
+	Name string
+	Meta *metadata.Tree
+}
+
+// NewAbstract builds an abstract operator from its description tree.
+func NewAbstract(name string, meta *metadata.Tree) *Abstract {
+	if meta == nil {
+		meta = metadata.New()
+	}
+	return &Abstract{Name: name, Meta: meta}
+}
+
+// Algorithm returns the declared algorithm name ("" when unconstrained).
+func (a *Abstract) Algorithm() string { return a.Meta.GetDefault(PathAlgorithm, "") }
+
+// Inputs returns the declared input arity (defaults to 1).
+func (a *Abstract) Inputs() int { return atoiDefault(a.Meta, PathInputNumber, 1) }
+
+// Outputs returns the declared output arity (defaults to 1).
+func (a *Abstract) Outputs() int { return atoiDefault(a.Meta, PathOutputNumber, 1) }
+
+// Materialized is a concrete operator implementation bound to an engine,
+// stored in the operator library.
+type Materialized struct {
+	Name string
+	Meta *metadata.Tree
+}
+
+// NewMaterialized builds a materialized operator from its description.
+func NewMaterialized(name string, meta *metadata.Tree) (*Materialized, error) {
+	if meta == nil {
+		return nil, fmt.Errorf("operator %s: nil metadata", name)
+	}
+	m := &Materialized{Name: name, Meta: meta}
+	if m.Engine() == "" {
+		return nil, fmt.Errorf("operator %s: missing compulsory field %s", name, PathEngine)
+	}
+	if m.Algorithm() == "" {
+		return nil, fmt.Errorf("operator %s: missing compulsory field %s", name, PathAlgorithm)
+	}
+	return m, nil
+}
+
+// Engine returns the engine the implementation runs on.
+func (m *Materialized) Engine() string { return m.Meta.GetDefault(PathEngine, "") }
+
+// Algorithm returns the implemented algorithm name.
+func (m *Materialized) Algorithm() string { return m.Meta.GetDefault(PathAlgorithm, "") }
+
+// Inputs returns the input arity.
+func (m *Materialized) Inputs() int { return atoiDefault(m.Meta, PathInputNumber, 1) }
+
+// Outputs returns the output arity.
+func (m *Materialized) Outputs() int { return atoiDefault(m.Meta, PathOutputNumber, 1) }
+
+// InputConstraint returns the constraints subtree for input i
+// (Constraints.Input<i>), or nil when the operator accepts anything.
+func (m *Materialized) InputConstraint(i int) *metadata.Tree {
+	return m.Meta.Node(fmt.Sprintf("Constraints.Input%d", i))
+}
+
+// OutputSpec returns the specification subtree for output i
+// (Constraints.Output<i>), or nil when unspecified.
+func (m *Materialized) OutputSpec(i int) *metadata.Tree {
+	return m.Meta.Node(fmt.Sprintf("Constraints.Output%d", i))
+}
+
+// MatchesAbstract reports whether this implementation satisfies the abstract
+// operator's constraints (tree matching, D3.3 §2.1).
+func (m *Materialized) MatchesAbstract(a *Abstract) bool {
+	return metadata.Matches(a.Meta.Node("Constraints"), m.Meta.Node("Constraints"))
+}
+
+// AcceptsInput reports whether the given dataset constraints satisfy the
+// operator's input-i requirements.
+func (m *Materialized) AcceptsInput(i int, datasetConstraints *metadata.Tree) bool {
+	req := m.InputConstraint(i)
+	if req == nil {
+		return true
+	}
+	return metadata.Matches(req, datasetConstraints)
+}
+
+// Params returns the operator-specific execution parameters declared under
+// Optimization.param.* (e.g. Optimization.param.k=8), parsed as floats.
+func (m *Materialized) Params() map[string]float64 {
+	out := make(map[string]float64)
+	node := m.Meta.Node("Optimization.param")
+	if node == nil {
+		return out
+	}
+	for _, name := range node.Children() {
+		if v, err := strconv.ParseFloat(node.Child(name).Value(), 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+func atoiDefault(t *metadata.Tree, path string, def int) int {
+	v, ok := t.Get(path)
+	if !ok || v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,274 @@
+// Package pegasus generates synthetic scientific workflow DAGs following
+// the five Pegasus workflow categories of Bharathi et al. 2008 — Montage,
+// CyberShake, Epigenomics, Inspiral and Sipht — which D3.3 §4.2 uses to
+// benchmark the IReS planner on graphs of 30 to 1000 nodes. The generators
+// reproduce each category's structural signature (Montage's high in/out
+// degrees, Epigenomics' parallel pipelines, Sipht's wide aggregation, ...),
+// which is what drives planner cost.
+package pegasus
+
+import (
+	"fmt"
+
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// Category enumerates the five Pegasus workflow families.
+type Category string
+
+// The five workflow categories of the Pegasus generator.
+const (
+	Montage     Category = "Montage"
+	CyberShake  Category = "CyberShake"
+	Epigenomics Category = "Epigenomics"
+	Inspiral    Category = "Inspiral"
+	Sipht       Category = "Sipht"
+)
+
+// Categories lists all families in presentation order.
+func Categories() []Category {
+	return []Category{Montage, CyberShake, Epigenomics, Inspiral, Sipht}
+}
+
+// Generate builds a workflow of approximately size operator nodes in the
+// given category. The returned graph validates and has every source dataset
+// materialized with plausible sizes.
+func Generate(cat Category, size int) (*workflow.Graph, error) {
+	if size < 6 {
+		return nil, fmt.Errorf("pegasus: size %d too small (min 6)", size)
+	}
+	b := newBuilder()
+	switch cat {
+	case Montage:
+		b.montage(size)
+	case CyberShake:
+		b.cyberShake(size)
+	case Epigenomics:
+		b.epigenomics(size)
+	case Inspiral:
+		b.inspiral(size)
+	case Sipht:
+		b.sipht(size)
+	default:
+		return nil, fmt.Errorf("pegasus: unknown category %q", cat)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("pegasus: generated %s graph invalid: %w", cat, err)
+	}
+	return b.g, nil
+}
+
+// Algorithms returns the distinct abstract algorithm names of a generated
+// graph, in first-use order. Experiment harnesses register m materialized
+// implementations for each.
+func Algorithms(g *workflow.Graph) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, n := range g.Operators() {
+		alg := n.Operator.Algorithm()
+		if !seen[alg] {
+			seen[alg] = true
+			out = append(out, alg)
+		}
+	}
+	return out
+}
+
+type builder struct {
+	g    *workflow.Graph
+	seq  int
+	err  error
+	ops  int
+	last string
+}
+
+func newBuilder() *builder {
+	return &builder{g: workflow.NewGraph()}
+}
+
+func (b *builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// source adds a materialized input dataset.
+func (b *builder) source(name string) string {
+	d := operator.NewDataset(name, metadata.MustParse(
+		"Execution.path=/pegasus/"+name+
+			"\nConstraints.Engine.FS=HDFS"+
+			"\nOptimization.documents=100000"+
+			"\nOptimization.size=100000000"))
+	if _, err := b.g.AddDataset(name, d); err != nil {
+		b.fail(err)
+	}
+	return name
+}
+
+// op adds one abstract operator consuming the named datasets and returns
+// its (fresh) output dataset name.
+func (b *builder) op(alg string, inputs ...string) string {
+	b.seq++
+	b.ops++
+	opName := fmt.Sprintf("%s_%d", alg, b.seq)
+	a := operator.NewAbstract(opName, metadata.MustParse(
+		"Constraints.OpSpecification.Algorithm.name="+alg))
+	if _, err := b.g.AddOperator(opName, a); err != nil {
+		b.fail(err)
+		return ""
+	}
+	out := "d_" + opName
+	if _, err := b.g.AddDataset(out, nil); err != nil {
+		b.fail(err)
+		return ""
+	}
+	for _, in := range inputs {
+		if err := b.g.Connect(in, opName); err != nil {
+			b.fail(err)
+		}
+	}
+	if err := b.g.Connect(opName, out); err != nil {
+		b.fail(err)
+	}
+	b.last = out
+	return out
+}
+
+func (b *builder) target(ds string) {
+	if err := b.g.SetTarget(ds); err != nil {
+		b.fail(err)
+	}
+}
+
+// montage: w parallel mProject, w mDiffFit each reading two neighbouring
+// projections (the high-connectivity signature), a global mConcatFit and
+// mBgModel, w parallel mBackground reading the model plus a projection,
+// then mImgtbl/mAdd/mShrink/mJPEG aggregation. ~3w+6 operators.
+func (b *builder) montage(size int) {
+	w := (size - 6) / 3
+	if w < 2 {
+		w = 2
+	}
+	src := b.source("raw_images")
+	proj := make([]string, w)
+	for i := range proj {
+		proj[i] = b.op("mProject", src)
+	}
+	diff := make([]string, w)
+	for i := range diff {
+		diff[i] = b.op("mDiffFit", proj[i], proj[(i+1)%w])
+	}
+	concat := b.op("mConcatFit", diff...)
+	model := b.op("mBgModel", concat)
+	bg := make([]string, w)
+	for i := range bg {
+		bg[i] = b.op("mBackground", model, proj[i])
+	}
+	tbl := b.op("mImgtbl", bg...)
+	add := b.op("mAdd", tbl)
+	shrink := b.op("mShrink", add)
+	b.target(b.op("mJPEG", shrink))
+}
+
+// cyberShake: w ExtractSGT, w SeismogramSynthesis (one per extraction plus
+// a shared rupture input), w PeakValCalc, two Zip aggregators. ~3w+2.
+func (b *builder) cyberShake(size int) {
+	w := (size - 2) / 3
+	if w < 2 {
+		w = 2
+	}
+	sgt := b.source("sgt_variations")
+	rupture := b.source("ruptures")
+	synthOuts := make([]string, w)
+	peakOuts := make([]string, w)
+	for i := 0; i < w; i++ {
+		ex := b.op("ExtractSGT", sgt)
+		synthOuts[i] = b.op("SeismogramSynthesis", ex, rupture)
+		peakOuts[i] = b.op("PeakValCalc", synthOuts[i])
+	}
+	b.op("ZipSeis", synthOuts...)
+	b.target(b.op("ZipPSA", peakOuts...))
+}
+
+// epigenomics: p parallel 4-stage pipelines between a splitter and a merge,
+// followed by a 3-stage tail. ~4p+4.
+func (b *builder) epigenomics(size int) {
+	p := (size - 4) / 4
+	if p < 2 {
+		p = 2
+	}
+	src := b.source("dna_reads")
+	split := b.op("fastQSplit", src)
+	mapped := make([]string, p)
+	for i := 0; i < p; i++ {
+		f := b.op("filterContams", split)
+		s := b.op("sol2sanger", f)
+		q := b.op("fastq2bfq", s)
+		mapped[i] = b.op("map", q)
+	}
+	merge := b.op("mapMerge", mapped...)
+	index := b.op("maqIndex", merge)
+	b.target(b.op("pileup", index))
+}
+
+// inspiral: w TmpltBank, w Inspiral, grouped Thinca (w/5 groups), grouped
+// TrigBank. ~2w + 2*ceil(w/5).
+func (b *builder) inspiral(size int) {
+	w := size * 5 / 12
+	if w < 2 {
+		w = 2
+	}
+	src := b.source("gw_frames")
+	insp := make([]string, w)
+	for i := 0; i < w; i++ {
+		bank := b.op("TmpltBank", src)
+		insp[i] = b.op("Inspiral", bank)
+	}
+	groups := (w + 4) / 5
+	thincas := make([]string, groups)
+	for gi := 0; gi < groups; gi++ {
+		lo, hi := gi*5, (gi+1)*5
+		if hi > w {
+			hi = w
+		}
+		thincas[gi] = b.op("Thinca", insp[lo:hi]...)
+	}
+	trigs := make([]string, groups)
+	for gi := range thincas {
+		trigs[gi] = b.op("TrigBank", thincas[gi])
+	}
+	b.target(b.op("Thinca2", trigs...))
+}
+
+// sipht: a wide flat patser layer aggregated by a concat, a handful of
+// parallel analyses over the genome, and a final annotate gathering
+// everything. ~w+9.
+func (b *builder) sipht(size int) {
+	w := size - 9
+	if w < 2 {
+		w = 2
+	}
+	genome := b.source("genome")
+	pats := make([]string, w)
+	for i := 0; i < w; i++ {
+		pats[i] = b.op("Patser", genome)
+	}
+	concat := b.op("PatserConcat", pats...)
+	trans := b.op("Transterm", genome)
+	find := b.op("Findterm", genome)
+	motif := b.op("RNAMotif", genome)
+	blast := b.op("Blast", genome)
+	srna := b.op("SRNA", trans, find, motif, blast)
+	ffn := b.op("FFNParse", srna)
+	synteny := b.op("BlastSynteny", srna)
+	para := b.op("BlastParalogues", srna)
+	b.target(b.op("SRNAAnnotate", concat, ffn, synteny, para))
+}
+
+// OperatorCount reports the number of operator nodes in a graph.
+func OperatorCount(g *workflow.Graph) int { return len(g.Operators()) }

@@ -1,0 +1,103 @@
+package pegasus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateAllCategories(t *testing.T) {
+	for _, cat := range Categories() {
+		for _, size := range []int{30, 100, 500, 1000} {
+			g, err := Generate(cat, size)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", cat, size, err)
+			}
+			ops := OperatorCount(g)
+			lo, hi := size*70/100, size*130/100
+			if ops < lo || ops > hi {
+				t.Errorf("%s/%d: %d operators outside [%d,%d]", cat, size, ops, lo, hi)
+			}
+			if _, err := g.Topological(); err != nil {
+				t.Errorf("%s/%d: %v", cat, size, err)
+			}
+			if len(Algorithms(g)) < 3 {
+				t.Errorf("%s/%d: too few distinct algorithms", cat, size)
+			}
+		}
+	}
+}
+
+func TestMontageIsMostConnected(t *testing.T) {
+	// The Montage signature: some operator has in-degree proportional to
+	// the parallel width (mConcatFit reads every mDiffFit output).
+	g, err := Generate(Montage, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIn := 0
+	for _, n := range g.Operators() {
+		if len(n.Inputs) > maxIn {
+			maxIn = len(n.Inputs)
+		}
+	}
+	if maxIn < 20 {
+		t.Errorf("Montage max in-degree = %d, want >= 20 at size 100", maxIn)
+	}
+
+	// Epigenomics pipelines are chains: the dominant in-degree is 1 except
+	// the merge.
+	ge, err := Generate(Epigenomics, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainOps := 0
+	for _, n := range ge.Operators() {
+		if len(n.Inputs) == 1 {
+			chainOps++
+		}
+	}
+	if chainOps < OperatorCount(ge)*8/10 {
+		t.Errorf("Epigenomics: only %d/%d single-input ops", chainOps, OperatorCount(ge))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Montage, 2); err == nil {
+		t.Fatal("tiny size accepted")
+	}
+	if _, err := Generate(Category("Nope"), 100); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(Sipht, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Sipht, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DOT() != b.DOT() {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+// Property: every generated graph is a valid workflow with a reachable
+// target across random categories and sizes.
+func TestQuickValidWorkflows(t *testing.T) {
+	cats := Categories()
+	f := func(seed int64) bool {
+		cat := cats[int(uint64(seed)%uint64(len(cats)))]
+		size := 20 + int(uint64(seed>>8)%500)
+		g, err := Generate(cat, size)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

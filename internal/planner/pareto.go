@@ -1,0 +1,413 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// matOp aliases the library's materialized operator type.
+type matOp = operator.Materialized
+
+// Pareto-frontier planning — the multi-objective extension the paper lists
+// as work-in-progress ("finding Pareto frontier execution plans",
+// D3.3 §2.2.3). Instead of folding (time, cost) into a scalar objective,
+// the dynamic program keeps, per dataset tag, the set of mutually
+// non-dominated (time, cost) plans, pruned to a bounded front size. The
+// result is a set of materialized plans the user picks from.
+
+// MaxFrontPerTag bounds the number of non-dominated entries kept per
+// dataset tag; larger values trade planning time for front resolution.
+const MaxFrontPerTag = 16
+
+type pVec struct {
+	time  float64
+	money float64
+}
+
+func (a pVec) dominates(b pVec) bool {
+	return a.time <= b.time && a.money <= b.money && (a.time < b.time || a.money < b.money)
+}
+
+// pEntry is one non-dominated dpTable record.
+type pEntry struct {
+	meta    *metadata.Tree
+	records int64
+	bytes   int64
+	v       pVec
+
+	source   string
+	cand     *pCandidate
+	outIndex int
+}
+
+// pChoice is one resolved input of a candidate.
+type pChoice struct {
+	entry    *pEntry
+	moved    bool
+	moveTime float64
+	moveCost float64
+	moveMeta *metadata.Tree
+}
+
+// pCandidate is a materialized operator with one specific combination of
+// input entries.
+type pCandidate struct {
+	node    *workflow.Node
+	mo      *matOp
+	res     Resources
+	params  map[string]float64
+	inputs  []pChoice
+	opTime  float64
+	opMoney float64
+
+	inRecords, inBytes   int64
+	outRecords, outBytes int64
+}
+
+// ParetoPlans runs the multi-objective DP and returns the Pareto front of
+// materialized plans, sorted by ascending estimated time (descending cost).
+func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
+	started := time.Now()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	dp := make(map[*workflow.Node]map[string][]*pEntry)
+	insert := func(n *workflow.Node, e *pEntry) {
+		key := e.meta.String()
+		m := dp[n]
+		if m == nil {
+			m = make(map[string][]*pEntry)
+			dp[n] = m
+		}
+		m[key] = pruneFront(append(m[key], e))
+	}
+
+	for _, d := range g.Datasets() {
+		if d.Dataset.IsMaterialized() {
+			meta := d.Dataset.Constraints()
+			if meta == nil {
+				meta = metadata.New()
+			}
+			insert(d, &pEntry{
+				meta:    meta.Clone(),
+				records: d.Dataset.Records(),
+				bytes:   d.Dataset.SizeBytes(),
+				source:  d.Name,
+			})
+		}
+	}
+
+	ops, err := g.OperatorsTopological()
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range ops {
+		for _, mo := range p.cfg.Library.FindMaterialized(o.Operator) {
+			if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
+				continue
+			}
+			for _, cand := range p.paretoCandidates(o, mo, dp) {
+				total := cand.pathVec()
+				for idx, out := range o.Outputs {
+					outMeta := mo.OutputSpec(idx)
+					if outMeta == nil {
+						outMeta = metadata.New()
+						outMeta.Set("Engine", mo.Engine())
+					}
+					insert(out, &pEntry{
+						meta:     outMeta.Clone(),
+						records:  cand.outRecords,
+						bytes:    cand.outBytes,
+						v:        total,
+						cand:     cand,
+						outIndex: idx,
+					})
+				}
+			}
+		}
+	}
+
+	targetNode, _ := g.Node(g.Target)
+	var front []*pEntry
+	for _, key := range sortedPKeys(dp[targetNode]) {
+		front = append(front, dp[targetNode][key]...)
+	}
+	front = pruneFront(front)
+	if len(front) == 0 {
+		return nil, fmt.Errorf("%w: target %s unreachable", ErrNoPlan, g.Target)
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].v.time != front[j].v.time {
+			return front[i].v.time < front[j].v.time
+		}
+		return front[i].v.money < front[j].v.money
+	})
+
+	plans := make([]*Plan, 0, len(front))
+	for _, e := range front {
+		plan := p.extractPareto(g, e)
+		plan.PlanningTime = time.Since(started)
+		plans = append(plans, plan)
+	}
+	return plans, nil
+}
+
+// paretoCandidates enumerates the non-dominated input combinations for one
+// materialized operator, capped at MaxFrontPerTag combinations.
+func (p *Planner) paretoCandidates(o *workflow.Node, mo *matOp, dp map[*workflow.Node]map[string][]*pEntry) []*pCandidate {
+	partials := []pPartial{{}}
+	for i, in := range o.Inputs {
+		var options []pChoice
+		var optionVec []pVec
+		for _, key := range sortedPKeys(dp[in]) {
+			for _, tin := range dp[in][key] {
+				if mo.AcceptsInput(i, tin.meta) {
+					options = append(options, pChoice{entry: tin})
+					optionVec = append(optionVec, tin.v)
+				} else {
+					moveSec := p.cfg.MoveSeconds(tin.bytes)
+					moveCost := moveSec * p.cfg.MoveCostRate
+					options = append(options, pChoice{
+						entry: tin, moved: true,
+						moveTime: moveSec, moveCost: moveCost,
+						moveMeta: movedMeta(tin.meta, mo.InputConstraint(i)),
+					})
+					optionVec = append(optionVec, pVec{tin.v.time + moveSec, tin.v.money + moveCost})
+				}
+			}
+		}
+		if len(options) == 0 {
+			return nil
+		}
+		var next []pPartial
+		for _, pt := range partials {
+			for oi, opt := range options {
+				next = append(next, pPartial{
+					inputs:  append(append([]pChoice(nil), pt.inputs...), opt),
+					v:       pVec{pt.v.time + optionVec[oi].time, pt.v.money + optionVec[oi].money},
+					records: pt.records + opt.entry.records,
+					bytes:   pt.bytes + opt.entry.bytes,
+				})
+			}
+		}
+		partials = prunePartials(next)
+	}
+
+	var out []*pCandidate
+	for _, pt := range partials {
+		res := p.cfg.Resources(mo, pt.records, pt.bytes)
+		params := mo.Params()
+		feats := map[string]float64{
+			"records":  float64(pt.records),
+			"bytes":    float64(pt.bytes),
+			"nodes":    float64(res.Nodes),
+			"cores":    float64(res.CoresPerN),
+			"memoryMB": float64(res.MemMBPerN),
+		}
+		for k, v := range params {
+			feats[k] = v
+		}
+		t, ok := p.cfg.Estimator.Estimate(mo.Name, targetExecTime, feats)
+		if !ok {
+			continue
+		}
+		c, ok := p.cfg.Estimator.Estimate(mo.Name, targetCost, feats)
+		if !ok {
+			continue
+		}
+		cand := &pCandidate{
+			node: o, mo: mo, res: res, params: params,
+			inputs: pt.inputs, opTime: t, opMoney: c,
+			inRecords: pt.records, inBytes: pt.bytes,
+		}
+		if v, ok := p.cfg.Estimator.Estimate(mo.Name, targetOutRecords, feats); ok && v > 0 {
+			cand.outRecords = int64(v)
+		} else {
+			cand.outRecords = pt.records
+		}
+		if v, ok := p.cfg.Estimator.Estimate(mo.Name, targetOutBytes, feats); ok && v > 0 {
+			cand.outBytes = int64(v)
+		} else {
+			cand.outBytes = pt.bytes
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+func (c *pCandidate) pathVec() pVec {
+	v := pVec{c.opTime, c.opMoney}
+	for _, in := range c.inputs {
+		v.time += in.entry.v.time
+		v.money += in.entry.v.money
+		if in.moved {
+			v.time += in.moveTime
+			v.money += in.moveCost
+		}
+	}
+	return v
+}
+
+// pruneFront removes dominated entries and thins the survivors to
+// MaxFrontPerTag by keeping time-extremes and evenly spaced members.
+func pruneFront(entries []*pEntry) []*pEntry {
+	var nd []*pEntry
+	for i, e := range entries {
+		dominated := false
+		for j, other := range entries {
+			if i == j {
+				continue
+			}
+			if other.v.dominates(e.v) || (other.v == e.v && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			nd = append(nd, e)
+		}
+	}
+	if len(nd) <= MaxFrontPerTag {
+		return nd
+	}
+	sort.Slice(nd, func(i, j int) bool { return nd[i].v.time < nd[j].v.time })
+	out := make([]*pEntry, 0, MaxFrontPerTag)
+	step := float64(len(nd)-1) / float64(MaxFrontPerTag-1)
+	for i := 0; i < MaxFrontPerTag; i++ {
+		out = append(out, nd[int(float64(i)*step)])
+	}
+	return out
+}
+
+// pPartial accumulates resolved input choices while combining input slots.
+type pPartial struct {
+	inputs  []pChoice
+	v       pVec
+	records int64
+	bytes   int64
+}
+
+// prunePartials removes dominated input combinations and caps the set.
+func prunePartials(parts []pPartial) []pPartial {
+	var nd []pPartial
+	for i, e := range parts {
+		dominated := false
+		for j, other := range parts {
+			if i == j {
+				continue
+			}
+			if other.v.dominates(e.v) || (other.v == e.v && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			nd = append(nd, e)
+		}
+	}
+	if len(nd) <= MaxFrontPerTag {
+		return nd
+	}
+	sort.Slice(nd, func(i, j int) bool { return nd[i].v.time < nd[j].v.time })
+	out := make([]pPartial, 0, MaxFrontPerTag)
+	step := float64(len(nd)-1) / float64(MaxFrontPerTag-1)
+	for i := 0; i < MaxFrontPerTag; i++ {
+		out = append(out, nd[int(float64(i)*step)])
+	}
+	return out
+}
+
+func sortedPKeys(m map[string][]*pEntry) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// extractPareto backtracks one front entry into a Plan.
+func (p *Planner) extractPareto(g *workflow.Graph, best *pEntry) *Plan {
+	plan := &Plan{Target: g.Target}
+	candSteps := make(map[*pCandidate]*Step)
+	var build func(e *pEntry) (int, bool)
+	build = func(e *pEntry) (int, bool) {
+		if e.cand == nil {
+			return -1, false
+		}
+		if s, ok := candSteps[e.cand]; ok {
+			return s.ID, true
+		}
+		c := e.cand
+		step := &Step{
+			Kind:         StepOperator,
+			Name:         c.node.Name + "/" + c.mo.Name,
+			WorkflowNode: c.node.Name,
+			Op:           c.mo,
+			Engine:       c.mo.Engine(),
+			Algorithm:    c.mo.Algorithm(),
+			Res:          c.res,
+			Params:       c.params,
+			InRecords:    c.inRecords,
+			InBytes:      c.inBytes,
+			OutRecords:   c.outRecords,
+			OutBytes:     c.outBytes,
+			EstTimeSec:   c.opTime,
+			EstCost:      c.opMoney,
+		}
+		if len(c.node.Outputs) > 0 {
+			step.OutDataset = c.node.Outputs[0].Name
+			if om := c.mo.OutputSpec(0); om != nil {
+				step.OutMeta = om.Clone()
+			}
+		}
+		for _, in := range c.inputs {
+			depID, isStep := build(in.entry)
+			producerID := depID
+			if in.moved {
+				mv := &Step{
+					Kind:       StepMove,
+					Name:       fmt.Sprintf("move->%s", c.node.Name),
+					Engine:     "move",
+					Algorithm:  "move",
+					InRecords:  in.entry.records,
+					InBytes:    in.entry.bytes,
+					OutRecords: in.entry.records,
+					OutBytes:   in.entry.bytes,
+					EstTimeSec: in.moveTime,
+					EstCost:    in.moveCost,
+					OutMeta:    in.moveMeta,
+				}
+				if isStep {
+					mv.DependsOn = append(mv.DependsOn, depID)
+				} else if in.entry.source != "" {
+					mv.SourceInputs = append(mv.SourceInputs, in.entry.source)
+				}
+				mv.ID = len(plan.Steps)
+				plan.Steps = append(plan.Steps, mv)
+				producerID = mv.ID
+				isStep = true
+			}
+			if isStep {
+				step.DependsOn = append(step.DependsOn, producerID)
+			} else if in.entry.source != "" {
+				step.SourceInputs = append(step.SourceInputs, in.entry.source)
+			}
+		}
+		step.ID = len(plan.Steps)
+		plan.Steps = append(plan.Steps, step)
+		candSteps[c] = step
+		return step.ID, true
+	}
+	build(best)
+	plan.EstTimeSec = best.v.time
+	plan.EstCost = best.v.money
+	plan.EstObjective = best.v.time
+	return plan
+}

@@ -1,0 +1,542 @@
+// Package planner implements the IReS multi-engine workflow planner
+// (D3.3 §2.2.3, Algorithm 1): a dynamic program over the abstract workflow's
+// topological order that, for every intermediate dataset, keeps the cheapest
+// plan per distinct dataset tag (location/format), inserting move/transform
+// operators between engines where input/output specifications disagree.
+//
+// Worst-case complexity is O(op * m^2 * k) for op abstract operators, m
+// materialized matches per operator and k inputs per operator, as derived in
+// the paper.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// ErrNoPlan indicates no feasible materialized execution plan exists (no
+// matching operators, all engines down, or every configuration infeasible).
+var ErrNoPlan = errors.New("planner: no feasible execution plan")
+
+// Estimator supplies per-operator metric predictions. *profiler.Profiler
+// satisfies it.
+type Estimator interface {
+	Estimate(opName, target string, feats map[string]float64) (float64, bool)
+}
+
+// Estimator target names (mirrors the profiler's).
+const (
+	targetExecTime   = "execTime"
+	targetCost       = "cost"
+	targetOutRecords = "outputRecords"
+	targetOutBytes   = "outputBytes"
+)
+
+// Objective folds a (time, monetary cost) estimate into the scalar the DP
+// minimises — the user-defined optimization policy.
+type Objective func(timeSec, cost float64) float64
+
+// MinTime is the execution-time-minimising policy.
+func MinTime(timeSec, _ float64) float64 { return timeSec }
+
+// MinCost is the monetary-cost-minimising policy.
+func MinCost(_, cost float64) float64 { return cost }
+
+// Weighted returns a policy blending time and cost.
+func Weighted(wTime, wCost float64) Objective {
+	return func(t, c float64) float64 { return wTime*t + wCost*c }
+}
+
+// Resources mirrors engine.Resources without importing it (the planner is
+// engine-agnostic); the executor converts.
+type Resources struct {
+	Nodes     int
+	CoresPerN int
+	MemMBPerN int
+}
+
+// Config parameterises a Planner.
+type Config struct {
+	Library   *operator.Library
+	Estimator Estimator
+	// MoveSeconds estimates the duration of moving n bytes between engines;
+	// nil uses a 100MB/s + 1.5s default.
+	MoveSeconds func(bytes int64) float64
+	// MoveCostRate converts move seconds into monetary cost units.
+	MoveCostRate float64
+	// Objective is the optimization policy (default MinTime).
+	Objective Objective
+	// EngineAvailable filters engines during planning; nil admits all.
+	EngineAvailable func(name string) bool
+	// Resources chooses the provisioned resources for a materialized
+	// operator at a given input scale (the elastic-provisioning hook);
+	// nil uses 16x(2c,3456MB).
+	Resources func(mo *operator.Materialized, records, bytes int64) Resources
+}
+
+// Planner computes optimal materialized plans for abstract workflows.
+type Planner struct {
+	cfg Config
+}
+
+// New builds a planner, filling Config defaults.
+func New(cfg Config) (*Planner, error) {
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("planner: Config.Library is required")
+	}
+	if cfg.Estimator == nil {
+		return nil, fmt.Errorf("planner: Config.Estimator is required")
+	}
+	if cfg.MoveSeconds == nil {
+		cfg.MoveSeconds = func(bytes int64) float64 {
+			if bytes < 0 {
+				bytes = 0
+			}
+			return 1.5 + float64(bytes)/100e6
+		}
+	}
+	if cfg.MoveCostRate == 0 {
+		cfg.MoveCostRate = 1.0
+	}
+	if cfg.Objective == nil {
+		cfg.Objective = MinTime
+	}
+	if cfg.Resources == nil {
+		cfg.Resources = func(*operator.Materialized, int64, int64) Resources {
+			return Resources{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}
+		}
+	}
+	return &Planner{cfg: cfg}, nil
+}
+
+// tagEntry is one dpTable record: the cheapest known way to produce a
+// dataset in a specific tag (location/format).
+type tagEntry struct {
+	meta    *metadata.Tree // dataset constraints tree (Engine/FS/type ...)
+	records int64
+	bytes   int64
+
+	cost  float64 // objective value accumulated along the path
+	time  float64 // accumulated estimated seconds
+	money float64 // accumulated estimated monetary cost
+
+	// source is the workflow source dataset name for leaf entries.
+	source string
+	// cand is the producing candidate for derived entries.
+	cand *candidate
+	// outIndex selects which output of the candidate this entry is.
+	outIndex int
+}
+
+// inputChoice records how one input slot of a candidate is satisfied.
+type inputChoice struct {
+	entry    *tagEntry
+	moved    bool
+	moveTime float64
+	moveCost float64
+	moveMeta *metadata.Tree
+}
+
+// candidate is one materialized operator choice with resolved inputs.
+type candidate struct {
+	node    *workflow.Node
+	mo      *operator.Materialized
+	res     Resources
+	params  map[string]float64
+	inputs  []inputChoice
+	opTime  float64
+	opMoney float64
+
+	inRecords, inBytes   int64
+	outRecords, outBytes int64
+}
+
+// Plan is a materialized execution plan: steps in dependency order.
+type Plan struct {
+	Steps []*Step
+	// EstObjective is the DP value of the plan under the policy.
+	EstObjective float64
+	// EstTimeSec and EstCost are the accumulated estimates.
+	EstTimeSec float64
+	EstCost    float64
+	// PlanningTime is the wall-clock time the planner spent.
+	PlanningTime time.Duration
+	// Target names the workflow's target dataset.
+	Target string
+}
+
+// StepKind distinguishes operator steps from planner-inserted moves.
+type StepKind int
+
+const (
+	// StepOperator runs a materialized operator.
+	StepOperator StepKind = iota
+	// StepMove transfers/transforms an intermediate dataset between
+	// engines.
+	StepMove
+)
+
+func (k StepKind) String() string {
+	if k == StepMove {
+		return "move"
+	}
+	return "operator"
+}
+
+// Step is one unit of a materialized plan.
+type Step struct {
+	ID   int
+	Kind StepKind
+	Name string
+
+	// Operator step fields.
+	WorkflowNode string // abstract operator node name
+	Op           *operator.Materialized
+	Engine       string
+	Algorithm    string
+	Res          Resources
+	Params       map[string]float64
+	// OutDataset is the workflow dataset node this step produces (operator
+	// steps only; the first output is reported).
+	OutDataset string
+
+	// DependsOn lists step IDs that must complete first.
+	DependsOn []int
+	// SourceInputs lists workflow source datasets consumed directly.
+	SourceInputs []string
+
+	InRecords, InBytes   int64
+	OutRecords, OutBytes int64
+	EstTimeSec           float64
+	EstCost              float64
+	OutMeta              *metadata.Tree
+}
+
+func (s *Step) String() string {
+	if s.Kind == StepMove {
+		return fmt.Sprintf("[%d] move %s (%.1fs)", s.ID, s.Name, s.EstTimeSec)
+	}
+	return fmt.Sprintf("[%d] %s on %s (%.1fs)", s.ID, s.Name, s.Engine, s.EstTimeSec)
+}
+
+// Plan runs Algorithm 1 on the abstract workflow and returns the optimal
+// materialized plan under the configured policy.
+func (p *Planner) Plan(g *workflow.Graph) (*Plan, error) {
+	started := time.Now()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	dp, err := p.buildTable(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.extract(g, dp, started)
+}
+
+// buildTable fills the dpTable. seed pre-populates dataset entries (used by
+// replanning to inject already-materialized intermediates).
+func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[*workflow.Node]map[string]*tagEntry, error) {
+	dp := make(map[*workflow.Node]map[string]*tagEntry)
+	insert := func(n *workflow.Node, e *tagEntry) {
+		key := e.meta.String()
+		m := dp[n]
+		if m == nil {
+			m = make(map[string]*tagEntry)
+			dp[n] = m
+		}
+		if old, ok := m[key]; !ok || e.cost < old.cost {
+			m[key] = e
+		}
+	}
+
+	// Initialise dpTable with materialized datasets (line 5-10 of Alg. 1).
+	for _, d := range g.Datasets() {
+		if se, ok := seed[d.Name]; ok {
+			insert(d, se)
+			continue
+		}
+		if d.Dataset.IsMaterialized() {
+			meta := d.Dataset.Constraints()
+			if meta == nil {
+				meta = metadata.New()
+			}
+			insert(d, &tagEntry{
+				meta:    meta.Clone(),
+				records: d.Dataset.Records(),
+				bytes:   d.Dataset.SizeBytes(),
+				source:  d.Name,
+			})
+		}
+	}
+
+	ops, err := g.OperatorsTopological()
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range ops {
+		mos := p.cfg.Library.FindMaterialized(o.Operator)
+		for _, mo := range mos {
+			if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
+				continue
+			}
+			cand := p.tryCandidate(o, mo, dp)
+			if cand == nil {
+				continue
+			}
+			total := cand.pathCost(p.cfg.Objective)
+			for idx, out := range o.Outputs {
+				outMeta := mo.OutputSpec(idx)
+				if outMeta == nil {
+					outMeta = metadata.New()
+					outMeta.Set("Engine", mo.Engine())
+				}
+				insert(out, &tagEntry{
+					meta:     outMeta.Clone(),
+					records:  cand.outRecords,
+					bytes:    cand.outBytes,
+					cost:     total.cost,
+					time:     total.time,
+					money:    total.money,
+					cand:     cand,
+					outIndex: idx,
+				})
+			}
+		}
+	}
+	return dp, nil
+}
+
+type pathTotals struct{ cost, time, money float64 }
+
+func (c *candidate) pathCost(obj Objective) pathTotals {
+	var t pathTotals
+	for _, in := range c.inputs {
+		t.cost += in.entry.cost
+		t.time += in.entry.time
+		t.money += in.entry.money
+		if in.moved {
+			t.cost += obj(in.moveTime, in.moveCost)
+			t.time += in.moveTime
+			t.money += in.moveCost
+		}
+	}
+	t.cost += obj(c.opTime, c.opMoney)
+	t.time += c.opTime
+	t.money += c.opMoney
+	return t
+}
+
+// tryCandidate resolves every input slot of mo against the dpTable,
+// inserting moves where required, and estimates the operator itself.
+// It returns nil when the candidate is infeasible.
+func (p *Planner) tryCandidate(o *workflow.Node, mo *operator.Materialized, dp map[*workflow.Node]map[string]*tagEntry) *candidate {
+	cand := &candidate{
+		node:   o,
+		mo:     mo,
+		params: mo.Params(),
+	}
+	obj := p.cfg.Objective
+	for i, in := range o.Inputs {
+		entries := dp[in]
+		if len(entries) == 0 {
+			return nil
+		}
+		var best *inputChoice
+		bestCost := 0.0
+		for _, key := range sortedKeys(entries) {
+			tin := entries[key]
+			var choice inputChoice
+			var cost float64
+			if mo.AcceptsInput(i, tin.meta) {
+				choice = inputChoice{entry: tin}
+				cost = tin.cost
+			} else {
+				// checkMove: a single move/transform bridges the mismatch.
+				moveSec := p.cfg.MoveSeconds(tin.bytes)
+				moveCost := moveSec * p.cfg.MoveCostRate
+				moved := movedMeta(tin.meta, mo.InputConstraint(i))
+				choice = inputChoice{
+					entry: tin, moved: true,
+					moveTime: moveSec, moveCost: moveCost, moveMeta: moved,
+				}
+				cost = tin.cost + obj(moveSec, moveCost)
+			}
+			if best == nil || cost < bestCost {
+				c := choice
+				best, bestCost = &c, cost
+			}
+		}
+		cand.inputs = append(cand.inputs, *best)
+		cand.inRecords += best.entry.records
+		cand.inBytes += best.entry.bytes
+	}
+
+	cand.res = p.cfg.Resources(mo, cand.inRecords, cand.inBytes)
+	feats := map[string]float64{
+		"records":  float64(cand.inRecords),
+		"bytes":    float64(cand.inBytes),
+		"nodes":    float64(cand.res.Nodes),
+		"cores":    float64(cand.res.CoresPerN),
+		"memoryMB": float64(cand.res.MemMBPerN),
+	}
+	for k, v := range cand.params {
+		feats[k] = v
+	}
+	t, ok := p.cfg.Estimator.Estimate(mo.Name, targetExecTime, feats)
+	if !ok {
+		return nil
+	}
+	c, ok := p.cfg.Estimator.Estimate(mo.Name, targetCost, feats)
+	if !ok {
+		return nil
+	}
+	cand.opTime, cand.opMoney = t, c
+
+	if v, ok := p.cfg.Estimator.Estimate(mo.Name, targetOutRecords, feats); ok && v > 0 {
+		cand.outRecords = int64(v)
+	} else {
+		cand.outRecords = cand.inRecords
+	}
+	if v, ok := p.cfg.Estimator.Estimate(mo.Name, targetOutBytes, feats); ok && v > 0 {
+		cand.outBytes = int64(v)
+	} else {
+		cand.outBytes = cand.inBytes
+	}
+	return cand
+}
+
+// movedMeta derives the dataset tag after a move: the source tag overlaid
+// with the destination's location/format requirements (wildcards erased).
+func movedMeta(src, req *metadata.Tree) *metadata.Tree {
+	out := src.Clone()
+	if out == nil {
+		out = metadata.New()
+	}
+	if req == nil {
+		return out
+	}
+	req.Walk(func(path string, n *metadata.Tree) {
+		if path == "" {
+			return
+		}
+		if v := n.Value(); v != "" && v != metadata.Wildcard {
+			out.Set(path, v)
+		}
+	})
+	return out
+}
+
+func sortedKeys(m map[string]*tagEntry) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort (maps are tiny)
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// extract backtracks from the target's cheapest entry, materializing plan
+// steps (with move steps where inputs were bridged).
+func (p *Planner) extract(g *workflow.Graph, dp map[*workflow.Node]map[string]*tagEntry, started time.Time) (*Plan, error) {
+	targetNode, _ := g.Node(g.Target)
+	entries := dp[targetNode]
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%w: target %s unreachable", ErrNoPlan, g.Target)
+	}
+	var best *tagEntry
+	for _, key := range sortedKeys(entries) {
+		e := entries[key]
+		if best == nil || e.cost < best.cost {
+			best = e
+		}
+	}
+
+	plan := &Plan{Target: g.Target}
+	candSteps := make(map[*candidate]*Step)
+	var build func(e *tagEntry) (int, bool)
+	build = func(e *tagEntry) (int, bool) {
+		if e.cand == nil {
+			return -1, false // workflow source dataset
+		}
+		if s, ok := candSteps[e.cand]; ok {
+			return s.ID, true
+		}
+		c := e.cand
+		step := &Step{
+			Kind:         StepOperator,
+			Name:         c.node.Name + "/" + c.mo.Name,
+			WorkflowNode: c.node.Name,
+			Op:           c.mo,
+			Engine:       c.mo.Engine(),
+			Algorithm:    c.mo.Algorithm(),
+			Res:          c.res,
+			Params:       c.params,
+			InRecords:    c.inRecords,
+			InBytes:      c.inBytes,
+			OutRecords:   c.outRecords,
+			OutBytes:     c.outBytes,
+			EstTimeSec:   c.opTime,
+			EstCost:      c.opMoney,
+		}
+		if len(c.node.Outputs) > 0 {
+			step.OutDataset = c.node.Outputs[0].Name
+			if om := c.mo.OutputSpec(0); om != nil {
+				step.OutMeta = om.Clone()
+			}
+		}
+		for _, in := range c.inputs {
+			depID, isStep := build(in.entry)
+			producerID := depID
+			if in.moved {
+				mv := &Step{
+					Kind:       StepMove,
+					Name:       fmt.Sprintf("move->%s", c.node.Name),
+					Engine:     "move",
+					Algorithm:  "move",
+					InRecords:  in.entry.records,
+					InBytes:    in.entry.bytes,
+					OutRecords: in.entry.records,
+					OutBytes:   in.entry.bytes,
+					EstTimeSec: in.moveTime,
+					EstCost:    in.moveCost,
+					OutMeta:    in.moveMeta,
+				}
+				if isStep {
+					mv.DependsOn = append(mv.DependsOn, depID)
+				} else if in.entry.source != "" {
+					mv.SourceInputs = append(mv.SourceInputs, in.entry.source)
+				}
+				mv.ID = len(plan.Steps)
+				plan.Steps = append(plan.Steps, mv)
+				producerID = mv.ID
+				isStep = true
+			}
+			if isStep {
+				step.DependsOn = append(step.DependsOn, producerID)
+			} else if in.entry.source != "" {
+				step.SourceInputs = append(step.SourceInputs, in.entry.source)
+			}
+		}
+		step.ID = len(plan.Steps)
+		plan.Steps = append(plan.Steps, step)
+		candSteps[c] = step
+		return step.ID, true
+	}
+	build(best)
+
+	plan.EstObjective = best.cost
+	plan.EstTimeSec = best.time
+	plan.EstCost = best.money
+	plan.PlanningTime = time.Since(started)
+	return plan, nil
+}

@@ -1,0 +1,146 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// MaterializedIntermediate is an intermediate workflow dataset that already
+// exists (a surviving result of a partially executed plan). Replanning
+// seeds the dpTable with these at zero cost, so the new plan reuses them
+// instead of re-executing their producers — the IResReplan strategy of
+// D3.3 §4.5.
+type MaterializedIntermediate struct {
+	Dataset string // workflow dataset node name
+	Meta    *metadata.Tree
+	Records int64
+	Bytes   int64
+}
+
+// Replan computes a fresh optimal plan for the workflow given the
+// already-materialized intermediates. Combine with Config.EngineAvailable
+// to exclude the failed engine.
+func (p *Planner) Replan(g *workflow.Graph, done []MaterializedIntermediate) (*Plan, error) {
+	started := time.Now()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	seed := make(map[string]*tagEntry, len(done))
+	for _, d := range done {
+		if _, ok := g.Node(d.Dataset); !ok {
+			return nil, fmt.Errorf("planner: replan: unknown dataset %q", d.Dataset)
+		}
+		meta := d.Meta
+		if meta == nil {
+			meta = metadata.New()
+		}
+		seed[d.Dataset] = &tagEntry{
+			meta:    meta.Clone(),
+			records: d.Records,
+			bytes:   d.Bytes,
+			source:  d.Dataset,
+		}
+	}
+	dp, err := p.buildTable(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.extract(g, dp, started)
+}
+
+// Describe renders a human-readable summary of the plan.
+func (pl *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for target %s: est time %.1fs, est cost %.1f (objective %.2f), planned in %v\n",
+		pl.Target, pl.EstTimeSec, pl.EstCost, pl.EstObjective, pl.PlanningTime)
+	for _, s := range pl.Steps {
+		fmt.Fprintf(&b, "  %s", s)
+		if len(s.DependsOn) > 0 {
+			fmt.Fprintf(&b, " after %v", s.DependsOn)
+		}
+		if len(s.SourceInputs) > 0 {
+			fmt.Fprintf(&b, " reads %v", s.SourceInputs)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// DOT renders the materialized plan as a Graphviz digraph: operator steps
+// as boxes labelled with their engine, moves as diamonds, source datasets
+// as ellipses.
+func (pl *Plan) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n  rankdir=LR;\n")
+	sources := make(map[string]bool)
+	for _, s := range pl.Steps {
+		switch s.Kind {
+		case StepMove:
+			fmt.Fprintf(&b, "  step%d [shape=diamond, label=%q];\n", s.ID, s.Name)
+		default:
+			fmt.Fprintf(&b, "  step%d [shape=box, label=\"%s\\n@%s\"];\n", s.ID, s.Name, s.Engine)
+		}
+		for _, src := range s.SourceInputs {
+			sources[src] = true
+		}
+	}
+	srcNames := make([]string, 0, len(sources))
+	for n := range sources {
+		srcNames = append(srcNames, n)
+	}
+	sort.Strings(srcNames)
+	for _, n := range srcNames {
+		fmt.Fprintf(&b, "  %q [shape=ellipse];\n", n)
+	}
+	for _, s := range pl.Steps {
+		for _, dep := range s.DependsOn {
+			fmt.Fprintf(&b, "  step%d -> step%d;\n", dep, s.ID)
+		}
+		for _, src := range s.SourceInputs {
+			fmt.Fprintf(&b, "  %q -> step%d;\n", src, s.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// OperatorSteps returns only the operator steps of the plan.
+func (pl *Plan) OperatorSteps() []*Step {
+	var out []*Step
+	for _, s := range pl.Steps {
+		if s.Kind == StepOperator {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Engines returns the distinct engines used by operator steps, in first-use
+// order.
+func (pl *Plan) Engines() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range pl.Steps {
+		if s.Kind == StepOperator && !seen[s.Engine] {
+			seen[s.Engine] = true
+			out = append(out, s.Engine)
+		}
+	}
+	return out
+}
+
+// StepFor returns the operator step materializing the given abstract
+// workflow operator node, if present.
+func (pl *Plan) StepFor(workflowNode string) (*Step, bool) {
+	for _, s := range pl.Steps {
+		if s.Kind == StepOperator && s.WorkflowNode == workflowNode {
+			return s, true
+		}
+	}
+	return nil, false
+}

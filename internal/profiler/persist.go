@@ -1,0 +1,118 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/asap-project/ires/internal/model"
+)
+
+// The paper's models "are stored and updated in an IReS library" that
+// outlives individual workflow runs. Export/Import persist the library: the
+// training buffers (profiled and observed runs) and feasibility walls are
+// serialised; models are retrained on import, so persistence is independent
+// of model internals.
+
+// persistedOperator is the JSON form of one operator's model state.
+type persistedOperator struct {
+	Operator       string               `json:"operator"`
+	Algorithm      string               `json:"algorithm"`
+	Engine         string               `json:"engine"`
+	Features       []string             `json:"features"`
+	X              [][]float64          `json:"samples"`
+	Targets        map[string][]float64 `json:"targets"`
+	MinFailRecords float64              `json:"minFailRecords,omitempty"`
+}
+
+type persistedLibrary struct {
+	Version   int                 `json:"version"`
+	Operators []persistedOperator `json:"operators"`
+}
+
+const persistVersion = 1
+
+// Export writes the profiler's model library as JSON.
+func (p *Profiler) Export(w io.Writer) error {
+	lib := persistedLibrary{Version: persistVersion}
+	for _, name := range p.Operators() {
+		om, _ := p.Models(name)
+		om.mu.Lock()
+		po := persistedOperator{
+			Operator:       om.Operator,
+			Algorithm:      om.Algorithm,
+			Engine:         om.Engine,
+			Features:       append([]string(nil), om.Features...),
+			MinFailRecords: om.minFailRecords,
+			Targets:        make(map[string][]float64, len(om.targets)),
+		}
+		po.X = make([][]float64, len(om.X))
+		for i, row := range om.X {
+			po.X[i] = append([]float64(nil), row...)
+		}
+		for t, ys := range om.targets {
+			po.Targets[t] = append([]float64(nil), ys...)
+		}
+		om.mu.Unlock()
+		lib.Operators = append(lib.Operators, po)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(lib)
+}
+
+// Import reads a persisted library, replacing any same-named operators, and
+// retrains every imported model with full cross-validated selection.
+func (p *Profiler) Import(r io.Reader) error {
+	var lib persistedLibrary
+	if err := json.NewDecoder(r).Decode(&lib); err != nil {
+		return fmt.Errorf("profiler: import: %w", err)
+	}
+	if lib.Version != persistVersion {
+		return fmt.Errorf("profiler: import: unsupported version %d", lib.Version)
+	}
+	for _, po := range lib.Operators {
+		if po.Operator == "" {
+			return fmt.Errorf("profiler: import: unnamed operator")
+		}
+		for _, row := range po.X {
+			if len(row) != len(po.Features) {
+				return fmt.Errorf("profiler: import: %s: sample width %d != %d features",
+					po.Operator, len(row), len(po.Features))
+			}
+		}
+		for t, ys := range po.Targets {
+			if len(ys) != len(po.X) {
+				return fmt.Errorf("profiler: import: %s: target %s has %d values for %d samples",
+					po.Operator, t, len(ys), len(po.X))
+			}
+		}
+		om := &OperatorModels{
+			Operator:      po.Operator,
+			Algorithm:     po.Algorithm,
+			Engine:        po.Engine,
+			Features:      append([]string(nil), po.Features...),
+			X:             po.X,
+			targets:       po.Targets,
+			models:        make(map[string]model.Model),
+			chosen:        make(map[string]string),
+			factories:     p.Factories,
+			cvFolds:       p.CVFolds,
+			seed:          p.Seed,
+			reselectEvery: p.ReselectEvery,
+		}
+		om.minFailRecords = po.MinFailRecords
+		if om.targets == nil {
+			om.targets = make(map[string][]float64)
+		}
+		if len(om.X) > 0 {
+			if err := om.retrain(true); err != nil {
+				return fmt.Errorf("profiler: import: retraining %s: %w", po.Operator, err)
+			}
+		}
+		p.mu.Lock()
+		p.store[po.Operator] = om
+		p.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package profiler
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/asap-project/ires/internal/engine"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	env := engine.NewDefaultEnvironment(12)
+	src := newProfiler(env)
+	if _, err := src.ProfileOffline("tfidf_spark", engine.EngineSpark, engine.AlgTFIDF, tfidfSpace()); err != nil {
+		t.Fatal(err)
+	}
+	// Include a feasibility wall.
+	prSpace := Space{
+		Records:        []int64{10_000, 1_000_000, 50_000_000},
+		BytesPerRecord: 40,
+		Params:         map[string][]float64{"iterations": {10}},
+		Resources:      []engine.Resources{engine.SingleNode},
+	}
+	if _, err := src.ProfileOffline("pagerank_java", engine.EngineJava, engine.AlgPagerank, prSpace); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newProfiler(engine.NewDefaultEnvironment(12))
+	if err := dst.Import(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := dst.Operators(); len(got) != 2 {
+		t.Fatalf("imported operators = %v", got)
+	}
+	// Estimates must survive the round trip (same training data, same seed).
+	feats := map[string]float64{
+		"records": 20_000, "bytes": 20_000 * 5000,
+		"nodes": 16, "cores": 2, "memoryMB": 3456,
+	}
+	want, ok1 := src.Estimate("tfidf_spark", TargetExecTime, feats)
+	got, ok2 := dst.Estimate("tfidf_spark", TargetExecTime, feats)
+	if !ok1 || !ok2 {
+		t.Fatal("estimate unavailable after round trip")
+	}
+	if math.Abs(want-got) > 1e-9 {
+		t.Fatalf("estimate drifted: %v -> %v", want, got)
+	}
+	// The feasibility wall survives too.
+	if dst.Feasible("pagerank_java", 60_000_000) {
+		t.Fatal("imported wall lost")
+	}
+	if !dst.Feasible("pagerank_java", 1_000_000) {
+		t.Fatal("imported wall over-restrictive")
+	}
+	// Refinement continues to work on imported models.
+	run, err := engine.NewDefaultEnvironment(13).Execute(engine.EngineSpark, engine.AlgTFIDF,
+		engine.Input{Records: 40_000, Bytes: 2e8}, engine.StandardCluster, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Observe("tfidf_spark", run); err != nil {
+		t.Fatal(err)
+	}
+	om, _ := dst.Models("tfidf_spark")
+	if om.SampleCount() != 16 {
+		t.Fatalf("samples after observe = %d, want 16", om.SampleCount())
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	p := newProfiler(engine.NewDefaultEnvironment(1))
+	cases := []string{
+		"{not json",
+		`{"version": 99, "operators": []}`,
+		`{"version": 1, "operators": [{"operator": ""}]}`,
+		`{"version": 1, "operators": [{"operator": "x", "features": ["a"], "samples": [[1,2]], "targets": {}}]}`,
+		`{"version": 1, "operators": [{"operator": "x", "features": ["a"], "samples": [[1]], "targets": {"execTime": [1,2]}}]}`,
+	}
+	for _, c := range cases {
+		if err := p.Import(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted bad payload %q", c)
+		}
+	}
+}
+
+func TestExportEmpty(t *testing.T) {
+	p := newProfiler(engine.NewDefaultEnvironment(1))
+	var buf bytes.Buffer
+	if err := p.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := newProfiler(engine.NewDefaultEnvironment(1))
+	if err := q.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Operators()) != 0 {
+		t.Fatal("empty import produced operators")
+	}
+}

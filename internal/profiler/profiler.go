@@ -1,0 +1,392 @@
+// Package profiler implements the Profiler/Modeler and Model Refinement
+// modules of IReS (D3.3 §2.2.1-§2.2.2): offline profiling of materialized
+// operators over a grid of data-, operator- and resource-specific
+// parameters, cross-validated model selection over the model zoo, and
+// online refinement of the models from the metrics of every actual run.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/metrics"
+	"github.com/asap-project/ires/internal/model"
+)
+
+// Targets modelled for every operator. Output sizes are modelled alongside
+// performance so the planner can propagate intermediate dataset sizes
+// through the workflow.
+const (
+	TargetExecTime   = "execTime"
+	TargetCost       = "cost"
+	TargetOutRecords = "outputRecords"
+	TargetOutBytes   = "outputBytes"
+)
+
+// BaseFeatures are the data- and resource-specific features recorded for
+// every run; operator-specific parameters are appended per operator.
+var BaseFeatures = []string{"records", "bytes", "nodes", "cores", "memoryMB"}
+
+// Space declares the profiling parameter space of one operator: the input
+// scales, the operator-specific parameters and the resource configurations
+// to sweep (D3.3 §2.2.1's three input-parameter categories).
+type Space struct {
+	Records        []int64
+	BytesPerRecord int64
+	Params         map[string][]float64
+	Resources      []engine.Resources
+}
+
+// combinations enumerates the full grid, deterministically ordered.
+func (s Space) combinations() []profilePoint {
+	paramNames := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		paramNames = append(paramNames, k)
+	}
+	sort.Strings(paramNames)
+
+	points := []profilePoint{{params: map[string]float64{}}}
+	for _, name := range paramNames {
+		var next []profilePoint
+		for _, pt := range points {
+			for _, v := range s.Params[name] {
+				np := profilePoint{params: map[string]float64{}}
+				for k, vv := range pt.params {
+					np.params[k] = vv
+				}
+				np.params[name] = v
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	var out []profilePoint
+	for _, rec := range s.Records {
+		for _, res := range s.Resources {
+			for _, pt := range points {
+				out = append(out, profilePoint{
+					records: rec,
+					bytes:   rec * s.BytesPerRecord,
+					res:     res,
+					params:  pt.params,
+				})
+			}
+		}
+	}
+	return out
+}
+
+type profilePoint struct {
+	records int64
+	bytes   int64
+	res     engine.Resources
+	params  map[string]float64
+}
+
+// OperatorModels holds the trained estimation models of one materialized
+// operator together with its training buffer. It refines itself as runs are
+// observed.
+type OperatorModels struct {
+	mu sync.Mutex
+
+	Operator  string
+	Algorithm string
+	Engine    string
+	Features  []string
+
+	X       [][]float64
+	targets map[string][]float64
+	models  map[string]model.Model
+	chosen  map[string]string // target -> selected family name
+
+	// failures records feature vectors of failed runs; the smallest failing
+	// record count approximates the operator's feasibility wall (OOM).
+	minFailRecords float64
+
+	factories []model.Factory
+	cvFolds   int
+	seed      int64
+	// reselectEvery controls how often (in observations) full CV model
+	// re-selection happens; in between, only the incumbent family is
+	// retrained.
+	reselectEvery int
+	sinceReselect int
+}
+
+// Profiler owns the model store: one OperatorModels per materialized
+// operator.
+type Profiler struct {
+	mu    sync.RWMutex
+	env   *engine.Environment
+	store map[string]*OperatorModels
+
+	// Factories is the model zoo used for selection; defaults to
+	// model.DefaultFactories.
+	Factories []model.Factory
+	// CVFolds is the cross-validation fold count (default 5).
+	CVFolds int
+	// ReselectEvery is the refinement re-selection period (default 10).
+	ReselectEvery int
+	Seed          int64
+}
+
+// New returns a profiler over the given engine environment.
+func New(env *engine.Environment, seed int64) *Profiler {
+	return &Profiler{
+		env:           env,
+		store:         make(map[string]*OperatorModels),
+		Factories:     model.DefaultFactories(seed),
+		CVFolds:       5,
+		ReselectEvery: 10,
+		Seed:          seed,
+	}
+}
+
+// Models returns the model set of an operator, if profiled.
+func (p *Profiler) Models(opName string) (*OperatorModels, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	om, ok := p.store[opName]
+	return om, ok
+}
+
+// Operators lists profiled operator names, sorted.
+func (p *Profiler) Operators() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.store))
+	for n := range p.store {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (p *Profiler) ensure(opName, algorithm, engineName string, paramNames []string) *OperatorModels {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if om, ok := p.store[opName]; ok {
+		return om
+	}
+	features := append([]string{}, BaseFeatures...)
+	base := make(map[string]bool, len(BaseFeatures))
+	for _, f := range BaseFeatures {
+		base[f] = true
+	}
+	for _, n := range paramNames {
+		if !base[n] {
+			features = append(features, n)
+		}
+	}
+	om := &OperatorModels{
+		Operator:      opName,
+		Algorithm:     algorithm,
+		Engine:        engineName,
+		Features:      features,
+		targets:       make(map[string][]float64),
+		models:        make(map[string]model.Model),
+		chosen:        make(map[string]string),
+		factories:     p.Factories,
+		cvFolds:       p.CVFolds,
+		seed:          p.Seed,
+		reselectEvery: p.ReselectEvery,
+	}
+	p.store[opName] = om
+	return om
+}
+
+// ProfileOffline runs the offline profiling phase for one materialized
+// operator: every grid point is executed on the (simulated) engine, metrics
+// are collected, and models are trained with cross-validated selection. It
+// returns the number of successful runs.
+func (p *Profiler) ProfileOffline(opName, engineName, algorithm string, space Space) (int, error) {
+	if len(space.Records) == 0 || len(space.Resources) == 0 {
+		return 0, fmt.Errorf("profiler: empty profiling space for %s", opName)
+	}
+	paramNames := make([]string, 0, len(space.Params))
+	for k := range space.Params {
+		paramNames = append(paramNames, k)
+	}
+	sort.Strings(paramNames)
+	om := p.ensure(opName, algorithm, engineName, paramNames)
+
+	succeeded := 0
+	for _, pt := range space.combinations() {
+		in := engine.Input{Records: pt.records, Bytes: pt.bytes, Params: pt.params}
+		run, err := p.env.Execute(engineName, algorithm, in, pt.res, 0)
+		if err != nil {
+			om.observeFailure(run)
+			continue
+		}
+		om.appendRun(run)
+		succeeded++
+	}
+	if succeeded == 0 {
+		return 0, fmt.Errorf("profiler: every profiling run of %s on %s failed", opName, engineName)
+	}
+	if err := om.retrain(true); err != nil {
+		return succeeded, fmt.Errorf("profiler: training %s: %w", opName, err)
+	}
+	return succeeded, nil
+}
+
+// Observe feeds one actual-run record back into the operator's models (the
+// model-refinement path). Failed runs update the feasibility wall instead.
+func (p *Profiler) Observe(opName string, run *metrics.Run) error {
+	p.mu.RLock()
+	om, ok := p.store[opName]
+	p.mu.RUnlock()
+	if !ok {
+		om = p.ensure(opName, run.Algorithm, run.Engine, run.ParamNames())
+		// Reduce features to base + run params happens inside ensure; fall
+		// through to observation.
+	}
+	if run.Failed {
+		om.observeFailure(run)
+		return nil
+	}
+	om.appendRun(run)
+	om.mu.Lock()
+	om.sinceReselect++
+	full := om.sinceReselect >= om.reselectEvery || len(om.chosen) == 0
+	if full {
+		om.sinceReselect = 0
+	}
+	om.mu.Unlock()
+	return om.retrain(full)
+}
+
+// Estimate predicts a target metric for the operator under the given
+// feature values. The boolean result is false when the operator is
+// unprofiled or the configuration is beyond the observed feasibility wall.
+func (p *Profiler) Estimate(opName, target string, feats map[string]float64) (float64, bool) {
+	p.mu.RLock()
+	om, ok := p.store[opName]
+	p.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return om.Estimate(target, feats)
+}
+
+// Feasible reports whether the configuration is inside the operator's
+// observed feasibility wall.
+func (p *Profiler) Feasible(opName string, records float64) bool {
+	p.mu.RLock()
+	om, ok := p.store[opName]
+	p.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	return om.feasibleLocked(records)
+}
+
+func (om *OperatorModels) appendRun(run *metrics.Run) {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	x := make([]float64, len(om.Features))
+	for i, f := range om.Features {
+		v, _ := run.Feature(f)
+		x[i] = v
+	}
+	om.X = append(om.X, x)
+	om.targets[TargetExecTime] = append(om.targets[TargetExecTime], run.ExecTimeSec)
+	om.targets[TargetCost] = append(om.targets[TargetCost], run.CostUnits)
+	om.targets[TargetOutRecords] = append(om.targets[TargetOutRecords], float64(run.OutputRecords))
+	om.targets[TargetOutBytes] = append(om.targets[TargetOutBytes], float64(run.OutputBytes))
+}
+
+func (om *OperatorModels) observeFailure(run *metrics.Run) {
+	if run == nil {
+		return
+	}
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	rec := run.Params["records"]
+	if rec > 0 && (om.minFailRecords == 0 || rec < om.minFailRecords) {
+		om.minFailRecords = rec
+	}
+}
+
+// retrain refits the models. When reselect is true a full cross-validated
+// family selection runs; otherwise the incumbent family is refit on the
+// enlarged buffer.
+func (om *OperatorModels) retrain(reselect bool) error {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	for target, y := range om.targets {
+		if len(y) == 0 {
+			continue
+		}
+		switch {
+		case len(y) < 3:
+			// Too few samples for cross-validation: fall back to the first
+			// family (linear) until more observations arrive.
+			m := om.factories[0]()
+			if err := m.Train(om.X, y); err != nil {
+				return err
+			}
+			om.models[target] = m
+			om.chosen[target] = m.Name()
+		case reselect || om.models[target] == nil:
+			m, _, err := model.SelectBestRelative(om.factories, om.X, y, om.cvFolds, om.seed)
+			if err != nil {
+				return err
+			}
+			om.models[target] = m
+			om.chosen[target] = m.Name()
+		default:
+			if err := om.models[target].Train(om.X, y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Estimate predicts one target for a feature map.
+func (om *OperatorModels) Estimate(target string, feats map[string]float64) (float64, bool) {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	m, ok := om.models[target]
+	if !ok {
+		return 0, false
+	}
+	if !om.feasibleLocked(feats["records"]) {
+		return 0, false
+	}
+	x := make([]float64, len(om.Features))
+	for i, f := range om.Features {
+		x[i] = feats[f]
+	}
+	v := m.Predict(x)
+	if v < 0 {
+		v = 0
+	}
+	return v, true
+}
+
+func (om *OperatorModels) feasibleLocked(records float64) bool {
+	if om.minFailRecords == 0 {
+		return true
+	}
+	return records < om.minFailRecords*0.95
+}
+
+// SampleCount reports the training-buffer size.
+func (om *OperatorModels) SampleCount() int {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	return len(om.X)
+}
+
+// ChosenFamily reports the model family currently selected for a target.
+func (om *OperatorModels) ChosenFamily(target string) string {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	return om.chosen[target]
+}

@@ -1,0 +1,168 @@
+package provision
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asap-project/ires/internal/engine"
+)
+
+// truthEstimator answers straight from engine ground truth — the ideal
+// model — so tests isolate the GA search from model error.
+type truthEstimator struct {
+	env *engine.Environment
+	eng string
+	alg string
+}
+
+func (e truthEstimator) Estimate(_, target string, feats map[string]float64) (float64, bool) {
+	res := engine.Resources{
+		Nodes:     int(feats["nodes"]),
+		CoresPerN: int(feats["cores"]),
+		MemMBPerN: int(feats["memoryMB"]),
+	}
+	in := engine.Input{Records: int64(feats["records"]), Bytes: int64(feats["bytes"])}
+	t, err := e.env.GroundTruthSec(e.eng, e.alg, in, res)
+	if err != nil {
+		return 0, false
+	}
+	switch target {
+	case "execTime":
+		return t, true
+	case "cost":
+		return t * res.CostRate(), true
+	}
+	return 0, false
+}
+
+func newProvisioner(t *testing.T) (*Provisioner, *engine.Environment) {
+	t.Helper()
+	env := engine.NewDefaultEnvironment(5)
+	est := truthEstimator{env: env, eng: engine.EngineSpark, alg: engine.AlgTFIDF}
+	p := New(est, engine.StandardCluster, 7)
+	return p, env
+}
+
+func TestFrontShape(t *testing.T) {
+	p, _ := newProvisioner(t)
+	front, err := p.Front("tfidf_spark", 500_000, 500_000*5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 2 {
+		t.Fatalf("front too small: %d", len(front))
+	}
+	// Front is sorted by time; cost must be non-increasing along it
+	// (mutual non-domination).
+	for i := 1; i < len(front); i++ {
+		if front[i].EstTime < front[i-1].EstTime {
+			t.Fatal("front not sorted by time")
+		}
+		if front[i].EstCost > front[i-1].EstCost+1e-9 {
+			t.Fatalf("front not non-dominated: %+v then %+v", front[i-1], front[i])
+		}
+	}
+}
+
+// TestFig17Shape reproduces the paper's provisioning behaviour: IReS's
+// MinTime pick achieves times close to max-resources while spending less
+// than max resources for small inputs, and scales resources up as inputs
+// grow.
+func TestFig17Shape(t *testing.T) {
+	p, env := newProvisioner(t)
+
+	pickAt := func(docs int64) (Option, float64, float64) {
+		best, _, err := p.Provision("tfidf_spark", docs, docs*5000, nil, MinTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxT, err := env.GroundTruthSec(engine.EngineSpark, engine.AlgTFIDF,
+			engine.Input{Records: docs, Bytes: docs * 5000}, engine.StandardCluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxCost := maxT * engine.StandardCluster.CostRate()
+		return best, maxT, maxCost
+	}
+
+	small, maxTsmall, maxCostSmall := pickAt(10_000)
+	// Within 25% of the max-resources time...
+	if small.EstTime > maxTsmall*1.25 {
+		t.Errorf("small input: picked %.1fs vs max-resources %.1fs", small.EstTime, maxTsmall)
+	}
+	// ...but cheaper than max resources.
+	if small.EstCost >= maxCostSmall {
+		t.Errorf("small input: cost %.1f not below max-resources cost %.1f", small.EstCost, maxCostSmall)
+	}
+
+	big, _, _ := pickAt(10_000_000)
+	if big.Res.TotalCores() < small.Res.TotalCores() {
+		t.Errorf("provisioned cores shrank with input: %v -> %v", small.Res, big.Res)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	p, _ := newProvisioner(t)
+	minT, front, err := p.Provision("x", 1_000_000, 5e9, nil, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minC, _, err := p.Provision("x", 1_000_000, 5e9, nil, MinCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, _, err := p.Provision("x", 1_000_000, 5e9, nil, Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range front {
+		if o.EstTime < minT.EstTime {
+			t.Fatal("MinTime not minimal")
+		}
+		if o.EstCost < minC.EstCost {
+			t.Fatal("MinCost not minimal")
+		}
+	}
+	if bal.EstTime < minT.EstTime || bal.EstCost < minC.EstCost {
+		t.Fatal("Balanced outside front envelope")
+	}
+}
+
+func TestResourceBoundsRespected(t *testing.T) {
+	p, _ := newProvisioner(t)
+	front, err := p.Front("x", 100_000, 5e8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range front {
+		if o.Res.Nodes < 1 || o.Res.Nodes > 16 ||
+			o.Res.CoresPerN < 1 || o.Res.CoresPerN > 2 ||
+			o.Res.MemMBPerN < 256 || o.Res.MemMBPerN > 3456 {
+			t.Fatalf("out-of-bounds resources: %v", o.Res)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := (&Provisioner{}).Front("x", 1, 1, nil); err == nil {
+		t.Fatal("nil estimator accepted")
+	}
+	p, _ := newProvisioner(t)
+	p.Cluster = engine.Resources{}
+	if _, err := p.Front("x", 1, 1, nil); err == nil || !strings.Contains(err.Error(), "cluster") {
+		t.Fatalf("bad bounds accepted: %v", err)
+	}
+}
+
+type infeasibleEstimator struct{}
+
+func (infeasibleEstimator) Estimate(string, string, map[string]float64) (float64, bool) {
+	return 0, false
+}
+
+func TestAllInfeasible(t *testing.T) {
+	p := New(infeasibleEstimator{}, engine.StandardCluster, 1)
+	if _, err := p.Front("x", 1, 1, nil); err == nil {
+		t.Fatal("infeasible search should error")
+	}
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	ires "github.com/asap-project/ires"
+	"github.com/asap-project/ires/internal/model"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *ires.Platform) {
+	t.Helper()
+	p, err := ires.NewPlatform(ires.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Profiler.Factories = []model.Factory{
+		func() model.Model { return model.NewLinear() },
+		func() model.Model { return model.NewKNN(2) },
+	}
+	s := New(p)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, p
+}
+
+func do(t *testing.T, method, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.String()
+}
+
+func expectCode(t *testing.T, resp *http.Response, body string, want int) {
+	t.Helper()
+	if resp.StatusCode != want {
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, want, body)
+	}
+}
+
+const wordcountJava = `
+Constraints.Engine=Java
+Constraints.OpSpecification.Algorithm.name=wordcount
+Constraints.Input0.Engine.FS=HDFS
+Constraints.Output0.Engine.FS=HDFS
+`
+
+const wordcountSpark = `
+Constraints.Engine=Spark
+Constraints.OpSpecification.Algorithm.name=wordcount
+Constraints.Input0.Engine.FS=HDFS
+Constraints.Output0.Engine.FS=HDFS
+`
+
+// setupWordcount registers datasets, operators and the workflow through the
+// REST API only — the external-component flow of D3.3 §3.5.
+func setupWordcount(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	resp, body := do(t, "POST", ts.URL+"/api/datasets/logs",
+		"Constraints.Engine.FS=HDFS\nExecution.path=hdfs:///logs\nOptimization.documents=50000\nOptimization.size=50000000")
+	expectCode(t, resp, body, http.StatusCreated)
+
+	resp, body = do(t, "POST", ts.URL+"/api/operators/wordcount_java", wordcountJava)
+	expectCode(t, resp, body, http.StatusCreated)
+	resp, body = do(t, "POST", ts.URL+"/api/operators/wordcount_spark", wordcountSpark)
+	expectCode(t, resp, body, http.StatusCreated)
+
+	resp, body = do(t, "POST", ts.URL+"/api/abstractOperators/wordcount",
+		"Constraints.OpSpecification.Algorithm.name=wordcount")
+	expectCode(t, resp, body, http.StatusCreated)
+
+	profile := `{"records":[1000,10000,100000],"bytesPerRecord":1000,
+		"resources":[{"nodes":1,"coresPerNode":2,"memMBPerNode":3456},
+		             {"nodes":16,"coresPerNode":2,"memMBPerNode":3456}]}`
+	for _, op := range []string{"wordcount_java", "wordcount_spark"} {
+		resp, body = do(t, "POST", ts.URL+"/api/operators/"+op+"/profile", profile)
+		expectCode(t, resp, body, http.StatusOK)
+	}
+
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc",
+		"logs,wordcount,0\nwordcount,d1,0\nd1,$$target\n")
+	expectCode(t, resp, body, http.StatusCreated)
+}
+
+func TestFullRESTFlow(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	setupWordcount(t, ts)
+
+	// List workflows and operators.
+	resp, body := do(t, "GET", ts.URL+"/api/workflows", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if !strings.Contains(body, "wc") {
+		t.Fatalf("workflow list: %s", body)
+	}
+	resp, body = do(t, "GET", ts.URL+"/api/operators", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var ops []map[string]any
+	if err := json.Unmarshal([]byte(body), &ops); err != nil || len(ops) != 2 {
+		t.Fatalf("operators: %s", body)
+	}
+	for _, op := range ops {
+		if op["profiled"] != true {
+			t.Fatalf("operator not profiled: %v", op)
+		}
+	}
+
+	// Materialize.
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/materialize", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var plan map[string]any
+	if err := json.Unmarshal([]byte(body), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan["target"] != "d1" || plan["estTimeSec"].(float64) <= 0 {
+		t.Fatalf("plan: %s", body)
+	}
+
+	// Pareto front.
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/pareto", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var front []map[string]any
+	if err := json.Unmarshal([]byte(body), &front); err != nil || len(front) == 0 {
+		t.Fatalf("pareto: %s", body)
+	}
+
+	// Execute.
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/execute", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var exec map[string]any
+	if err := json.Unmarshal([]byte(body), &exec); err != nil {
+		t.Fatal(err)
+	}
+	if exec["executionSec"].(float64) <= 0 {
+		t.Fatalf("execution: %s", body)
+	}
+}
+
+func TestEngineAvailabilityEndpoint(t *testing.T) {
+	_, ts, p := newTestServer(t)
+	resp, body := do(t, "GET", ts.URL+"/api/engines", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if !strings.Contains(body, `"Spark"`) {
+		t.Fatalf("engines: %s", body)
+	}
+	resp, body = do(t, "POST", ts.URL+"/api/engines/Spark/availability", `{"on":false}`)
+	expectCode(t, resp, body, http.StatusOK)
+	if p.Env.Available(ires.EngineSpark) {
+		t.Fatal("availability not applied")
+	}
+	resp, body = do(t, "POST", ts.URL+"/api/engines/NoSuch/availability", `{"on":true}`)
+	expectCode(t, resp, body, http.StatusNotFound)
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/api/operators/bad", "not a description", http.StatusBadRequest},
+		{"GET", "/api/operators/missing", "", http.StatusNotFound},
+		{"GET", "/api/datasets/missing", "", http.StatusNotFound},
+		{"POST", "/api/workflows/bad", "malformed graph line", http.StatusBadRequest},
+		{"POST", "/api/workflows/none/materialize", "", http.StatusBadRequest},
+		{"DELETE", "/api/workflows", "", http.StatusMethodNotAllowed},
+		{"POST", "/api/operators/x/profile", "{not json", http.StatusBadRequest},
+		{"POST", "/api/engines/Spark/availability", "{not json", http.StatusBadRequest},
+		{"PUT", "/api/engines", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		resp, body := do(t, c.method, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d (%s)", c.method, c.path, resp.StatusCode, c.want, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, body := do(t, "GET", ts.URL+"/healthz", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if !strings.Contains(body, "HEALTHY") {
+		t.Fatalf("healthz: %s", body)
+	}
+}
+
+func TestRoundTripDescriptions(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	setupWordcount(t, ts)
+	resp, body := do(t, "GET", ts.URL+"/api/operators/wordcount_java", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if !strings.Contains(body, "Constraints.Engine=Java") {
+		t.Fatalf("operator description: %s", body)
+	}
+	resp, body = do(t, "GET", ts.URL+"/api/datasets/logs", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if !strings.Contains(body, "Execution.path=hdfs:///logs") {
+		t.Fatalf("dataset description: %s", body)
+	}
+	resp, body = do(t, "GET", ts.URL+"/api/workflows/wc", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if !strings.Contains(body, "$$target") {
+		t.Fatalf("workflow body: %s", body)
+	}
+}
+
+func TestExecuteAvoidsDeadEngineViaAPI(t *testing.T) {
+	_, ts, p := newTestServer(t)
+	setupWordcount(t, ts)
+
+	// Figure out the engine the optimal plan uses, kill it through the
+	// API-visible state, and execute: the endpoint re-materializes against
+	// live availability, so the run must finish on the surviving engine
+	// with no failure.
+	resp, body := do(t, "POST", ts.URL+"/api/workflows/wc/materialize", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var plan struct {
+		Steps []struct {
+			Kind   string `json:"kind"`
+			Engine string `json:"engine"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal([]byte(body), &plan); err != nil {
+		t.Fatal(err)
+	}
+	victim := ""
+	for _, s := range plan.Steps {
+		if s.Kind == "operator" {
+			victim = s.Engine
+		}
+	}
+	if victim == "" {
+		t.Fatal("no operator step in plan")
+	}
+	p.SetEngineAvailable(victim, false)
+
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/execute", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var exec struct {
+		Engines      []string `json:"engines"`
+		ExecutionSec float64  `json:"executionSec"`
+		Replans      int      `json:"replans"`
+	}
+	if err := json.Unmarshal([]byte(body), &exec); err != nil {
+		t.Fatal(err)
+	}
+	if exec.ExecutionSec <= 0 || exec.Replans != 0 {
+		t.Fatalf("execution after kill: %s", body)
+	}
+	for _, e := range exec.Engines {
+		if e == victim {
+			t.Fatalf("dead engine %s still used: %s", victim, body)
+		}
+	}
+	_ = fmt.Sprint() // keep fmt for diagnostics
+}
+
+func TestWebUIServed(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, body := do(t, "GET", ts.URL+"/web/main", "")
+	expectCode(t, resp, body, http.StatusOK)
+	for _, frag := range []string{"Abstract Workflows", "Materialize", "/api/workflows", "IReS"} {
+		if !strings.Contains(body, frag) && !strings.Contains(body, strings.ToLower(frag)) {
+			t.Errorf("web UI missing %q", frag)
+		}
+	}
+	// Root redirects to the UI, like the original server's home page.
+	resp, body = do(t, "GET", ts.URL+"/", "")
+	expectCode(t, resp, body, http.StatusOK) // client follows the redirect
+	if resp, body := do(t, "POST", ts.URL+"/web/main", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST to web UI: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/nosuchpage", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: %d", resp.StatusCode)
+	}
+}

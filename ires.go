@@ -1,0 +1,437 @@
+// Package ires is an open-source reproduction of IReS, the Intelligent
+// Multi-Engine Resource Scheduler of Doka et al. (SIGMOD 2015 / ASAP D3.3):
+// a meta-scheduler that plans and executes complex analytics workflows over
+// multiple engines and datastores, choosing per-operator the most
+// advantageous implementation, inserting data movements between engines,
+// provisioning resources elastically and recovering from failures by
+// partially replanning around materialized intermediates.
+//
+// The engines themselves (Spark, Hadoop, Hama, Java, scikit, PostgreSQL,
+// MemSQL, ...) are high-fidelity simulations on a discrete-event virtual
+// clock — see DESIGN.md for the substitution rationale — while all IReS
+// logic (metadata matching, DP planning, profiling/modelling, NSGA-II
+// provisioning, fault-tolerant execution) is real.
+//
+// Basic use:
+//
+//	p, _ := ires.NewPlatform(ires.Options{Seed: 1})
+//	p.RegisterDataset("docs", "Execution.path=hdfs:///docs\n...")
+//	p.RegisterOperator("tfidf_spark", "Constraints.Engine=Spark\n...")
+//	p.ProfileOperator("tfidf_spark", space)
+//	wf, _ := p.NewWorkflow().
+//		Dataset("docs").
+//		Operator("tfidf", "Constraints.OpSpecification.Algorithm.name=TF_IDF").
+//		...
+//	plan, _ := p.Plan(wf)
+//	result, _ := p.Execute(wf, plan)
+package ires
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/asap-project/ires/internal/cluster"
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/executor"
+	"github.com/asap-project/ires/internal/metrics"
+	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/profiler"
+	"github.com/asap-project/ires/internal/provision"
+	"github.com/asap-project/ires/internal/vtime"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// Re-exported core types: the platform's full object model is usable
+// through the public package alone.
+type (
+	// Workflow is an abstract analytics workflow DAG.
+	Workflow = workflow.Graph
+	// Plan is a materialized multi-engine execution plan.
+	Plan = planner.Plan
+	// PlanStep is one operator or move step of a plan.
+	PlanStep = planner.Step
+	// ExecutionResult summarises a workflow execution.
+	ExecutionResult = executor.Result
+	// Resources describes provisioned container resources.
+	Resources = engine.Resources
+	// ProfileSpace declares an operator's offline profiling grid.
+	ProfileSpace = profiler.Space
+	// RunMetrics is the monitoring record of one operator run.
+	RunMetrics = metrics.Run
+	// Environment is the (simulated) multi-engine cloud.
+	Environment = engine.Environment
+	// OperatorLibrary stores materialized operator descriptions.
+	OperatorLibrary = operator.Library
+	// ProvisionOption is one Pareto-optimal resource choice.
+	ProvisionOption = provision.Option
+)
+
+// Engine names of the default deployment.
+const (
+	EngineJava       = engine.EngineJava
+	EngineSpark      = engine.EngineSpark
+	EngineHama       = engine.EngineHama
+	EngineMapReduce  = engine.EngineMapReduce
+	EngineScikit     = engine.EngineScikit
+	EnginePostgreSQL = engine.EnginePostgreSQL
+	EngineMemSQL     = engine.EngineMemSQL
+	EnginePython     = engine.EnginePython
+	EngineCilk       = engine.EngineCilk
+)
+
+// Policy is the user-defined optimization objective.
+type Policy int
+
+// Optimization policies.
+const (
+	// MinTime minimises estimated workflow execution time.
+	MinTime Policy = iota
+	// MinCost minimises estimated monetary/resource cost.
+	MinCost
+	// Balanced trades the two off (0.5/0.5 normalised blend; resource
+	// provisioning picks the knee of the Pareto front).
+	Balanced
+)
+
+// Options configures a Platform.
+type Options struct {
+	// Seed drives every stochastic component (noise, model selection, GA).
+	Seed int64
+	// ClusterNodes / CoresPerNode / MemMBPerNode size the simulated
+	// cluster; zero values use the paper's 16 x (2 cores, 3456MB).
+	ClusterNodes int
+	CoresPerNode int
+	MemMBPerNode int
+	// Policy is the optimization objective (default MinTime).
+	Policy Policy
+	// ElasticProvisioning enables NSGA-II resource provisioning per
+	// operator; when off, operators get the full cluster (centralized
+	// engines a single node).
+	ElasticProvisioning bool
+	// MonitorPeriod is the health/service polling period (default 10s of
+	// virtual time).
+	MonitorPeriod time.Duration
+	// LaunchOverheadSec is the per-step YARN container launch overhead;
+	// zero uses the default 1.5s, negative disables it.
+	LaunchOverheadSec float64
+}
+
+// Platform is the IReS runtime: interface, optimizer and executor layers
+// wired over the simulated multi-engine cloud.
+type Platform struct {
+	opts Options
+
+	Env      *engine.Environment
+	Clock    *vtime.Clock
+	Cluster  *cluster.Cluster
+	Monitor  *cluster.Monitor
+	Library  *operator.Library
+	Profiler *profiler.Profiler
+
+	planner     *planner.Planner
+	provisioner *provision.Provisioner
+	executor    *executor.Executor
+
+	abstracts   map[string]*operator.Abstract
+	runObserver func(op string, run *RunMetrics)
+}
+
+// NewPlatform builds a platform with the default engine deployment.
+func NewPlatform(opts Options) (*Platform, error) {
+	if opts.ClusterNodes == 0 {
+		opts.ClusterNodes = engine.StandardCluster.Nodes
+	}
+	if opts.CoresPerNode == 0 {
+		opts.CoresPerNode = engine.StandardCluster.CoresPerN
+	}
+	if opts.MemMBPerNode == 0 {
+		opts.MemMBPerNode = engine.StandardCluster.MemMBPerN
+	}
+	if opts.MonitorPeriod == 0 {
+		opts.MonitorPeriod = 10 * time.Second
+	}
+
+	p := &Platform{
+		opts:      opts,
+		Env:       engine.NewDefaultEnvironment(opts.Seed),
+		Clock:     vtime.NewClock(),
+		Library:   operator.NewLibrary(),
+		abstracts: make(map[string]*operator.Abstract),
+	}
+	p.Cluster = cluster.New(p.Clock, opts.ClusterNodes, opts.CoresPerNode, opts.MemMBPerNode)
+	p.Monitor = cluster.NewMonitor(p.Cluster, p.Env, opts.MonitorPeriod)
+	p.Profiler = profiler.New(p.Env, opts.Seed)
+	p.provisioner = provision.New(p.Profiler, p.clusterBounds(), opts.Seed)
+
+	pl, err := planner.New(planner.Config{
+		Library:         p.Library,
+		Estimator:       libraryEstimator{prof: p.Profiler, lib: p.Library},
+		MoveSeconds:     p.Env.TransferSec,
+		Objective:       p.objective(),
+		EngineAvailable: p.Env.Available,
+		Resources:       p.chooseResources,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.planner = pl
+	launch := opts.LaunchOverheadSec
+	switch {
+	case launch == 0:
+		launch = 1.5
+	case launch < 0:
+		launch = 0
+	}
+	p.executor = &executor.Executor{
+		Env:               p.Env,
+		Cluster:           p.Cluster,
+		Clock:             p.Clock,
+		Observer:          p.observe,
+		Replanner:         replanAdapter{pl},
+		LaunchOverheadSec: launch,
+	}
+	p.Monitor.Start()
+	return p, nil
+}
+
+func (p *Platform) clusterBounds() engine.Resources {
+	return engine.Resources{
+		Nodes:     p.opts.ClusterNodes,
+		CoresPerN: p.opts.CoresPerNode,
+		MemMBPerN: p.opts.MemMBPerNode,
+	}
+}
+
+func (p *Platform) objective() planner.Objective {
+	switch p.opts.Policy {
+	case MinCost:
+		return planner.MinCost
+	case Balanced:
+		return planner.Weighted(0.5, 0.5)
+	default:
+		return planner.MinTime
+	}
+}
+
+func (p *Platform) provisionPolicy() provision.Policy {
+	switch p.opts.Policy {
+	case MinCost:
+		return provision.MinCost
+	case Balanced:
+		return provision.Balanced
+	default:
+		return provision.MinTime
+	}
+}
+
+// chooseResources is the planner's provisioning hook.
+func (p *Platform) chooseResources(mo *operator.Materialized, records, bytes int64) planner.Resources {
+	prof, centralized := p.Env.Engine(mo.Engine())
+	full := planner.Resources{Nodes: p.opts.ClusterNodes, CoresPerN: p.opts.CoresPerNode, MemMBPerN: p.opts.MemMBPerNode}
+	if centralized && prof.Centralized {
+		full = planner.Resources{Nodes: 1, CoresPerN: p.opts.CoresPerNode, MemMBPerN: p.opts.MemMBPerNode}
+	}
+	if !p.opts.ElasticProvisioning {
+		return full
+	}
+	if _, ok := p.Profiler.Models(mo.Name); !ok {
+		return full
+	}
+	best, _, err := p.provisioner.Provision(mo.Name, records, bytes, mo.Params(), p.provisionPolicy())
+	if err != nil {
+		return full
+	}
+	return planner.Resources{Nodes: best.Res.Nodes, CoresPerN: best.Res.CoresPerN, MemMBPerN: best.Res.MemMBPerN}
+}
+
+func (p *Platform) observe(opName string, run *metrics.Run) {
+	// Online model refinement: every actual run feeds the models.
+	_ = p.Profiler.Observe(opName, run)
+	if p.runObserver != nil {
+		p.runObserver(opName, run)
+	}
+}
+
+// SetRunObserver registers a callback invoked after every operator run, in
+// addition to the built-in model refinement (useful for experiments that
+// react to execution progress, e.g. failure injection at a precise point).
+func (p *Platform) SetRunObserver(fn func(op string, run *RunMetrics)) {
+	p.runObserver = fn
+}
+
+// UseTrivialReplanner switches fault recovery to full-workflow replanning
+// that ignores materialized intermediates — the TrivialReplan baseline of
+// the paper's fault-tolerance evaluation.
+func (p *Platform) UseTrivialReplanner() {
+	p.executor.Replanner = trivialReplanAdapter{p.planner}
+}
+
+// libraryEstimator layers the paper's user-provided cost functions over the
+// trained models: when an operator is unprofiled, constants declared in its
+// description (Optimization.execTime / Optimization.cost — the UserFunction
+// models of the D3.3 §3.3 description files) serve as estimates.
+type libraryEstimator struct {
+	prof *profiler.Profiler
+	lib  *operator.Library
+}
+
+func (e libraryEstimator) Estimate(opName, target string, feats map[string]float64) (float64, bool) {
+	if v, ok := e.prof.Estimate(opName, target, feats); ok {
+		return v, true
+	}
+	if _, profiled := e.prof.Models(opName); profiled {
+		// Profiled but infeasible at this configuration: the declared
+		// constants must not override the learned feasibility wall.
+		return 0, false
+	}
+	mo, ok := e.lib.Operator(opName)
+	if !ok {
+		return 0, false
+	}
+	var path string
+	switch target {
+	case profiler.TargetExecTime:
+		path = "Optimization.execTime"
+	case profiler.TargetCost:
+		path = "Optimization.cost"
+	default:
+		return 0, false
+	}
+	raw, ok := mo.Meta.Get(path)
+	if !ok || raw == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+type replanAdapter struct{ pl *planner.Planner }
+
+func (r replanAdapter) Replan(g *workflow.Graph, done []planner.MaterializedIntermediate) (*planner.Plan, error) {
+	return r.pl.Replan(g, done)
+}
+
+type trivialReplanAdapter struct{ pl *planner.Planner }
+
+func (r trivialReplanAdapter) Replan(g *workflow.Graph, _ []planner.MaterializedIntermediate) (*planner.Plan, error) {
+	return r.pl.Plan(g)
+}
+
+// RegisterOperator adds a materialized operator description (the
+// description-file format of the paper, e.g. "Constraints.Engine=Spark\n...")
+// to the operator library.
+func (p *Platform) RegisterOperator(name, description string) error {
+	_, err := p.Library.AddOperatorDescription(name, description)
+	return err
+}
+
+// RegisterDataset adds a named dataset description to the library.
+func (p *Platform) RegisterDataset(name, description string) error {
+	_, err := p.Library.AddDatasetDescription(name, description)
+	return err
+}
+
+// RegisterAbstractOperator declares an abstract operator usable in
+// workflow graph files.
+func (p *Platform) RegisterAbstractOperator(name, description string) error {
+	meta, err := parseMeta(description)
+	if err != nil {
+		return fmt.Errorf("ires: abstract operator %s: %w", name, err)
+	}
+	p.abstracts[name] = operator.NewAbstract(name, meta)
+	return nil
+}
+
+// ProfileOperator runs the offline profiling phase for a registered
+// materialized operator and trains its estimation models. It returns the
+// number of successful profiling runs.
+func (p *Platform) ProfileOperator(name string, space ProfileSpace) (int, error) {
+	mo, ok := p.Library.Operator(name)
+	if !ok {
+		return 0, fmt.Errorf("ires: unknown operator %q", name)
+	}
+	return p.Profiler.ProfileOffline(name, mo.Engine(), mo.Algorithm(), space)
+}
+
+// Plan materializes the optimal execution plan for an abstract workflow
+// under the platform policy.
+func (p *Platform) Plan(g *Workflow) (*Plan, error) {
+	return p.planner.Plan(g)
+}
+
+// ParetoPlans returns the Pareto front of (time, cost) materialized plans
+// for the workflow — the multi-objective planning extension. The user picks
+// one and passes it to Execute.
+func (p *Platform) ParetoPlans(g *Workflow) ([]*Plan, error) {
+	return p.planner.ParetoPlans(g)
+}
+
+// Replan computes a plan reusing already-materialized intermediates.
+func (p *Platform) Replan(g *Workflow, done []planner.MaterializedIntermediate) (*Plan, error) {
+	return p.planner.Replan(g, done)
+}
+
+// Execute enforces a plan over the simulated cluster, with monitoring,
+// model refinement and fault-tolerant replanning.
+func (p *Platform) Execute(g *Workflow, plan *Plan) (*ExecutionResult, error) {
+	return p.executor.Execute(g, plan)
+}
+
+// Run plans and executes a workflow in one call.
+func (p *Platform) Run(g *Workflow) (*Plan, *ExecutionResult, error) {
+	plan, err := p.Plan(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := p.Execute(g, plan)
+	return plan, res, err
+}
+
+// ProvisionFront exposes the NSGA-II Pareto front of resource choices for a
+// profiled operator at a given input scale.
+func (p *Platform) ProvisionFront(opName string, records, bytes int64, params map[string]float64) ([]ProvisionOption, error) {
+	return p.provisioner.Front(opName, records, bytes, params)
+}
+
+// SaveModels persists the profiler's model library (training buffers and
+// feasibility walls) to a JSON file, so profiling survives across sessions.
+func (p *Platform) SaveModels(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Profiler.Export(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModels restores a model library previously written by SaveModels,
+// retraining every imported model.
+func (p *Platform) LoadModels(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Profiler.Import(f)
+}
+
+// SetEngineAvailable flips an engine service ON/OFF (failure injection and
+// maintenance). Planning and replanning honour it immediately.
+func (p *Platform) SetEngineAvailable(name string, on bool) {
+	p.Env.SetAvailable(name, on)
+	p.Monitor.Poll()
+}
+
+// AvailableEngines lists the engines currently observed ON.
+func (p *Platform) AvailableEngines() []string {
+	return p.Monitor.AvailableEngines()
+}

@@ -1,0 +1,68 @@
+package ires
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadModels(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTextOps(t, p)
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := p.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh platform with the same operator library but no profiling:
+	// planning fails until the models are loaded.
+	q, err := NewPlatform(Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mo := range p.Library.Operators() {
+		if err := q.RegisterOperator(mo.Name, mo.Meta.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wf := textWorkflow(t, q, 2_000)
+	if _, err := q.Plan(wf); err == nil {
+		t.Fatal("planning without models should fail")
+	}
+	q.Profiler.Factories = p.Profiler.Factories
+	if err := q.LoadModels(path); err != nil {
+		t.Fatal(err)
+	}
+	plan, res, err := q.Run(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.OperatorSteps()) != 2 || res.Makespan <= 0 {
+		t.Fatalf("restored platform run wrong: %s", plan.Describe())
+	}
+	if err := q.LoadModels(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParetoPlansPlatform(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTextOps(t, p)
+	wf := textWorkflow(t, p, 20_000)
+	plans, err := p.ParetoPlans(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// Every front plan is executable on the platform.
+	if _, err := p.Execute(wf, plans[0]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+package ires
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/model"
+)
+
+// registerTextOps installs the Fig 12 operator pairs (scikit centralized,
+// Spark/MLlib distributed) and profiles them.
+func registerTextOps(t *testing.T, p *Platform) {
+	t.Helper()
+	ops := map[string]string{
+		"tfidf_scikit": `
+Constraints.Engine=scikit
+Constraints.OpSpecification.Algorithm.name=TF_IDF
+Constraints.Input0.Engine.FS=LFS
+Constraints.Output0.Engine.FS=LFS
+Constraints.Output0.type=csv
+`,
+		"tfidf_spark": `
+Constraints.Engine=Spark
+Constraints.OpSpecification.Algorithm.name=TF_IDF
+Constraints.Input0.Engine.FS=HDFS
+Constraints.Output0.Engine.FS=HDFS
+Constraints.Output0.type=SequenceFile
+`,
+		"kmeans_scikit": `
+Constraints.Engine=scikit
+Constraints.OpSpecification.Algorithm.name=kmeans
+Constraints.Input0.Engine.FS=LFS
+Constraints.Output0.Engine.FS=LFS
+Constraints.Output0.type=csv
+`,
+		"kmeans_spark": `
+Constraints.Engine=Spark
+Constraints.OpSpecification.Algorithm.name=kmeans
+Constraints.Input0.Engine.FS=HDFS
+Constraints.Output0.Engine.FS=HDFS
+Constraints.Output0.type=SequenceFile
+`,
+	}
+	for name, desc := range ops {
+		if err := p.RegisterOperator(name, desc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fast factories keep the test quick.
+	p.Profiler.Factories = []model.Factory{
+		func() model.Model { return model.NewLinear() },
+		func() model.Model { return model.NewKNN(2) },
+	}
+	space := ProfileSpace{
+		Records:        []int64{1_000, 5_000, 20_000, 100_000, 500_000},
+		BytesPerRecord: 5_000,
+		Resources: []engine.Resources{
+			{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456},
+			{Nodes: 8, CoresPerN: 2, MemMBPerN: 3456},
+			{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456},
+		},
+	}
+	for name := range ops {
+		if _, err := p.ProfileOperator(name, space); err != nil {
+			t.Fatalf("profiling %s: %v", name, err)
+		}
+	}
+}
+
+func textWorkflow(t *testing.T, p *Platform, docs int64) *Workflow {
+	t.Helper()
+	sizeStr := func(n int64) string {
+		return strings.TrimSpace(strings.ReplaceAll(strings.Repeat(" ", 1), " ", "")) + itoa(n)
+	}
+	wf, err := p.NewWorkflow().
+		DatasetWithMeta("crawlDocuments",
+			"Constraints.Engine.FS=HDFS\nConstraints.type=SequenceFile\nExecution.path=hdfs:///crawl"+
+				"\nOptimization.documents="+sizeStr(docs)+
+				"\nOptimization.size="+sizeStr(docs*5_000)).
+		Operator("tfidf", "Constraints.OpSpecification.Algorithm.name=TF_IDF").
+		Operator("kmeans", "Constraints.OpSpecification.Algorithm.name=kmeans").
+		Dataset("d1").
+		Dataset("d2").
+		Chain("crawlDocuments", "tfidf", "d1", "kmeans", "d2").
+		Target("d2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestEndToEndTextAnalytics(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTextOps(t, p)
+
+	// Small corpus: tf-idf must land on centralized scikit (its
+	// centralized/distributed crossover sits far above 2k documents);
+	// k-means may legitimately go hybrid onto Spark.
+	small := textWorkflow(t, p, 2_000)
+	plan, res, err := p.Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := plan.StepFor("tfidf"); !ok || s.Engine != EngineScikit {
+		t.Errorf("small corpus: tfidf on %v, want scikit\n%s", s, plan.Describe())
+	}
+	if res.Makespan <= 0 || res.FinalRecords <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+
+	// Large corpus: Spark wins both steps.
+	large := textWorkflow(t, p, 400_000)
+	plan2, _, err := p.Run(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan2.OperatorSteps() {
+		if s.Engine != EngineSpark {
+			t.Errorf("large corpus: step %s on %s, want Spark\n%s", s.Name, s.Engine, plan2.Describe())
+		}
+	}
+}
+
+func TestEndToEndFaultTolerance(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTextOps(t, p)
+	wf := textWorkflow(t, p, 1_000)
+
+	plan, err := p.Plan(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usesScikit := false
+	for _, s := range plan.OperatorSteps() {
+		if s.Engine == EngineScikit {
+			usesScikit = true
+		}
+	}
+	if !usesScikit {
+		t.Fatalf("precondition: plan should use scikit for 1k docs:\n%s", plan.Describe())
+	}
+	// Kill scikit before execution: the plan must be repaired onto Spark.
+	p.SetEngineAvailable(EngineScikit, false)
+	for _, e := range p.AvailableEngines() {
+		if e == EngineScikit {
+			t.Fatal("dead engine still reported available")
+		}
+	}
+	res, err := p.Execute(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans != 1 {
+		t.Fatalf("replans = %d, want 1", res.Replans)
+	}
+	for _, log := range res.StepLog {
+		if !log.Failed && log.Engine == EngineScikit {
+			t.Fatal("step ran on dead engine")
+		}
+	}
+}
+
+func TestElasticProvisioningScalesResources(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 5, ElasticProvisioning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTextOps(t, p)
+
+	planAt := func(docs int64) *Plan {
+		plan, err := p.Plan(textWorkflow(t, p, docs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	big := planAt(400_000)
+	for _, s := range big.OperatorSteps() {
+		if s.Res.Nodes < 1 || s.Res.Nodes > 16 {
+			t.Fatalf("provisioned nodes out of range: %+v", s.Res)
+		}
+	}
+	// The Pareto front for a profiled operator is reachable via the API.
+	front, err := p.ProvisionFront("tfidf_spark", 400_000, 400_000*5_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 1 {
+		t.Fatal("empty provisioning front")
+	}
+}
+
+func TestWorkflowBuilderErrors(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NewWorkflow().Dataset("a").Dataset("a").Build(); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := p.NewWorkflow().Operator("o", "bad description").Build(); err == nil {
+		t.Fatal("bad metadata accepted")
+	}
+	if _, err := p.NewWorkflow().Dataset("a").Target("missing").Build(); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := p.NewWorkflow().Build(); err == nil {
+		t.Fatal("empty workflow accepted")
+	}
+}
+
+func TestLoadLibraryDir(t *testing.T) {
+	dir := t.TempDir()
+	mkdir := func(parts ...string) string {
+		path := filepath.Join(append([]string{dir}, parts...)...)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	write := func(path, content string) {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(mkdir("datasets", "asapServerLog"),
+		"Optimization.documents=1000\nOptimization.size=100000\nExecution.path=hdfs:///user/root/asap-server.log\nConstraints.Engine.FS=HDFS")
+	write(mkdir("operators", "LineCount", "description"), `
+Constraints.Engine=Spark
+Constraints.Output.number=1
+Constraints.Input.number=1
+Constraints.OpSpecification.Algorithm.name=LineCount
+`)
+	write(mkdir("abstractOperators", "LineCount"), `
+Constraints.Output.number=1
+Constraints.Input.number=1
+Constraints.OpSpecification.Algorithm.name=LineCount
+`)
+	write(mkdir("abstractWorkflows", "LineCountWorkflow", "graph"), `
+asapServerLog,LineCount,0
+LineCount,d1,0
+d1,$$target
+`)
+
+	p, err := NewPlatform(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfs, err := p.LoadLibraryDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, ok := wfs["LineCountWorkflow"]
+	if !ok {
+		t.Fatalf("workflows = %v", wfs)
+	}
+	// Profile the operator, then plan and execute the loaded workflow.
+	if _, err := p.ProfileOperator("LineCount", ProfileSpace{
+		Records:        []int64{100, 1_000, 10_000},
+		BytesPerRecord: 100,
+		Resources:      []engine.Resources{{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plan, res, err := p.Run(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.OperatorSteps()) != 1 || res.Makespan <= 0 {
+		t.Fatalf("LineCount run wrong: %s", plan.Describe())
+	}
+}
+
+func TestLoadLibraryDirErrors(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty dir: no workflows, no error.
+	wfs, err := p.LoadLibraryDir(t.TempDir())
+	if err != nil || len(wfs) != 0 {
+		t.Fatalf("empty dir: %v %v", wfs, err)
+	}
+	// Operator dir without description file.
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "operators", "broken"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadLibraryDir(dir); err == nil {
+		t.Fatal("missing description accepted")
+	}
+}
