@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the gate a PR must pass: formatting, static analysis, and the full
+# test suite under the race detector.
+ci: fmt vet race
+
+bench:
+	$(GO) run ./cmd/ires-bench

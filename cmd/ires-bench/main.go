@@ -93,6 +93,7 @@ func main() {
 		show(cr, nil)
 	})
 	timed("FIG20-22", func() { show(experiments.FaultTolerance(*seed)) })
+	timed("FAULTSWEEP", func() { show(experiments.FaultSweep(*seed)) })
 	timed("MQ-F4", func() { show(experiments.MusqleOptTime(*seed, reps)) })
 	timed("MQ-F5", func() { show(experiments.MusqleEngineScaling(*seed, reps)) })
 	timed("MQ-EXEC", func() {

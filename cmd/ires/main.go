@@ -8,6 +8,8 @@
 //
 //	ires -lib <dir> [-workflow <name>] [-policy time|cost|balanced]
 //	     [-profile] [-execute] [-kill <engine>] [-dot]
+//	     [-fault-prob p] [-fault-seed n] [-straggler p] [-crash-node node@sec]
+//	     [-retries n] [-timeout-factor f] [-breaker n]
 //
 // Without -workflow, the available workflows and registered operators are
 // listed.
@@ -18,6 +20,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	ires "github.com/asap-project/ires"
 	"github.com/asap-project/ires/internal/engine"
@@ -39,6 +44,13 @@ func run() error {
 	kill := flag.String("kill", "", "engine to mark unavailable before planning (what-if)")
 	dot := flag.Bool("dot", false, "print the abstract workflow in Graphviz format")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	faultProb := flag.Float64("fault-prob", 0, "per-attempt transient failure probability to inject (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed of the fault schedule (default: -seed)")
+	straggler := flag.Float64("straggler", 0, "probability a run straggles (slowed 3x)")
+	crashNode := flag.String("crash-node", "", "inject a node crash, format node@seconds (e.g. node0@40)")
+	retries := flag.Int("retries", 1, "max same-engine attempts per step before replanning")
+	timeoutFactor := flag.Float64("timeout-factor", 0, "speculate when a step exceeds this multiple of its predicted time (0 disables)")
+	breaker := flag.Int("breaker", 0, "consecutive failures that blacklist an engine (0 disables)")
 	flag.Parse()
 
 	if *lib == "" {
@@ -57,7 +69,13 @@ func run() error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
-	p, err := ires.NewPlatform(ires.Options{Seed: *seed, Policy: pol})
+	p, err := ires.NewPlatform(ires.Options{
+		Seed:             *seed,
+		Policy:           pol,
+		Retry:            ires.RetryPolicy{MaxAttempts: *retries},
+		TimeoutFactor:    *timeoutFactor,
+		BreakerThreshold: *breaker,
+	})
 	if err != nil {
 		return err
 	}
@@ -112,6 +130,27 @@ func run() error {
 		p.SetEngineAvailable(*kill, false)
 		fmt.Printf("engine %s marked unavailable\n", *kill)
 	}
+	if *faultProb > 0 || *straggler > 0 || *crashNode != "" {
+		cfg := ires.FaultConfig{
+			Seed:      *faultSeed,
+			Default:   ires.FaultTransient{FailProb: *faultProb},
+			Straggler: ires.StragglerFaults{Prob: *straggler},
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = *seed
+		}
+		if *crashNode != "" {
+			node, at, err := parseCrash(*crashNode)
+			if err != nil {
+				return err
+			}
+			cfg.NodeCrashes = []ires.NodeCrash{{Node: node, At: at}}
+		}
+		if err := p.InjectFaults(cfg); err != nil {
+			return err
+		}
+		fmt.Printf("fault injection armed (prob %.2f, straggler %.2f)\n", *faultProb, *straggler)
+	}
 
 	plan, err := p.Plan(g)
 	if err != nil {
@@ -126,6 +165,10 @@ func run() error {
 		}
 		fmt.Printf("executed in %v (simulated), cost %.1f units, %d replans\n",
 			res.Makespan, res.TotalCostUnits, res.Replans)
+		if res.Retries+res.SpeculativeLaunches+res.ContainersLost > 0 {
+			fmt.Printf("recovery: %d retries, %d/%d speculative wins, %d containers lost\n",
+				res.Retries, res.SpeculativeWins, res.SpeculativeLaunches, res.ContainersLost)
+		}
 		for _, log := range res.StepLog {
 			status := "ok"
 			if log.Failed {
@@ -133,6 +176,28 @@ func run() error {
 			}
 			fmt.Printf("  %-40s %-12s %10v -> %10v  %s\n", log.Name, log.Engine, log.Start, log.End, status)
 		}
+		st := p.FaultStats()
+		if st.Transient+st.Stragglers+st.Outages+st.NodeCrash > 0 {
+			fmt.Printf("faults injected: %d transient, %d straggled, %d outages, %d node crashes\n",
+				st.Transient, st.Stragglers, st.Outages, st.NodeCrash)
+		}
+		if bl := p.BlacklistedEngines(); len(bl) > 0 {
+			fmt.Printf("circuit-broken engines: %s\n", strings.Join(bl, ", "))
+		}
 	}
 	return nil
+}
+
+// parseCrash parses -crash-node values of the form "node0@40" (node name and
+// the virtual time of the crash in seconds).
+func parseCrash(s string) (string, time.Duration, error) {
+	node, secStr, ok := strings.Cut(s, "@")
+	if !ok || node == "" {
+		return "", 0, fmt.Errorf("bad -crash-node %q: want node@seconds", s)
+	}
+	sec, err := strconv.ParseFloat(secStr, 64)
+	if err != nil || sec < 0 {
+		return "", 0, fmt.Errorf("bad -crash-node %q: want node@seconds", s)
+	}
+	return node, time.Duration(sec * float64(time.Second)), nil
 }

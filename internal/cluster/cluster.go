@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/asap-project/ires/internal/vtime"
 )
@@ -50,7 +52,18 @@ type Container struct {
 	MemMB    int
 
 	released bool
+	lost     atomic.Bool
+	lostAt   atomic.Int64 // virtual time of the loss, ns
 }
+
+// Lost reports whether the container was invalidated by a node failure.
+// Lost containers no longer hold resources; the work running in them is
+// gone and must be retried elsewhere.
+func (ctr *Container) Lost() bool { return ctr.lost.Load() }
+
+// LostAt returns the virtual time at which the container was invalidated
+// (zero unless Lost).
+func (ctr *Container) LostAt() time.Duration { return time.Duration(ctr.lostAt.Load()) }
 
 // Cluster is the simulated resource manager. It is safe for concurrent use.
 type Cluster struct {
@@ -59,6 +72,7 @@ type Cluster struct {
 	order  []string
 	clock  *vtime.Clock
 	nextID int
+	live   map[int]*Container // outstanding (non-released) containers by ID
 
 	// healthScript is the customizable per-node health probe; the default
 	// returns the node's current flag (set via SetNodeHealth, the failure
@@ -68,7 +82,7 @@ type Cluster struct {
 
 // New builds a cluster of count identical nodes named node0..node<count-1>.
 func New(clock *vtime.Clock, count, coresPerNode, memMBPerNode int) *Cluster {
-	c := &Cluster{nodes: make(map[string]*Node), clock: clock}
+	c := &Cluster{nodes: make(map[string]*Node), clock: clock, live: make(map[int]*Container)}
 	for i := 0; i < count; i++ {
 		name := fmt.Sprintf("node%d", i)
 		c.nodes[name] = &Node{Name: name, Cores: coresPerNode, MemMB: memMBPerNode, healthy: true}
@@ -113,6 +127,68 @@ func (c *Cluster) SetNodeHealth(name string, healthy bool) error {
 	return nil
 }
 
+// FailNode schedules a node crash at absolute virtual time at (immediately
+// when at is not in the future): the node is marked UNHEALTHY and every live
+// container hosted on it is invalidated — its resources are freed and its
+// Lost flag is raised so the executor fails the work that was running there
+// instead of letting it complete impossibly. It returns ErrUnknownNode for
+// unknown names; the crash itself happens asynchronously on the clock.
+func (c *Cluster) FailNode(name string, at time.Duration) error {
+	c.mu.Lock()
+	_, ok := c.nodes[name]
+	clock := c.clock
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	if clock == nil || at <= clock.Now() {
+		c.failNodeNow(name, at)
+		return nil
+	}
+	clock.Schedule(at, func(now time.Duration) { c.failNodeNow(name, now) })
+	return nil
+}
+
+// failNodeNow performs the crash: flips health and invalidates the node's
+// live containers. It returns the number of containers lost.
+func (c *Cluster) failNodeNow(name string, at time.Duration) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return 0
+	}
+	n.healthy = false
+	lost := 0
+	for id, ctr := range c.live {
+		if ctr.NodeName != name {
+			continue
+		}
+		ctr.lostAt.Store(int64(at))
+		ctr.lost.Store(true)
+		ctr.released = true // resources are gone with the node; Release is a no-op
+		delete(c.live, id)
+		n.usedCores -= ctr.Cores
+		n.usedMemMB -= ctr.MemMB
+		lost++
+	}
+	return lost
+}
+
+// RestoreNode brings a failed node back (repaired hardware rejoining the
+// cluster): health is restored and its capacity becomes allocatable again.
+func (c *Cluster) RestoreNode(name string) error {
+	return c.SetNodeHealth(name, true)
+}
+
+// LiveContainers returns the number of outstanding (allocated, not released,
+// not lost) containers.
+func (c *Cluster) LiveContainers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.live)
+}
+
 // Nodes returns the cluster's nodes in stable order.
 func (c *Cluster) Nodes() []*Node {
 	c.mu.Lock()
@@ -145,7 +221,6 @@ func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	type slot struct{ node *Node }
 	var granted []*Container
 	rollback := func() {
 		for _, ctr := range granted {
@@ -174,7 +249,9 @@ func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
 		best.usedCores += cores
 		best.usedMemMB += memMB
 		c.nextID++
-		granted = append(granted, &Container{ID: c.nextID, NodeName: best.Name, Cores: cores, MemMB: memMB})
+		ctr := &Container{ID: c.nextID, NodeName: best.Name, Cores: cores, MemMB: memMB}
+		c.live[ctr.ID] = ctr
+		granted = append(granted, ctr)
 	}
 	return granted, nil
 }
@@ -191,6 +268,7 @@ func (c *Cluster) Release(ctr *Container) {
 		return
 	}
 	ctr.released = true
+	delete(c.live, ctr.ID)
 	if n, ok := c.nodes[ctr.NodeName]; ok {
 		n.usedCores -= ctr.Cores
 		n.usedMemMB -= ctr.MemMB

@@ -227,3 +227,91 @@ func TestQuickAccountingInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFailNodeInvalidatesLiveContainers(t *testing.T) {
+	clock := vtime.NewClock()
+	c := New(clock, 4, 2, 4096)
+	ctrs, err := c.Allocate(4, 2, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LiveContainers(); got != 4 {
+		t.Fatalf("live containers = %d, want 4", got)
+	}
+
+	// Crash scheduled in the future must not fire early.
+	if err := c.FailNode(ctrs[0].NodeName, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ctrs[0].Lost() {
+		t.Fatal("container lost before the crash time")
+	}
+	clock.Advance(10 * time.Second)
+	if !ctrs[0].Lost() {
+		t.Fatal("container on failed node not invalidated")
+	}
+	if got, want := ctrs[0].LostAt(), 10*time.Second; got != want {
+		t.Fatalf("LostAt = %v, want %v", got, want)
+	}
+	for _, ctr := range ctrs[1:] {
+		if ctr.Lost() {
+			t.Fatalf("container on healthy node %s invalidated", ctr.NodeName)
+		}
+	}
+	// The lost container no longer holds resources and left the live set.
+	if got := c.LiveContainers(); got != 3 {
+		t.Fatalf("live containers after crash = %d, want 3", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore brings the capacity back.
+	if err := c.RestoreNode(ctrs[0].NodeName); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(1, 2, 2048); err != nil {
+		t.Fatalf("allocation on restored node failed: %v", err)
+	}
+
+	// Double release of a lost container stays safe.
+	c.ReleaseAll(ctrs)
+	c.ReleaseAll(ctrs)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailNodeUnknown(t *testing.T) {
+	c := New(vtime.NewClock(), 2, 2, 4096)
+	if err := c.FailNode("node99", 0); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if err := c.RestoreNode("node99"); err == nil {
+		t.Fatal("RestoreNode accepted an unknown node")
+	}
+}
+
+func TestMonitorMultipleSubscribers(t *testing.T) {
+	clock := vtime.NewClock()
+	c := New(clock, 2, 2, 4096)
+	env := engine.NewDefaultEnvironment(1)
+	m := NewMonitor(c, env, 10*time.Second)
+	m.Start()
+
+	var calls []string
+	m.OnChange(func() { calls = append(calls, "a") })
+	m.OnChange(func() { calls = append(calls, "b") })
+	m.OnChange(nil) // must be ignored
+
+	if err := c.FailNode("node1", 12*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(30 * time.Second)
+	if len(calls) < 2 || calls[0] != "a" || calls[1] != "b" {
+		t.Fatalf("subscribers fired %v, want a then b", calls)
+	}
+	if m.NodeHealthy("node1") {
+		t.Fatal("monitor did not observe the crash")
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -22,7 +23,7 @@ type Monitor struct {
 	services   map[string]bool
 	started    bool
 	ticks      int
-	onChange   func()
+	onChange   []func()
 }
 
 // NewMonitor builds a monitor over the cluster and engine environment,
@@ -38,11 +39,15 @@ func NewMonitor(c *Cluster, env *engine.Environment, period time.Duration) *Moni
 }
 
 // OnChange registers a callback fired (synchronously, during Poll) whenever
-// a node or service changes status.
+// a node or service changes status. Multiple callbacks may be registered;
+// they fire in registration order.
 func (m *Monitor) OnChange(fn func()) {
+	if fn == nil {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.onChange = fn
+	m.onChange = append(m.onChange, fn)
 }
 
 // Start schedules periodic polls on the cluster's virtual clock. It is
@@ -93,11 +98,13 @@ func (m *Monitor) Poll() bool {
 		}
 	}
 	m.ticks++
-	cb := m.onChange
+	cbs := append([]func(){}, m.onChange...)
 	m.mu.Unlock()
 
-	if changed && cb != nil {
-		cb()
+	if changed {
+		for _, cb := range cbs {
+			cb()
+		}
 	}
 	return changed
 }
@@ -117,7 +124,8 @@ func (m *Monitor) ServiceOn(name string) bool {
 	return m.services[name]
 }
 
-// AvailableEngines lists engines last observed ON.
+// AvailableEngines lists engines last observed ON, sorted by name (map
+// iteration order would otherwise make the listing nondeterministic).
 func (m *Monitor) AvailableEngines() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -127,6 +135,7 @@ func (m *Monitor) AvailableEngines() []string {
 			out = append(out, name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 

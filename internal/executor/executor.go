@@ -4,11 +4,29 @@
 // back to the model-refinement path, detecting failures in real time and —
 // instead of discarding completed work — replanning only the remaining
 // workflow, reusing every materialized intermediate result.
+//
+// Recovery is layered, cheapest mechanism first:
+//
+//  1. transient step failures are retried on the same engine with
+//     exponential backoff in virtual time (RetryPolicy);
+//  2. steps exceeding TimeoutFactor × their predicted duration are treated
+//     as stragglers: a speculative copy launches on the next-best
+//     engine/resource choice and whichever attempt finishes first wins,
+//     the loser's containers being released immediately;
+//  3. node failures invalidate the containers running on the node; the
+//     executor observes this through the cluster Monitor and fails the
+//     affected steps instead of letting them complete impossibly;
+//  4. engines failing repeatedly trip a CircuitBreaker and are excluded
+//     from replans for a cooldown window;
+//  5. only when retries on the same engine are exhausted does the executor
+//     fall through to replanning the remaining workflow.
 package executor
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/asap-project/ires/internal/cluster"
@@ -27,12 +45,76 @@ var ErrDeadlock = errors.New("executor: no runnable step")
 // ErrTooManyReplans indicates the failure/replan loop exceeded MaxReplans.
 var ErrTooManyReplans = errors.New("executor: too many replans")
 
+// ErrContainersLost indicates a step's containers were invalidated by a
+// node failure mid-run. It is retryable: the work relaunches elsewhere.
+var ErrContainersLost = errors.New("executor: containers lost to node failure")
+
 // Replanner produces a new plan for the remaining workflow given the
 // intermediates that already exist. The core platform wires this to the
 // planner with engine availability checked live, so failed engines are
 // excluded automatically.
 type Replanner interface {
 	Replan(g *workflow.Graph, done []planner.MaterializedIntermediate) (*planner.Plan, error)
+}
+
+// Injector is the chaos hook consulted at every operator attempt launch —
+// *faults.Schedule implements it. Move steps are exempt (they hold no
+// containers and model plain network transfers).
+type Injector interface {
+	// RunFault decides whether this attempt fails transiently; durSec is
+	// the attempt's predicted duration.
+	RunFault(engineName, stepName string, attempt int, durSec float64, now time.Duration) error
+	// StretchFactor returns the straggler slowdown multiplier (>= 1)
+	// applied to the attempt's duration.
+	StretchFactor(engineName, stepName string, now time.Duration) float64
+}
+
+// RetryPolicy bounds per-step same-engine retries. The zero value means a
+// single attempt (no retries), preserving fail-then-replan semantics.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per step per plan
+	// (1 attempt = no retry; values <= 0 are treated as 1).
+	MaxAttempts int
+	// BaseBackoff is the virtual-time delay before the first retry
+	// (default 1s when retries are enabled).
+	BaseBackoff time.Duration
+	// Multiplier grows the backoff exponentially (default 2).
+	Multiplier float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before the next attempt after `failed` failures.
+func (p RetryPolicy) backoff(failed int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	d := base
+	for i := 1; i < failed; i++ {
+		d = time.Duration(float64(d) * mult)
+	}
+	return d
+}
+
+// SpeculativeChoice is an alternative materialization for a straggling
+// step: the next-best engine/resource option for the same abstract
+// operator.
+type SpeculativeChoice struct {
+	OpName    string
+	Engine    string
+	Algorithm string
+	Res       planner.Resources
+	Params    map[string]float64
 }
 
 // Executor enforces materialized plans.
@@ -52,7 +134,35 @@ type Executor struct {
 	// overhead added to each run's duration (the "couple of seconds" the
 	// paper attributes to YARN-based execution).
 	LaunchOverheadSec float64
+
+	// Retry bounds per-step same-engine retries; the zero value disables
+	// them.
+	Retry RetryPolicy
+	// TimeoutFactor enables straggler detection: a step exceeding
+	// TimeoutFactor × its predicted duration gets a speculative copy
+	// (requires Speculate). Zero disables timeouts.
+	TimeoutFactor float64
+	// Speculate picks the next-best engine/resource choice for a
+	// straggling step; nil disables speculative execution.
+	Speculate func(s *planner.Step) (SpeculativeChoice, bool)
+	// Faults is the chaos-injection hook; nil injects nothing.
+	Faults Injector
+	// Breaker, when non-nil, records per-engine failures/successes so
+	// flapping engines are blacklisted from replans for a cooldown.
+	Breaker *CircuitBreaker
+	// Monitor, when non-nil, is subscribed for health-change wakeups:
+	// container losses are detected at monitor polls rather than at step
+	// completion.
+	Monitor *cluster.Monitor
+
+	subscribeOnce sync.Once
+	healthDirty   atomic.Bool
 }
+
+// NotifyHealthChange marks the cluster health board dirty; the execution
+// loop sweeps for lost containers at the next opportunity. It is the
+// Monitor.OnChange subscription target and safe to call from any goroutine.
+func (e *Executor) NotifyHealthChange() { e.healthDirty.Store(true) }
 
 // StepExec logs one step execution attempt.
 type StepExec struct {
@@ -62,6 +172,11 @@ type StepExec struct {
 	End     time.Duration
 	Failed  bool
 	Failure string
+	// Attempt numbers the execution attempts of a step within one plan
+	// (1-based; 0 in logs predating retries is equivalent to 1).
+	Attempt int
+	// Speculative marks runs launched as straggler backups.
+	Speculative bool
 }
 
 // Result summarises one workflow execution.
@@ -77,18 +192,29 @@ type Result struct {
 	Replans int
 	// ReplanTime accumulates the (real) planning time of replans.
 	ReplanTime time.Duration
+	// Retries counts same-engine step relaunches after transient failures.
+	Retries int
+	// SpeculativeLaunches counts straggler backup copies started;
+	// SpeculativeWins counts those that beat the original attempt.
+	SpeculativeLaunches int
+	SpeculativeWins     int
+	// ContainersLost counts containers invalidated by node failures.
+	ContainersLost int
 	// FinalRecords/FinalBytes describe the target dataset.
 	FinalRecords int64
 	FinalBytes   int64
 	StepLog      []StepExec
 }
 
-// Execute enforces the plan for the workflow. On step failure it asks the
-// Replanner for a plan over the remaining work and continues, reusing
-// materialized intermediates.
+// Execute enforces the plan for the workflow. On step failure it retries per
+// the RetryPolicy, then asks the Replanner for a plan over the remaining
+// work and continues, reusing materialized intermediates.
 func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, error) {
 	if e.Env == nil || e.Cluster == nil || e.Clock == nil {
 		return nil, fmt.Errorf("executor: Env, Cluster and Clock are required")
+	}
+	if e.Monitor != nil {
+		e.subscribeOnce.Do(func() { e.Monitor.OnChange(e.NotifyHealthChange) })
 	}
 	maxReplans := e.MaxReplans
 	if maxReplans == 0 {
@@ -129,6 +255,13 @@ func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, erro
 		}
 		done := intermediates(g, datasets)
 		next, err := e.Replanner.Replan(g, done)
+		if err != nil && e.Breaker != nil && len(e.Breaker.Tripped()) > 0 {
+			// The only remaining implementations may sit on blacklisted
+			// engines. Wait out the cooldown (half-open readmits them)
+			// and try once more before giving up.
+			e.Clock.Advance(e.Breaker.Cooldown)
+			next, err = e.Replanner.Replan(g, done)
+		}
 		if err != nil {
 			return res, fmt.Errorf("executor: replan after %s failed: %w", failed.Name, err)
 		}
@@ -150,192 +283,584 @@ type dataset struct {
 	meta    *metadata.Tree
 }
 
-// outMetaOf returns the dataset tag a completed step produced.
-func outMetaOf(s *planner.Step) *metadata.Tree {
+// outMetaOf returns the dataset tag a completed step produced. Speculative
+// winners keep the planned tag: as with YARN speculation, the backup writes
+// to the output location the plan declared, so downstream steps and replans
+// see the data where they expect it.
+func outMetaOf(s *planner.Step, engineName string) *metadata.Tree {
 	if s.OutMeta != nil {
 		return s.OutMeta.Clone()
 	}
 	t := metadata.New()
 	if s.Kind == planner.StepOperator {
-		t.Set("Engine", s.Engine)
+		t.Set("Engine", engineName)
 	}
 	return t
 }
 
-// runPlan executes one plan until completion or first failure. It returns
-// the failed step log entry (nil on success).
+// attemptRun is one live execution attempt (primary or speculative copy).
+type attemptRun struct {
+	opName      string
+	engineName  string
+	start       time.Duration
+	end         time.Duration
+	ctrs        []*cluster.Container
+	run         *metrics.Run
+	speculative bool
+	attempt     int
+}
+
+// flight is the in-flight state of one plan step: the primary attempt plus
+// at most one speculative copy.
+type flight struct {
+	step      *planner.Step
+	copies    []*attemptRun
+	deadline  time.Duration // 0 = no straggler timeout
+	specTried bool
+	inRecords int64
+	inBytes   int64
+}
+
+// planRun carries the mutable state of one runPlan invocation.
+type planRun struct {
+	e        *Executor
+	plan     *planner.Plan
+	datasets map[string]*dataset
+	res      *Result
+
+	doneSteps map[int]*dataset
+	inFlight  map[int]*flight
+	attempts  map[int]int
+	retryAt   map[int]time.Duration
+	completed int
+	failure   *StepExec
+}
+
+// runPlan executes one plan until completion or first unrecoverable step
+// failure. It returns the failed step log entry (nil on success).
 func (e *Executor) runPlan(g *workflow.Graph, plan *planner.Plan, datasets map[string]*dataset, res *Result) (*StepExec, error) {
-	type running struct {
-		step *planner.Step
-		end  time.Duration
-		ctrs []*cluster.Container
-		run  *metrics.Run
+	st := &planRun{
+		e:         e,
+		plan:      plan,
+		datasets:  datasets,
+		res:       res,
+		doneSteps: make(map[int]*dataset),
+		inFlight:  make(map[int]*flight),
+		attempts:  make(map[int]int),
+		retryAt:   make(map[int]time.Duration),
 	}
 
-	doneSteps := make(map[int]*dataset) // step ID -> output
-	inFlight := make(map[int]*running)
-	completed := 0
+	// stallSince tracks how long the run has been fully blocked (nothing in
+	// flight, nothing launchable, no retry window open). Pending clock
+	// events — a scheduled node restore, an engine outage, a monitor poll —
+	// may unblock it, so we wait on them up to stallLimit of virtual time
+	// before declaring deadlock (monitor polls reschedule themselves
+	// forever, so waiting must be bounded).
+	const stallLimit = time.Hour
+	stalled := false
+	var stallSince time.Duration
 
-	ready := func(s *planner.Step) bool {
-		if _, ok := doneSteps[s.ID]; ok {
-			return false
+	for st.completed < len(plan.Steps) && st.failure == nil {
+		startedAny, err := st.startReady()
+		if err != nil {
+			return nil, err
 		}
-		if _, ok := inFlight[s.ID]; ok {
-			return false
-		}
-		for _, dep := range s.DependsOn {
-			if _, ok := doneSteps[dep]; !ok {
-				return false
-			}
-		}
-		for _, src := range s.SourceInputs {
-			if _, ok := datasets[src]; !ok {
-				return false
-			}
-		}
-		return true
-	}
-
-	inputOf := func(s *planner.Step) (records, bytes int64) {
-		for _, dep := range s.DependsOn {
-			if d := doneSteps[dep]; d != nil {
-				records += d.records
-				bytes += d.bytes
-			}
-		}
-		for _, src := range s.SourceInputs {
-			if d := datasets[src]; d != nil {
-				records += d.records
-				bytes += d.bytes
-			}
-		}
-		return records, bytes
-	}
-
-	var failure *StepExec
-	for completed < len(plan.Steps) && failure == nil {
-		// Start every ready step whose containers fit.
-		startedAny := false
-		for _, s := range plan.Steps {
-			if !ready(s) {
-				continue
-			}
-			inRecords, inBytes := inputOf(s)
-			now := e.Clock.Now()
-
-			if s.Kind == planner.StepMove {
-				dur := e.Env.TransferSec(inBytes)
-				run := &metrics.Run{
-					Operator: s.Name, Algorithm: "move", Engine: "move",
-					ExecTimeSec:  dur,
-					InputRecords: inRecords, InputBytes: inBytes,
-					OutputRecords: inRecords, OutputBytes: inBytes,
-					Date: time.Unix(0, 0).Add(now),
-				}
-				inFlight[s.ID] = &running{step: s, end: now + secs(dur), run: run}
-				startedAny = true
-				continue
-			}
-
-			eRes := engine.Resources{Nodes: s.Res.Nodes, CoresPerN: s.Res.CoresPerN, MemMBPerN: s.Res.MemMBPerN}
-			ctrs, err := e.Cluster.Allocate(eRes.Nodes, eRes.CoresPerN, eRes.MemMBPerN)
-			if err != nil {
-				if errors.Is(err, cluster.ErrInsufficientResources) {
-					continue // wait for a completion to free resources
-				}
-				return nil, err
-			}
-			in := engine.Input{Records: inRecords, Bytes: inBytes, Params: s.Params}
-			run, err := e.Env.Execute(s.Engine, s.Algorithm, in, eRes, now)
-			if run != nil {
-				run.Operator = s.Op.Name
-			}
-			if err != nil {
-				e.Cluster.ReleaseAll(ctrs)
-				log := StepExec{Name: s.Name, Engine: s.Engine, Start: now, End: now, Failed: true, Failure: err.Error()}
-				res.StepLog = append(res.StepLog, log)
-				if run != nil {
-					res.Runs = append(res.Runs, run)
-					if e.Observer != nil {
-						e.Observer(s.Op.Name, run)
-					}
-				}
-				failure = &log
-				break
-			}
-			inFlight[s.ID] = &running{step: s, end: now + secs(run.ExecTimeSec+e.LaunchOverheadSec), ctrs: ctrs, run: run}
-			startedAny = true
-		}
-		if failure != nil {
+		if st.failure != nil {
 			break
 		}
-		if len(inFlight) == 0 {
-			if !startedAny {
-				return nil, fmt.Errorf("%w: %d/%d steps done", ErrDeadlock, completed, len(plan.Steps))
+		if len(st.inFlight) == 0 {
+			if at, ok := st.earliestRetry(); ok && at > e.Clock.Now() {
+				// Nothing running, but a backoff window is open: advance
+				// straight to the retry time. A retry time already in the
+				// past means the step is launchable but blocked (e.g. on
+				// capacity) — fall through to the stall wait below.
+				stalled = false
+				st.advanceClockTo(at)
+				continue
 			}
+			if !startedAny {
+				now := e.Clock.Now()
+				if !stalled {
+					stalled, stallSince = true, now
+				}
+				if at, ok := e.Clock.NextEventAt(); ok && now-stallSince < stallLimit {
+					st.advanceClockTo(at)
+					continue
+				}
+				return nil, fmt.Errorf("%w: %d/%d steps done", ErrDeadlock, st.completed, len(plan.Steps))
+			}
+			stalled = false
 			continue
 		}
-
-		// Advance to the earliest completion.
-		var next *running
-		for _, r := range inFlight {
-			if next == nil || r.end < next.end ||
-				(r.end == next.end && r.step.ID < next.step.ID) {
-				next = r
-			}
-		}
-		e.Clock.AdvanceTo(next.end)
-		delete(inFlight, next.step.ID)
-		e.Cluster.ReleaseAll(next.ctrs)
-		completed++
-
-		s := next.step
-		out := &dataset{records: next.run.OutputRecords, bytes: next.run.OutputBytes, meta: outMetaOf(s)}
-		doneSteps[s.ID] = out
-		res.Runs = append(res.Runs, next.run)
-		res.TotalCostUnits += next.run.CostUnits
-		res.StepLog = append(res.StepLog, StepExec{
-			Name: s.Name, Engine: s.Engine,
-			Start: next.end - secs(next.run.ExecTimeSec), End: next.end,
-		})
-		if s.Kind == planner.StepOperator {
-			if e.Observer != nil {
-				e.Observer(s.Op.Name, next.run)
-			}
-			if s.OutDataset != "" {
-				datasets[s.OutDataset] = out
-			}
-		}
+		stalled = false
+		st.advanceOnce()
 	}
 
 	// Let in-flight steps finish so their intermediates survive the
 	// failure (the paper's executor keeps successfully produced results).
-	for len(inFlight) > 0 {
-		var next *running
-		for _, r := range inFlight {
-			if next == nil || r.end < next.end {
-				next = r
+	for len(st.inFlight) > 0 {
+		st.advanceOnce()
+	}
+	return st.failure, nil
+}
+
+// ready reports whether a step can start now.
+func (st *planRun) ready(s *planner.Step, now time.Duration) bool {
+	if _, ok := st.doneSteps[s.ID]; ok {
+		return false
+	}
+	if _, ok := st.inFlight[s.ID]; ok {
+		return false
+	}
+	if at, ok := st.retryAt[s.ID]; ok && now < at {
+		return false
+	}
+	for _, dep := range s.DependsOn {
+		if _, ok := st.doneSteps[dep]; !ok {
+			return false
+		}
+	}
+	for _, src := range s.SourceInputs {
+		if _, ok := st.datasets[src]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *planRun) inputOf(s *planner.Step) (records, bytes int64) {
+	for _, dep := range s.DependsOn {
+		if d := st.doneSteps[dep]; d != nil {
+			records += d.records
+			bytes += d.bytes
+		}
+	}
+	for _, src := range s.SourceInputs {
+		if d := st.datasets[src]; d != nil {
+			records += d.records
+			bytes += d.bytes
+		}
+	}
+	return records, bytes
+}
+
+// earliestRetry returns the soonest open backoff deadline among pending
+// retries.
+func (st *planRun) earliestRetry() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for id, at := range st.retryAt {
+		if _, done := st.doneSteps[id]; done {
+			continue
+		}
+		if !found || at < best {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// startReady launches every ready step whose containers fit. It reports
+// whether any step started.
+func (st *planRun) startReady() (bool, error) {
+	e := st.e
+	startedAny := false
+	for _, s := range st.plan.Steps {
+		now := e.Clock.Now()
+		if !st.ready(s, now) {
+			continue
+		}
+		inRecords, inBytes := st.inputOf(s)
+
+		if s.Kind == planner.StepMove {
+			dur := e.Env.TransferSec(inBytes)
+			run := &metrics.Run{
+				Operator: s.Name, Algorithm: "move", Engine: "move",
+				ExecTimeSec:  dur,
+				InputRecords: inRecords, InputBytes: inBytes,
+				OutputRecords: inRecords, OutputBytes: inBytes,
+				Date: time.Unix(0, 0).Add(now),
+			}
+			st.inFlight[s.ID] = &flight{
+				step:      s,
+				copies:    []*attemptRun{{opName: s.Name, engineName: "move", start: now, end: now + secs(dur), run: run}},
+				inRecords: inRecords, inBytes: inBytes,
+			}
+			startedAny = true
+			continue
+		}
+
+		attempt := st.attempts[s.ID] + 1
+		copyRun, launchErr, hardErr := st.launch(s, s.Op.Name, s.Engine, s.Algorithm, s.Res, s.Params, inRecords, inBytes, attempt, false)
+		if hardErr != nil {
+			return startedAny, hardErr
+		}
+		if launchErr != nil {
+			if errors.Is(launchErr, cluster.ErrInsufficientResources) {
+				continue // wait for a completion to free resources
+			}
+			st.failAttempt(s, s.Engine, launchErr, copyRun)
+			if st.failure != nil {
+				break
+			}
+			continue
+		}
+		delete(st.retryAt, s.ID)
+		fl := &flight{step: s, copies: []*attemptRun{copyRun}, inRecords: inRecords, inBytes: inBytes}
+		if e.TimeoutFactor > 0 && e.Speculate != nil {
+			predicted := copyRun.run.ExecTimeSec
+			if f := st.stretchOf(copyRun); f > 1 {
+				predicted /= f
+			}
+			fl.deadline = copyRun.start + secs(e.TimeoutFactor*(predicted+e.LaunchOverheadSec))
+		}
+		st.inFlight[s.ID] = fl
+		startedAny = true
+	}
+	return startedAny, nil
+}
+
+// stretchOf recovers the straggler factor applied to an attempt (stored on
+// launch via the run's params to avoid a parallel bookkeeping map).
+func (st *planRun) stretchOf(c *attemptRun) float64 {
+	if c.run == nil || c.run.Params == nil {
+		return 1
+	}
+	if f, ok := c.run.Params["faultStretch"]; ok && f > 1 {
+		return f
+	}
+	return 1
+}
+
+// launch allocates containers and starts one attempt of an operator step.
+// launchErr is a recoverable per-attempt failure (the returned attemptRun
+// then carries the failed monitoring record, if any); hardErr aborts the
+// whole execution.
+func (st *planRun) launch(s *planner.Step, opName, engineName, algorithm string, r planner.Resources, params map[string]float64, inRecords, inBytes int64, attempt int, speculative bool) (*attemptRun, error, error) {
+	e := st.e
+	now := e.Clock.Now()
+	eRes := engine.Resources{Nodes: r.Nodes, CoresPerN: r.CoresPerN, MemMBPerN: r.MemMBPerN}
+	ctrs, err := e.Cluster.Allocate(eRes.Nodes, eRes.CoresPerN, eRes.MemMBPerN)
+	if err != nil {
+		if errors.Is(err, cluster.ErrInsufficientResources) {
+			return nil, err, nil
+		}
+		return nil, nil, err
+	}
+	in := engine.Input{Records: inRecords, Bytes: inBytes, Params: params}
+	run, err := e.Env.Execute(engineName, algorithm, in, eRes, now)
+	if run != nil {
+		run.Operator = opName
+	}
+	if err != nil {
+		e.Cluster.ReleaseAll(ctrs)
+		return &attemptRun{opName: opName, engineName: engineName, start: now, run: run, speculative: speculative, attempt: attempt}, err, nil
+	}
+	// Chaos hooks: injected transient failure, then straggler stretch.
+	if e.Faults != nil {
+		if ferr := e.Faults.RunFault(engineName, s.Name, attempt, run.ExecTimeSec, now); ferr != nil {
+			e.Cluster.ReleaseAll(ctrs)
+			run.Failed = true
+			run.FailureReason = ferr.Error()
+			return &attemptRun{opName: opName, engineName: engineName, start: now, run: run, speculative: speculative, attempt: attempt}, ferr, nil
+		}
+		if f := e.Faults.StretchFactor(engineName, s.Name, now); f > 1 {
+			run.ExecTimeSec *= f
+			run.CostUnits *= f
+			if run.Params == nil {
+				run.Params = map[string]float64{}
+			}
+			run.Params["faultStretch"] = f
+		}
+	}
+	return &attemptRun{
+		opName:      opName,
+		engineName:  engineName,
+		start:       now,
+		end:         now + secs(run.ExecTimeSec+e.LaunchOverheadSec),
+		ctrs:        ctrs,
+		run:         run,
+		speculative: speculative,
+		attempt:     attempt,
+	}, nil, nil
+}
+
+// retryable classifies attempt errors: deterministic engine verdicts (OOM,
+// service OFF, unknown engine/algorithm) go straight to replanning, while
+// everything else — injected transients, container losses — may succeed on
+// a relaunch.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, engine.ErrOutOfMemory),
+		errors.Is(err, engine.ErrUnavailable),
+		errors.Is(err, engine.ErrUnknownEngine),
+		errors.Is(err, engine.ErrUnknownAlgorithm):
+		return false
+	}
+	return true
+}
+
+// failAttempt records a failed attempt, schedules a same-engine retry while
+// the budget lasts, and otherwise marks the plan failed (triggering
+// replanning upstream). engineObserved distinguishes genuine engine errors
+// (fed to the Observer for model refinement, matching the historical
+// behaviour) from infrastructure faults, which say nothing about the
+// engine's capability and must not poison the feasibility models.
+func (st *planRun) failAttempt(s *planner.Step, engineName string, err error, c *attemptRun) {
+	e := st.e
+	now := e.Clock.Now()
+	st.attempts[s.ID]++
+	attempt := st.attempts[s.ID]
+	if e.Breaker != nil {
+		e.Breaker.RecordFailure(engineName)
+	}
+	start := now
+	var failedRun *metrics.Run
+	if c != nil {
+		start = c.start
+		failedRun = c.run
+	}
+	log := StepExec{
+		Name: s.Name, Engine: engineName,
+		Start: start, End: now,
+		Failed: true, Failure: err.Error(),
+		Attempt: attempt,
+	}
+	st.res.StepLog = append(st.res.StepLog, log)
+	if failedRun != nil {
+		st.res.Runs = append(st.res.Runs, failedRun)
+		// Only genuine engine verdicts refine the models; injected faults
+		// and node failures are infrastructure noise.
+		if e.Observer != nil && !retryable(err) {
+			e.Observer(c.opName, failedRun)
+		}
+	}
+	if retryable(err) && attempt < e.Retry.attempts() {
+		st.retryAt[s.ID] = now + e.Retry.backoff(attempt)
+		st.res.Retries++
+		return
+	}
+	if st.failure == nil {
+		st.failure = &log
+	}
+}
+
+// nextStop picks the next decision point: the earliest attempt completion
+// or armed straggler deadline.
+func (st *planRun) nextStop() (time.Duration, bool) {
+	var best time.Duration
+	deadline := false
+	found := false
+	for _, f := range st.inFlight {
+		for _, c := range f.copies {
+			if !found || c.end < best {
+				best, deadline, found = c.end, false, true
 			}
 		}
-		e.Clock.AdvanceTo(next.end)
-		delete(inFlight, next.step.ID)
-		e.Cluster.ReleaseAll(next.ctrs)
-		s := next.step
-		out := &dataset{records: next.run.OutputRecords, bytes: next.run.OutputBytes, meta: outMetaOf(s)}
-		res.Runs = append(res.Runs, next.run)
-		res.TotalCostUnits += next.run.CostUnits
-		res.StepLog = append(res.StepLog, StepExec{
-			Name: s.Name, Engine: s.Engine,
-			Start: next.end - secs(next.run.ExecTimeSec), End: next.end,
-		})
-		if s.Kind == planner.StepOperator && s.OutDataset != "" {
-			datasets[s.OutDataset] = out
-			if e.Observer != nil {
-				e.Observer(s.Op.Name, next.run)
+		if f.deadline > 0 && !f.specTried && st.failure == nil && f.deadline < best {
+			best, deadline = f.deadline, true
+		}
+	}
+	return best, deadline
+}
+
+// advanceClockTo moves virtual time to target, stepping through scheduled
+// events (fault injections, monitor polls) and sweeping for container
+// losses after each.
+func (st *planRun) advanceClockTo(target time.Duration) {
+	for {
+		evAt, ok := st.e.Clock.NextEventAt()
+		if !ok || evAt >= target {
+			break
+		}
+		st.e.Clock.AdvanceTo(evAt)
+		if st.sweepLost(false) {
+			return
+		}
+	}
+	st.e.Clock.AdvanceTo(target)
+	st.sweepLost(false)
+}
+
+// advanceOnce advances to the next decision point and handles it: a
+// container-loss sweep, a straggler deadline (speculation) or an attempt
+// completion.
+func (st *planRun) advanceOnce() {
+	target, isDeadline := st.nextStop()
+	for {
+		evAt, ok := st.e.Clock.NextEventAt()
+		if !ok || evAt >= target {
+			break
+		}
+		st.e.Clock.AdvanceTo(evAt)
+		if st.sweepLost(false) {
+			// Flights changed (an attempt died with its node); recompute
+			// everything from the outer loop at the current instant.
+			return
+		}
+	}
+	st.e.Clock.AdvanceTo(target)
+	if st.sweepLost(false) {
+		return
+	}
+	if isDeadline {
+		st.fireDeadlines(target)
+		return
+	}
+	st.completeDue(target)
+}
+
+// sweepLost scans in-flight attempts for containers invalidated by node
+// failures. With a Monitor attached the sweep runs only after an observed
+// health change (detection latency = the monitoring period, as on a real
+// cluster); without one it runs unconditionally, catching the crash event
+// itself. force bypasses the gating (used when a dead container is caught
+// red-handed at completion time). It returns whether any flight changed.
+func (st *planRun) sweepLost(force bool) bool {
+	e := st.e
+	if !force && e.Monitor != nil && !e.healthDirty.Swap(false) {
+		return false
+	}
+	changed := false
+	for id, f := range st.inFlight {
+		var alive []*attemptRun
+		for _, c := range f.copies {
+			lost := 0
+			for _, ctr := range c.ctrs {
+				if ctr.Lost() {
+					lost++
+				}
+			}
+			if lost == 0 {
+				alive = append(alive, c)
+				continue
+			}
+			changed = true
+			st.res.ContainersLost += lost
+			// Gang semantics: surviving containers of a dead attempt are
+			// released immediately.
+			e.Cluster.ReleaseAll(c.ctrs)
+			if c.speculative {
+				st.res.StepLog = append(st.res.StepLog, StepExec{
+					Name: f.step.Name, Engine: c.engineName,
+					Start: c.start, End: e.Clock.Now(),
+					Failed: true, Failure: ErrContainersLost.Error(),
+					Attempt: c.attempt, Speculative: true,
+				})
+			}
+		}
+		if len(alive) == len(f.copies) {
+			continue
+		}
+		f.copies = alive
+		if len(alive) == 0 {
+			delete(st.inFlight, id)
+			st.failAttempt(f.step, f.step.Engine, ErrContainersLost, nil)
+		}
+	}
+	return changed
+}
+
+// fireDeadlines launches speculative copies for flights whose straggler
+// deadline has passed.
+func (st *planRun) fireDeadlines(now time.Duration) {
+	e := st.e
+	for _, f := range st.inFlight {
+		if f.deadline <= 0 || f.specTried || f.deadline > now || st.failure != nil {
+			continue
+		}
+		f.specTried = true
+		if e.Speculate == nil {
+			continue
+		}
+		choice, ok := e.Speculate(f.step)
+		if !ok || choice.Engine == "" {
+			continue
+		}
+		attempt := st.attempts[f.step.ID] + 1
+		c, launchErr, hardErr := st.launch(f.step, choice.OpName, choice.Engine, choice.Algorithm, choice.Res, choice.Params, f.inRecords, f.inBytes, attempt, true)
+		if hardErr != nil || launchErr != nil {
+			// A backup that cannot start is simply dropped; the original
+			// keeps running. Still count genuine engine failures against
+			// the breaker.
+			if launchErr != nil && !errors.Is(launchErr, cluster.ErrInsufficientResources) && e.Breaker != nil {
+				e.Breaker.RecordFailure(choice.Engine)
+			}
+			continue
+		}
+		f.copies = append(f.copies, c)
+		st.res.SpeculativeLaunches++
+	}
+}
+
+// completeDue completes the earliest finished attempt at or before now (ties
+// broken by step ID, keeping completion order deterministic), verifying its
+// containers are still alive.
+func (st *planRun) completeDue(now time.Duration) {
+	e := st.e
+	var fl *flight
+	var w *attemptRun
+	for _, f := range st.inFlight {
+		for _, c := range f.copies {
+			if c.end > now {
+				continue
+			}
+			if w == nil || c.end < w.end || (c.end == w.end && f.step.ID < fl.step.ID) {
+				fl, w = f, c
 			}
 		}
 	}
-	return failure, nil
+	if w == nil {
+		return
+	}
+	// Verify the winner survived: a node crash between monitor polls must
+	// never produce an impossible completion.
+	for _, ctr := range w.ctrs {
+		if ctr.Lost() {
+			st.sweepLost(true)
+			return
+		}
+	}
+
+	s := fl.step
+	delete(st.inFlight, s.ID)
+	delete(st.retryAt, s.ID)
+	e.Cluster.ReleaseAll(w.ctrs)
+	// The losing copy (if any) is cancelled and its containers released.
+	for _, c := range fl.copies {
+		if c == w {
+			continue
+		}
+		e.Cluster.ReleaseAll(c.ctrs)
+	}
+	if w.speculative {
+		st.res.SpeculativeWins++
+	}
+	st.completed++
+
+	out := &dataset{records: w.run.OutputRecords, bytes: w.run.OutputBytes, meta: outMetaOf(s, w.engineName)}
+	st.doneSteps[s.ID] = out
+	st.res.Runs = append(st.res.Runs, w.run)
+	st.res.TotalCostUnits += w.run.CostUnits
+	st.res.StepLog = append(st.res.StepLog, StepExec{
+		Name: s.Name, Engine: w.engineName,
+		Start: w.start, End: w.end,
+		Attempt: w.attempt, Speculative: w.speculative,
+	})
+	if e.Breaker != nil && s.Kind == planner.StepOperator {
+		e.Breaker.RecordSuccess(w.engineName)
+	}
+	if s.Kind == planner.StepOperator {
+		// The Observer fires for every completed operator step — including
+		// during the post-failure drain — so model refinement never skips
+		// runs without an output dataset.
+		if e.Observer != nil {
+			e.Observer(w.opName, w.run)
+		}
+		if s.OutDataset != "" {
+			st.datasets[s.OutDataset] = out
+		}
+	}
 }
 
 // intermediates lists the currently materialized intermediate datasets

@@ -29,43 +29,22 @@ func helloWorldEngines() []helloWorldOp {
 // faultPlatform registers and profiles the HelloWorld operator chain of the
 // fault-tolerance evaluation (Figs 18-19, Table 1).
 func faultPlatform(seed int64, trivialReplan bool) (*ires.Platform, error) {
-	p, err := ires.NewPlatform(ires.Options{Seed: seed})
+	return faultPlatformOpts(ires.Options{Seed: seed}, trivialReplan)
+}
+
+// faultPlatformOpts is faultPlatform with full control over the platform
+// options (the fault sweep varies the recovery policy knobs).
+func faultPlatformOpts(opts ires.Options, trivialReplan bool) (*ires.Platform, error) {
+	seed := opts.Seed
+	p, err := ires.NewPlatform(opts)
 	if err != nil {
 		return nil, err
 	}
 	p.Profiler.Factories = fastFactories(seed)
-	fsOf := func(eng string) string {
-		switch eng {
-		case ires.EnginePostgreSQL:
-			return "PostgreSQL"
-		case ires.EnginePython:
-			return "LFS"
-		default:
-			return "HDFS"
-		}
-	}
 	for _, hw := range helloWorldEngines() {
 		for _, eng := range hw.engines {
-			name := fmt.Sprintf("%s_%s", hw.alg, eng)
-			desc := "Constraints.Engine=" + eng +
-				"\nConstraints.OpSpecification.Algorithm.name=" + hw.alg +
-				"\nConstraints.Input0.Engine.FS=" + fsOf(eng) +
-				"\nConstraints.Output0.Engine.FS=" + fsOf(eng) + "\n"
-			if err := p.RegisterOperator(name, desc); err != nil {
+			if err := profileHelloWorldOp(p, hw.alg, eng); err != nil {
 				return nil, err
-			}
-			prof, _ := p.Env.Engine(eng)
-			res := []engine.Resources{{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}}
-			if prof.Centralized {
-				res = []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
-			}
-			space := ires.ProfileSpace{
-				Records:        []int64{200, 1_000, 5_000},
-				BytesPerRecord: 1_000,
-				Resources:      res,
-			}
-			if _, err := p.ProfileOperator(name, space); err != nil {
-				return nil, fmt.Errorf("profiling %s: %w", name, err)
 			}
 		}
 	}
@@ -73,6 +52,40 @@ func faultPlatform(seed int64, trivialReplan bool) (*ires.Platform, error) {
 		p.UseTrivialReplanner()
 	}
 	return p, nil
+}
+
+// profileHelloWorldOp registers and profiles one <alg>_<engine> operator of
+// the HelloWorld family.
+func profileHelloWorldOp(p *ires.Platform, alg, eng string) error {
+	fs := "HDFS"
+	switch eng {
+	case ires.EnginePostgreSQL:
+		fs = "PostgreSQL"
+	case ires.EnginePython:
+		fs = "LFS"
+	}
+	name := fmt.Sprintf("%s_%s", alg, eng)
+	desc := "Constraints.Engine=" + eng +
+		"\nConstraints.OpSpecification.Algorithm.name=" + alg +
+		"\nConstraints.Input0.Engine.FS=" + fs +
+		"\nConstraints.Output0.Engine.FS=" + fs + "\n"
+	if err := p.RegisterOperator(name, desc); err != nil {
+		return err
+	}
+	prof, _ := p.Env.Engine(eng)
+	res := []engine.Resources{{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}}
+	if prof.Centralized {
+		res = []engine.Resources{{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}}
+	}
+	space := ires.ProfileSpace{
+		Records:        []int64{200, 1_000, 5_000},
+		BytesPerRecord: 1_000,
+		Resources:      res,
+	}
+	if _, err := p.ProfileOperator(name, space); err != nil {
+		return fmt.Errorf("profiling %s: %w", name, err)
+	}
+	return nil
 }
 
 // faultWorkflow builds the Fig 18 chain:

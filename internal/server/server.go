@@ -44,6 +44,7 @@ func New(p *ires.Platform) *Server {
 	mux.HandleFunc("/api/workflows/", s.handleWorkflow)
 	mux.HandleFunc("/api/engines", s.handleEngines)
 	mux.HandleFunc("/api/engines/", s.handleEngine)
+	mux.HandleFunc("/api/faults", s.handleFaults)
 	mux.HandleFunc("/web/main", s.handleWeb)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/" {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	ires "github.com/asap-project/ires"
 	"github.com/asap-project/ires/internal/model"
@@ -15,7 +16,14 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server, *ires.Platform) {
 	t.Helper()
-	p, err := ires.NewPlatform(ires.Options{Seed: 2})
+	// Retry and breaker knobs let the fault-injection endpoint test drive a
+	// full recovery path; they are inert for fault-free flows.
+	p, err := ires.NewPlatform(ires.Options{
+		Seed:             2,
+		Retry:            ires.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Second},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,4 +295,58 @@ func TestWebUIServed(t *testing.T) {
 	if resp, _ := do(t, "GET", ts.URL+"/nosuchpage", ""); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path: %d", resp.StatusCode)
 	}
+}
+
+func TestFaultInjectionEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	setupWordcount(t, ts)
+
+	// Malformed JSON and unknown nodes are rejected.
+	resp, body := do(t, "POST", ts.URL+"/api/faults", `{`)
+	expectCode(t, resp, body, http.StatusBadRequest)
+	resp, body = do(t, "POST", ts.URL+"/api/faults", `{"nodeCrashes":[{"node":"node99"}]}`)
+	expectCode(t, resp, body, http.StatusBadRequest)
+
+	// Arm a schedule where every Java attempt fails. Retries exhaust, the
+	// breaker trips Java, and the replan must land the work on Spark.
+	cfg := `{"seed": 5, "perEngine": {"Java": {"failProb": 1}},
+		"straggler": {"prob": 0, "factor": 3}}`
+	resp, body = do(t, "POST", ts.URL+"/api/faults", cfg)
+	expectCode(t, resp, body, http.StatusCreated)
+
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/execute", `{"policy":"time"}`)
+	expectCode(t, resp, body, http.StatusOK)
+
+	resp, body = do(t, "GET", ts.URL+"/api/faults", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var got struct {
+		Stats struct {
+			Transient int `json:"transient"`
+		} `json:"stats"`
+		BlacklistedEngines []string `json:"blacklistedEngines"`
+		AvailableEngines   []string `json:"availableEngines"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("bad GET /api/faults body %q: %v", body, err)
+	}
+	if got.Stats.Transient < 2 {
+		t.Fatalf("expected >= 2 transient injections, got %d: %s", got.Stats.Transient, body)
+	}
+	java := false
+	for _, e := range got.BlacklistedEngines {
+		if e == "Java" {
+			java = true
+		}
+	}
+	if !java {
+		t.Fatalf("Java not circuit-broken after repeated failures: %s", body)
+	}
+	for _, e := range got.AvailableEngines {
+		if e == "Java" {
+			t.Fatalf("blacklisted engine still listed available: %s", body)
+		}
+	}
+
+	resp, body = do(t, "DELETE", ts.URL+"/api/faults", "")
+	expectCode(t, resp, body, http.StatusMethodNotAllowed)
 }

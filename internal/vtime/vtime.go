@@ -57,13 +57,15 @@ func (c *Clock) Advance(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// AdvanceTo moves the clock forward to absolute virtual time t. It is a
-// no-op if t is in the past.
+// AdvanceTo moves the clock forward to absolute virtual time t, firing the
+// events due on the way. When t equals the current time it still fires the
+// events due at this instant (e.g. ones scheduled with an `at` in the past,
+// which Schedule clamps to now); it is a no-op only when t is in the past.
 func (c *Clock) AdvanceTo(t time.Duration) {
 	c.mu.Lock()
 	now := c.now
 	c.mu.Unlock()
-	if t > now {
+	if t >= now {
 		c.Advance(t - now)
 	}
 }
@@ -113,6 +115,23 @@ func (c *Clock) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.events)
+}
+
+// NextEventAt returns the timestamp of the earliest scheduled event, if any.
+// The executor uses it to advance event-by-event, so fault injections and
+// monitor polls scheduled between step completions fire at their exact
+// virtual times.
+func (c *Clock) NextEventAt() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	at := c.events[0].at
+	if at < c.now {
+		at = c.now
+	}
+	return at, true
 }
 
 type event struct {

@@ -134,3 +134,37 @@ func TestQuickEventOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNextEventAt(t *testing.T) {
+	c := NewClock()
+	if _, ok := c.NextEventAt(); ok {
+		t.Fatal("empty clock reported a pending event")
+	}
+	c.Schedule(30*time.Second, func(time.Duration) {})
+	c.Schedule(10*time.Second, func(time.Duration) {})
+	at, ok := c.NextEventAt()
+	if !ok || at != 10*time.Second {
+		t.Fatalf("NextEventAt = %v,%v, want 10s,true", at, ok)
+	}
+	c.Advance(15 * time.Second)
+	at, ok = c.NextEventAt()
+	if !ok || at != 30*time.Second {
+		t.Fatalf("NextEventAt after advance = %v,%v, want 30s,true", at, ok)
+	}
+}
+
+// AdvanceTo(now) must fire events clamped to the current instant (scheduled
+// "in the past"), not silently skip them.
+func TestAdvanceToCurrentInstantFires(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * time.Second)
+	fired := false
+	c.Schedule(5*time.Second, func(time.Duration) { fired = true }) // clamped to 10s
+	c.AdvanceTo(c.Now())
+	if !fired {
+		t.Fatal("event clamped to the current instant did not fire on AdvanceTo(now)")
+	}
+	if c.Now() != 10*time.Second {
+		t.Fatalf("clock moved to %v, want 10s", c.Now())
+	}
+}

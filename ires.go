@@ -35,6 +35,7 @@ import (
 	"github.com/asap-project/ires/internal/cluster"
 	"github.com/asap-project/ires/internal/engine"
 	"github.com/asap-project/ires/internal/executor"
+	"github.com/asap-project/ires/internal/faults"
 	"github.com/asap-project/ires/internal/metrics"
 	"github.com/asap-project/ires/internal/operator"
 	"github.com/asap-project/ires/internal/planner"
@@ -67,6 +68,34 @@ type (
 	OperatorLibrary = operator.Library
 	// ProvisionOption is one Pareto-optimal resource choice.
 	ProvisionOption = provision.Option
+	// RetryPolicy bounds per-step same-engine retries (see executor).
+	RetryPolicy = executor.RetryPolicy
+	// FaultConfig declares a deterministic fault-injection schedule.
+	FaultConfig = faults.Config
+	// FaultTransient parameterises per-engine transient failures.
+	FaultTransient = faults.Transient
+	// EngineOutage is a permanent engine-service failure at a virtual time.
+	EngineOutage = faults.Outage
+	// NodeCrash kills a cluster node at a virtual time.
+	NodeCrash = faults.NodeCrash
+	// StragglerFaults parameterises slowdown injection.
+	StragglerFaults = faults.Straggler
+	// FaultStats counts what an armed fault schedule actually injected.
+	FaultStats = faults.Stats
+)
+
+// Typed execution failures (see the executor package).
+var (
+	// ErrTooManyReplans is returned when the failure/replan loop exceeds
+	// Options.MaxReplans.
+	ErrTooManyReplans = executor.ErrTooManyReplans
+	// ErrDeadlock is returned when no step can make progress.
+	ErrDeadlock = executor.ErrDeadlock
+	// ErrContainersLost marks work invalidated by a node failure.
+	ErrContainersLost = executor.ErrContainersLost
+	// ErrFaultInjected marks a transient failure produced by the
+	// chaos-injection layer.
+	ErrFaultInjected = faults.ErrInjected
 )
 
 // Engine names of the default deployment.
@@ -117,6 +146,22 @@ type Options struct {
 	// LaunchOverheadSec is the per-step YARN container launch overhead;
 	// zero uses the default 1.5s, negative disables it.
 	LaunchOverheadSec float64
+	// Retry bounds per-step same-engine retries with exponential backoff
+	// before a failure falls through to replanning. The zero value keeps
+	// the historical semantics: one attempt, then replan.
+	Retry RetryPolicy
+	// TimeoutFactor enables straggler speculation: a step running longer
+	// than TimeoutFactor × its predicted duration gets a backup copy on
+	// the next-best engine, and the first finisher wins. Zero disables.
+	TimeoutFactor float64
+	// BreakerThreshold trips the engine circuit breaker after that many
+	// consecutive failures, excluding the engine from replans and
+	// speculation for BreakerCooldown (default 120s of virtual time).
+	// Zero disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxReplans bounds the failure/replan loop (zero: executor default).
+	MaxReplans int
 }
 
 // Platform is the IReS runtime: interface, optimizer and executor layers
@@ -134,6 +179,8 @@ type Platform struct {
 	planner     *planner.Planner
 	provisioner *provision.Provisioner
 	executor    *executor.Executor
+	breaker     *executor.CircuitBreaker
+	faults      *faults.Schedule
 
 	abstracts   map[string]*operator.Abstract
 	runObserver func(op string, run *RunMetrics)
@@ -165,13 +212,14 @@ func NewPlatform(opts Options) (*Platform, error) {
 	p.Monitor = cluster.NewMonitor(p.Cluster, p.Env, opts.MonitorPeriod)
 	p.Profiler = profiler.New(p.Env, opts.Seed)
 	p.provisioner = provision.New(p.Profiler, p.clusterBounds(), opts.Seed)
+	p.breaker = executor.NewCircuitBreaker(p.Clock, opts.BreakerThreshold, opts.BreakerCooldown)
 
 	pl, err := planner.New(planner.Config{
 		Library:         p.Library,
 		Estimator:       libraryEstimator{prof: p.Profiler, lib: p.Library},
 		MoveSeconds:     p.Env.TransferSec,
 		Objective:       p.objective(),
-		EngineAvailable: p.Env.Available,
+		EngineAvailable: p.engineUsable,
 		Resources:       p.chooseResources,
 	})
 	if err != nil {
@@ -191,7 +239,13 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Clock:             p.Clock,
 		Observer:          p.observe,
 		Replanner:         replanAdapter{pl},
+		MaxReplans:        opts.MaxReplans,
 		LaunchOverheadSec: launch,
+		Retry:             opts.Retry,
+		TimeoutFactor:     opts.TimeoutFactor,
+		Speculate:         p.speculate,
+		Breaker:           p.breaker,
+		Monitor:           p.Monitor,
 	}
 	p.Monitor.Start()
 	return p, nil
@@ -225,6 +279,64 @@ func (p *Platform) provisionPolicy() provision.Policy {
 	default:
 		return provision.MinTime
 	}
+}
+
+// engineUsable is the planner's availability hook: an engine is plannable
+// when its service is ON and the circuit breaker has not blacklisted it.
+func (p *Platform) engineUsable(name string) bool {
+	return p.Env.Available(name) && p.breaker.Allows(name)
+}
+
+// speculate picks the next-best backup for a straggling step: any
+// materialized operator implementing the same abstract algorithm — including
+// the step's own operator, which models YARN-style speculative re-execution
+// on fresh containers — on a live, non-blacklisted engine, ranked by
+// estimated execution time at the step's input scale. It is the executor's
+// backup hook for speculative execution.
+func (p *Platform) speculate(s *planner.Step) (executor.SpeculativeChoice, bool) {
+	var (
+		best  executor.SpeculativeChoice
+		bestT float64
+		found bool
+	)
+	est := libraryEstimator{prof: p.Profiler, lib: p.Library}
+	for _, mo := range p.Library.Operators() {
+		if mo.Algorithm() == "" || mo.Algorithm() != s.Algorithm {
+			continue
+		}
+		if !p.engineUsable(mo.Engine()) {
+			continue
+		}
+		res := p.chooseResources(mo, s.InRecords, s.InBytes)
+		feats := map[string]float64{
+			"records":  float64(s.InRecords),
+			"bytes":    float64(s.InBytes),
+			"nodes":    float64(res.Nodes),
+			"cores":    float64(res.CoresPerN),
+			"memoryMB": float64(res.MemMBPerN),
+		}
+		for k, v := range mo.Params() {
+			feats[k] = v
+		}
+		t, ok := est.Estimate(mo.Name, profiler.TargetExecTime, feats)
+		if !ok {
+			continue
+		}
+		// Library.Operators is name-sorted, so strict < keeps ties
+		// deterministic (first name wins).
+		if !found || t < bestT {
+			found = true
+			bestT = t
+			best = executor.SpeculativeChoice{
+				OpName:    mo.Name,
+				Engine:    mo.Engine(),
+				Algorithm: mo.Algorithm(),
+				Res:       res,
+				Params:    mo.Params(),
+			}
+		}
+	}
+	return best, found
 }
 
 // chooseResources is the planner's provisioning hook.
@@ -431,7 +543,56 @@ func (p *Platform) SetEngineAvailable(name string, on bool) {
 	p.Monitor.Poll()
 }
 
-// AvailableEngines lists the engines currently observed ON.
+// AvailableEngines lists the engines currently usable: service observed ON
+// and not blacklisted by the circuit breaker.
 func (p *Platform) AvailableEngines() []string {
-	return p.Monitor.AvailableEngines()
+	var out []string
+	for _, name := range p.Monitor.AvailableEngines() {
+		if p.breaker.Allows(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// InjectFaults arms a deterministic fault schedule over the platform: timed
+// engine outages and node crashes are scheduled on the virtual clock, and
+// transient/straggler injection hooks into every subsequent operator
+// attempt. Calling it again replaces the previous schedule (already-armed
+// timed faults stay scheduled).
+func (p *Platform) InjectFaults(cfg FaultConfig) error {
+	sched := faults.New(cfg)
+	if err := sched.Arm(p.Clock, p.Env, p.Cluster); err != nil {
+		return err
+	}
+	p.faults = sched
+	p.executor.Faults = sched
+	return nil
+}
+
+// FaultStats reports the injection counters of the armed fault schedule
+// (zero value when InjectFaults was never called).
+func (p *Platform) FaultStats() FaultStats {
+	if p.faults == nil {
+		return FaultStats{}
+	}
+	return p.faults.Stats()
+}
+
+// BlacklistedEngines lists the engines currently excluded by the circuit
+// breaker (empty unless BreakerThreshold is set and an engine is flapping).
+func (p *Platform) BlacklistedEngines() []string {
+	return p.breaker.Tripped()
+}
+
+// FailNode schedules a node crash at absolute virtual time at: the node
+// goes UNHEALTHY and the containers running on it are invalidated, which
+// the executor detects at the next monitor poll.
+func (p *Platform) FailNode(name string, at time.Duration) error {
+	return p.Cluster.FailNode(name, at)
+}
+
+// RestoreNode brings a failed node back into the cluster.
+func (p *Platform) RestoreNode(name string) error {
+	return p.Cluster.RestoreNode(name)
 }
