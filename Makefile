@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench
+.PHONY: all build test race vet fmt ci bench bench-smoke
 
 all: build
 
@@ -25,3 +25,8 @@ ci: fmt vet race
 
 bench:
 	$(GO) run ./cmd/ires-bench
+
+# bench-smoke runs one small experiment end-to-end (planning, execution,
+# fault recovery) as a fast sanity pass for the whole stack.
+bench-smoke:
+	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22

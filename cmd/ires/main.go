@@ -10,6 +10,7 @@
 //	     [-profile] [-execute] [-kill <engine>] [-dot]
 //	     [-fault-prob p] [-fault-seed n] [-straggler p] [-crash-node node@sec]
 //	     [-retries n] [-timeout-factor f] [-breaker n]
+//	     [-trace] [-trace-out file.jsonl] [-trace-dot file.dot]
 //
 // Without -workflow, the available workflows and registered operators are
 // listed.
@@ -26,6 +27,7 @@ import (
 
 	ires "github.com/asap-project/ires"
 	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/trace"
 )
 
 func main() {
@@ -51,6 +53,9 @@ func run() error {
 	retries := flag.Int("retries", 1, "max same-engine attempts per step before replanning")
 	timeoutFactor := flag.Float64("timeout-factor", 0, "speculate when a step exceeds this multiple of its predicted time (0 disables)")
 	breaker := flag.Int("breaker", 0, "consecutive failures that blacklist an engine (0 disables)")
+	traceStdout := flag.Bool("trace", false, "dump the structured event log (JSONL) to stdout at the end")
+	traceOut := flag.String("trace-out", "", "write the structured event log (JSONL) to this file")
+	traceDot := flag.String("trace-dot", "", "write a Gantt-style Graphviz timeline of the execution to this file")
 	flag.Parse()
 
 	if *lib == "" {
@@ -184,6 +189,41 @@ func run() error {
 		if bl := p.BlacklistedEngines(); len(bl) > 0 {
 			fmt.Printf("circuit-broken engines: %s\n", strings.Join(bl, ", "))
 		}
+	}
+	return dumpTrace(p, *traceStdout, *traceOut, *traceDot)
+}
+
+// dumpTrace writes the recorded event log as JSONL (stdout and/or a file) and
+// optionally renders the Gantt-style DOT timeline.
+func dumpTrace(p *ires.Platform, toStdout bool, outPath, dotPath string) error {
+	if !toStdout && outPath == "" && dotPath == "" {
+		return nil
+	}
+	events := p.TraceEvents()
+	if toStdout {
+		if err := trace.WriteJSONL(os.Stdout, events); err != nil {
+			return err
+		}
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteJSONL(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", len(events), outPath)
+	}
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(trace.GanttDOT(events)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote execution timeline to %s\n", dotPath)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/vtime"
 )
 
@@ -78,6 +79,29 @@ type Cluster struct {
 	// returns the node's current flag (set via SetNodeHealth, the failure
 	// injection hook).
 	healthScript func(n *Node) bool
+
+	// tracer receives node crash/restore events; nil discards them.
+	tracer trace.Tracer
+}
+
+// SetTracer installs the event sink for node crash/restore events.
+func (c *Cluster) SetTracer(t trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
+// emitLocked stamps the current virtual time and forwards to the tracer; the
+// caller holds c.mu.
+func (c *Cluster) emitLocked(ev trace.Event) {
+	if c.tracer == nil {
+		return
+	}
+	var now time.Duration
+	if c.clock != nil {
+		now = c.clock.Now()
+	}
+	c.tracer.Emit(ev.At(now))
 }
 
 // New builds a cluster of count identical nodes named node0..node<count-1>.
@@ -172,13 +196,23 @@ func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 		n.usedMemMB -= ctr.MemMB
 		lost++
 	}
+	c.emitLocked(trace.Event{
+		Type: trace.EvNodeCrash, Node: name,
+		Fields: map[string]float64{"containersLost": float64(lost)},
+	})
 	return lost
 }
 
 // RestoreNode brings a failed node back (repaired hardware rejoining the
 // cluster): health is restored and its capacity becomes allocatable again.
 func (c *Cluster) RestoreNode(name string) error {
-	return c.SetNodeHealth(name, true)
+	if err := c.SetNodeHealth(name, true); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.emitLocked(trace.Event{Type: trace.EvNodeRestore, Node: name})
+	c.mu.Unlock()
+	return nil
 }
 
 // LiveContainers returns the number of outstanding (allocated, not released,

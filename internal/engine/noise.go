@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sync"
@@ -10,26 +11,45 @@ import (
 // run durations. Real clusters show run-to-run variance from collocation,
 // GC, and network jitter; the profiler's models must cope with it, and the
 // Fig 16a learning-curve experiment depends on it.
+//
+// Each (engine, algorithm) pair draws from its own seeded stream, so the
+// noise an operator sees depends only on how many runs *it* has done — not
+// on which other operators happen to interleave with it. A single shared
+// stream would couple every operator's durations to global call order,
+// making fixed-seed experiments fragile to unrelated scheduling changes.
 type noiseSource struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu   sync.Mutex
+	seed int64
+	// streams holds one rng per (engine, algorithm) pair, created lazily.
+	streams map[string]*rand.Rand
 	// sigma is the standard deviation of the log-normal noise.
 	sigma float64
 }
 
 func newNoiseSource(seed int64) *noiseSource {
-	return &noiseSource{rng: rand.New(rand.NewSource(seed)), sigma: 0.08}
+	return &noiseSource{seed: seed, streams: make(map[string]*rand.Rand), sigma: 0.08}
 }
 
-// factor returns a multiplicative noise factor around 1.0. The engine and
-// algorithm names perturb the draw so interleaving runs of different
-// operators does not produce correlated noise.
+// streamSeed derives a per-stream seed by folding an FNV-64a hash of the
+// stream key into the base seed.
+func (n *noiseSource) streamSeed(key string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return n.seed ^ int64(h.Sum64())
+}
+
+// factor returns a multiplicative noise factor around 1.0, drawn from the
+// (engine, algorithm) pair's own stream.
 func (n *noiseSource) factor(engine, algorithm string) float64 {
+	key := engine + "\x00" + algorithm
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	z := n.rng.NormFloat64()
-	_ = engine
-	_ = algorithm
+	rng, ok := n.streams[key]
+	if !ok {
+		rng = rand.New(rand.NewSource(n.streamSeed(key)))
+		n.streams[key] = rng
+	}
+	z := rng.NormFloat64()
 	f := math.Exp(n.sigma*z - n.sigma*n.sigma/2)
 	// Clamp pathological tails.
 	if f < 0.5 {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/vtime"
 )
 
@@ -21,6 +22,8 @@ type CircuitBreaker struct {
 	Threshold int
 	// Cooldown is how long a tripped engine stays excluded.
 	Cooldown time.Duration
+	// Tracer receives trip/reset events; nil discards them.
+	Tracer trace.Tracer
 
 	state map[string]*breakerState
 }
@@ -69,9 +72,25 @@ func (b *CircuitBreaker) RecordFailure(engineName string) bool {
 	if st.consecutive >= b.Threshold && !st.tripped {
 		st.tripped = true
 		st.trippedUntil = b.now() + b.Cooldown
+		b.emitLocked(trace.Event{
+			Type: trace.EvBreakerTrip, Engine: engineName,
+			Fields: map[string]float64{
+				"consecutive": float64(st.consecutive),
+				"untilSec":    st.trippedUntil.Seconds(),
+			},
+		})
 		return true
 	}
 	return false
+}
+
+// emitLocked stamps the current virtual time and forwards to the tracer; the
+// caller holds b.mu.
+func (b *CircuitBreaker) emitLocked(ev trace.Event) {
+	if b.Tracer == nil {
+		return
+	}
+	b.Tracer.Emit(ev.At(b.now()))
 }
 
 // RecordSuccess resets the engine's consecutive-failure count and closes a
@@ -83,6 +102,9 @@ func (b *CircuitBreaker) RecordSuccess(engineName string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if st := b.state[engineName]; st != nil {
+		if st.tripped {
+			b.emitLocked(trace.Event{Type: trace.EvBreakerReset, Engine: engineName})
+		}
 		st.consecutive = 0
 		st.tripped = false
 	}

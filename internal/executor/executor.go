@@ -34,6 +34,7 @@ import (
 	"github.com/asap-project/ires/internal/metadata"
 	"github.com/asap-project/ires/internal/metrics"
 	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/vtime"
 	"github.com/asap-project/ires/internal/workflow"
 )
@@ -154,9 +155,20 @@ type Executor struct {
 	// container losses are detected at monitor polls rather than at step
 	// completion.
 	Monitor *cluster.Monitor
+	// Tracer receives attempt-lifecycle, container and replan events; nil
+	// discards them.
+	Tracer trace.Tracer
 
 	subscribeOnce sync.Once
 	healthDirty   atomic.Bool
+}
+
+// emit stamps the current virtual time on ev and hands it to the tracer.
+func (e *Executor) emit(ev trace.Event) {
+	if e.Tracer == nil {
+		return
+	}
+	e.Tracer.Emit(ev.At(e.Clock.Now()))
 }
 
 // NotifyHealthChange marks the cluster health board dirty; the execution
@@ -250,6 +262,11 @@ func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, erro
 			return res, fmt.Errorf("executor: step %s failed and no replanner configured: %s", failed.Name, failed.Failure)
 		}
 		res.Replans++
+		e.emit(trace.Event{
+			Type: trace.EvReplan, Step: failed.Name, Engine: failed.Engine,
+			Error:  failed.Failure,
+			Fields: map[string]float64{"round": float64(res.Replans)},
+		})
 		if res.Replans > maxReplans {
 			return res, fmt.Errorf("%w: %d", ErrTooManyReplans, res.Replans)
 		}
@@ -486,6 +503,10 @@ func (st *planRun) startReady() (bool, error) {
 				copies:    []*attemptRun{{opName: s.Name, engineName: "move", start: now, end: now + secs(dur), run: run}},
 				inRecords: inRecords, inBytes: inBytes,
 			}
+			e.emit(trace.Event{
+				Type: trace.EvAttemptStart, Step: s.Name, Engine: "move",
+				Fields: map[string]float64{"predictedSec": dur, "inBytes": float64(inBytes)},
+			})
 			startedAny = true
 			continue
 		}
@@ -547,19 +568,30 @@ func (st *planRun) launch(s *planner.Step, opName, engineName, algorithm string,
 		}
 		return nil, nil, err
 	}
+	e.emit(trace.Event{
+		Type: trace.EvContainerAlloc, Step: s.Name, Engine: engineName,
+		Fields: map[string]float64{"containers": float64(len(ctrs))},
+	})
+	releaseTraced := func() {
+		e.Cluster.ReleaseAll(ctrs)
+		e.emit(trace.Event{
+			Type: trace.EvContainerRelease, Step: s.Name, Engine: engineName,
+			Fields: map[string]float64{"containers": float64(len(ctrs))},
+		})
+	}
 	in := engine.Input{Records: inRecords, Bytes: inBytes, Params: params}
 	run, err := e.Env.Execute(engineName, algorithm, in, eRes, now)
 	if run != nil {
 		run.Operator = opName
 	}
 	if err != nil {
-		e.Cluster.ReleaseAll(ctrs)
+		releaseTraced()
 		return &attemptRun{opName: opName, engineName: engineName, start: now, run: run, speculative: speculative, attempt: attempt}, err, nil
 	}
 	// Chaos hooks: injected transient failure, then straggler stretch.
 	if e.Faults != nil {
 		if ferr := e.Faults.RunFault(engineName, s.Name, attempt, run.ExecTimeSec, now); ferr != nil {
-			e.Cluster.ReleaseAll(ctrs)
+			releaseTraced()
 			run.Failed = true
 			run.FailureReason = ferr.Error()
 			return &attemptRun{opName: opName, engineName: engineName, start: now, run: run, speculative: speculative, attempt: attempt}, ferr, nil
@@ -573,6 +605,11 @@ func (st *planRun) launch(s *planner.Step, opName, engineName, algorithm string,
 			run.Params["faultStretch"] = f
 		}
 	}
+	e.emit(trace.Event{
+		Type: trace.EvAttemptStart, Step: s.Name, Operator: opName, Engine: engineName,
+		Attempt: attempt, Speculative: speculative,
+		Fields: map[string]float64{"predictedSec": run.ExecTimeSec, "inRecords": float64(inRecords)},
+	})
 	return &attemptRun{
 		opName:      opName,
 		engineName:  engineName,
@@ -627,6 +664,10 @@ func (st *planRun) failAttempt(s *planner.Step, engineName string, err error, c 
 		Attempt: attempt,
 	}
 	st.res.StepLog = append(st.res.StepLog, log)
+	e.emit(trace.Event{
+		Type: trace.EvAttemptFail, Step: s.Name, Engine: engineName,
+		Attempt: attempt, Error: err.Error(),
+	})
 	if failedRun != nil {
 		st.res.Runs = append(st.res.Runs, failedRun)
 		// Only genuine engine verdicts refine the models; injected faults
@@ -638,6 +679,11 @@ func (st *planRun) failAttempt(s *planner.Step, engineName string, err error, c 
 	if retryable(err) && attempt < e.Retry.attempts() {
 		st.retryAt[s.ID] = now + e.Retry.backoff(attempt)
 		st.res.Retries++
+		e.emit(trace.Event{
+			Type: trace.EvAttemptRetry, Step: s.Name, Engine: engineName,
+			Attempt: attempt,
+			Fields:  map[string]float64{"retryAtSec": st.retryAt[s.ID].Seconds()},
+		})
 		return
 	}
 	if st.failure == nil {
@@ -740,12 +786,28 @@ func (st *planRun) sweepLost(force bool) bool {
 			// Gang semantics: surviving containers of a dead attempt are
 			// released immediately.
 			e.Cluster.ReleaseAll(c.ctrs)
+			e.emit(trace.Event{
+				Type: trace.EvContainerLost, Step: f.step.Name, Engine: c.engineName,
+				Attempt: c.attempt, Speculative: c.speculative,
+				Fields: map[string]float64{"containers": float64(lost)},
+			})
+			if survivors := len(c.ctrs) - lost; survivors > 0 {
+				e.emit(trace.Event{
+					Type: trace.EvContainerRelease, Step: f.step.Name, Engine: c.engineName,
+					Fields: map[string]float64{"containers": float64(survivors)},
+				})
+			}
 			if c.speculative {
 				st.res.StepLog = append(st.res.StepLog, StepExec{
 					Name: f.step.Name, Engine: c.engineName,
 					Start: c.start, End: e.Clock.Now(),
 					Failed: true, Failure: ErrContainersLost.Error(),
 					Attempt: c.attempt, Speculative: true,
+				})
+				e.emit(trace.Event{
+					Type: trace.EvAttemptFail, Step: f.step.Name, Engine: c.engineName,
+					Attempt: c.attempt, Speculative: true,
+					Error: ErrContainersLost.Error(),
 				})
 			}
 		}
@@ -790,6 +852,11 @@ func (st *planRun) fireDeadlines(now time.Duration) {
 		}
 		f.copies = append(f.copies, c)
 		st.res.SpeculativeLaunches++
+		e.emit(trace.Event{
+			Type: trace.EvSpeculate, Step: f.step.Name, Engine: choice.Engine,
+			Attempt: attempt,
+			Fields:  map[string]float64{"deadlineSec": f.deadline.Seconds()},
+		})
 	}
 }
 
@@ -825,18 +892,36 @@ func (st *planRun) completeDue(now time.Duration) {
 	s := fl.step
 	delete(st.inFlight, s.ID)
 	delete(st.retryAt, s.ID)
-	e.Cluster.ReleaseAll(w.ctrs)
+	releaseCopy := func(c *attemptRun) {
+		e.Cluster.ReleaseAll(c.ctrs)
+		if len(c.ctrs) > 0 {
+			e.emit(trace.Event{
+				Type: trace.EvContainerRelease, Step: s.Name, Engine: c.engineName,
+				Fields: map[string]float64{"containers": float64(len(c.ctrs))},
+			})
+		}
+	}
+	releaseCopy(w)
 	// The losing copy (if any) is cancelled and its containers released.
 	for _, c := range fl.copies {
 		if c == w {
 			continue
 		}
-		e.Cluster.ReleaseAll(c.ctrs)
+		releaseCopy(c)
 	}
 	if w.speculative {
 		st.res.SpeculativeWins++
 	}
 	st.completed++
+	e.emit(trace.Event{
+		Type: trace.EvAttemptFinish, Step: s.Name, Operator: w.opName, Engine: w.engineName,
+		Attempt: w.attempt, Speculative: w.speculative,
+		Fields: map[string]float64{
+			"durSec":     (w.end - w.start).Seconds(),
+			"outRecords": float64(w.run.OutputRecords),
+			"costUnits":  w.run.CostUnits,
+		},
+	})
 
 	out := &dataset{records: w.run.OutputRecords, bytes: w.run.OutputBytes, meta: outMetaOf(s, w.engineName)}
 	st.doneSteps[s.ID] = out

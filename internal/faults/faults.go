@@ -18,6 +18,7 @@ import (
 
 	"github.com/asap-project/ires/internal/cluster"
 	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/vtime"
 )
 
@@ -87,11 +88,28 @@ type Stats struct {
 // interface; Arm wires the timed faults (outages, node crashes) onto the
 // virtual clock. Schedule is safe for concurrent use.
 type Schedule struct {
-	mu    sync.Mutex
-	cfg   Config
-	rng   *rand.Rand
-	stats Stats
-	armed bool
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	stats  Stats
+	armed  bool
+	tracer trace.Tracer
+}
+
+// SetTracer installs the event sink for injected-fault events.
+func (s *Schedule) SetTracer(t trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+// emitLocked stamps vt on ev and forwards to the tracer; the caller holds
+// s.mu.
+func (s *Schedule) emitLocked(ev trace.Event, vt time.Duration) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(ev.At(vt))
 }
 
 // New builds a schedule from the config.
@@ -124,10 +142,11 @@ func (s *Schedule) Arm(clock *vtime.Clock, env *engine.Environment, clus *cluste
 			continue
 		}
 		o := o
-		clock.Schedule(o.At, func(time.Duration) {
+		clock.Schedule(o.At, func(now time.Duration) {
 			env.SetAvailable(o.Engine, false)
 			s.mu.Lock()
 			s.stats.Outages++
+			s.emitLocked(trace.Event{Type: trace.EvFaultOutage, Engine: o.Engine}, now)
 			s.mu.Unlock()
 		})
 	}
@@ -174,6 +193,10 @@ func (s *Schedule) RunFault(engineName, stepName string, attempt int, durSec flo
 		return nil
 	}
 	s.stats.Transient++
+	s.emitLocked(trace.Event{
+		Type: trace.EvFaultTransient, Step: stepName, Engine: engineName, Attempt: attempt,
+		Fields: map[string]float64{"prob": p},
+	}, now)
 	return fmt.Errorf("%w: %s on %s (attempt %d at %v)", ErrInjected, stepName, engineName, attempt, now)
 }
 
@@ -190,6 +213,10 @@ func (s *Schedule) StretchFactor(engineName, stepName string, now time.Duration)
 		return 1
 	}
 	s.stats.Stragglers++
+	s.emitLocked(trace.Event{
+		Type: trace.EvFaultStraggler, Step: stepName, Engine: engineName,
+		Fields: map[string]float64{"factor": st.Factor},
+	}, now)
 	return st.Factor
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/asap-project/ires/internal/metadata"
 	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/workflow"
 )
 
@@ -76,7 +77,11 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	p.emit(trace.Event{Type: trace.EvPlanStart, Fields: map[string]float64{
+		"nodes": float64(g.Len()), "pareto": 1,
+	}})
 
+	prunedFronts := 0 // dominated/thinned entries dropped from tag fronts
 	dp := make(map[*workflow.Node]map[string][]*pEntry)
 	insert := func(n *workflow.Node, e *pEntry) {
 		key := e.meta.String()
@@ -85,7 +90,9 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 			m = make(map[string][]*pEntry)
 			dp[n] = m
 		}
+		before := len(m[key]) + 1
 		m[key] = pruneFront(append(m[key], e))
+		prunedFronts += before - len(m[key])
 	}
 
 	for _, d := range g.Datasets() {
@@ -155,6 +162,11 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 		plan.PlanningTime = time.Since(started)
 		plans = append(plans, plan)
 	}
+	p.emit(trace.Event{Type: trace.EvPlanFinish, Fields: map[string]float64{
+		"pareto":       1,
+		"frontSize":    float64(len(plans)),
+		"prunedFronts": float64(prunedFronts),
+	}})
 	return plans, nil
 }
 
@@ -406,8 +418,9 @@ func (p *Planner) extractPareto(g *workflow.Graph, best *pEntry) *Plan {
 		return step.ID, true
 	}
 	build(best)
-	plan.EstTimeSec = best.v.time
-	plan.EstCost = best.v.money
-	plan.EstObjective = best.v.time
+	// As in extract: the front vectors are tree-relaxed, the emitted steps
+	// deduplicated, so the reported estimates come from the steps themselves.
+	plan.EstTimeSec, plan.EstCost = plan.StepTotals()
+	plan.EstObjective = plan.EstTimeSec
 	return plan
 }

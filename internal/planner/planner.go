@@ -7,6 +7,21 @@
 // Worst-case complexity is O(op * m^2 * k) for op abstract operators, m
 // materialized matches per operator and k inputs per operator, as derived in
 // the paper.
+//
+// # Tree relaxation
+//
+// The dynamic program accumulates path costs bottom-up as if every plan were
+// a tree: a tagEntry's cost sums the full cost of each input's producing
+// subplan. When a workflow is a DAG with sharing — a diamond where one
+// upstream operator feeds two downstream branches that re-merge — the shared
+// producer is counted once per consuming branch during the DP, a standard
+// relaxation that keeps the table per-dataset instead of per-subplan-set.
+// Extraction, however, deduplicates shared producers (one plan step per
+// candidate), so the emitted plan is cheaper than the DP value suggests. The
+// reported Plan.EstTimeSec/EstCost/EstObjective are therefore recomputed
+// from the deduplicated steps after extraction: cost as the sum over unique
+// steps, time as the critical path over step dependencies. Only step
+// *selection* retains the tree relaxation.
 package planner
 
 import (
@@ -16,6 +31,7 @@ import (
 
 	"github.com/asap-project/ires/internal/metadata"
 	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/workflow"
 )
 
@@ -77,6 +93,12 @@ type Config struct {
 	// operator at a given input scale (the elastic-provisioning hook);
 	// nil uses 16x(2c,3456MB).
 	Resources func(mo *operator.Materialized, records, bytes int64) Resources
+	// Tracer receives plan.start/plan.finish events with DP statistics;
+	// nil discards them.
+	Tracer trace.Tracer
+	// Now supplies the virtual time stamped on trace events; nil stamps 0
+	// (the planner itself never consumes time on the virtual clock).
+	Now func() time.Duration
 }
 
 // Planner computes optimal materialized plans for abstract workflows.
@@ -111,7 +133,41 @@ func New(cfg Config) (*Planner, error) {
 			return Resources{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}
 		}
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Nop()
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() time.Duration { return 0 }
+	}
 	return &Planner{cfg: cfg}, nil
+}
+
+// emit stamps the current virtual time on ev and hands it to the tracer.
+func (p *Planner) emit(ev trace.Event) {
+	p.cfg.Tracer.Emit(ev.At(p.cfg.Now()))
+}
+
+// dpStats aggregates what one buildTable pass did, for plan.finish events.
+type dpStats struct {
+	candidatesTried int // (operator, materialization) pairs attempted
+	candidatesKept  int // feasible candidates inserted into the table
+	movesConsidered int // input slots bridged with a move/transform
+	entriesKept     int // tagEntry inserts that created or improved a slot
+}
+
+func (s *dpStats) fields(pl *Plan) map[string]float64 {
+	f := map[string]float64{
+		"candidatesTried": float64(s.candidatesTried),
+		"candidatesKept":  float64(s.candidatesKept),
+		"movesConsidered": float64(s.movesConsidered),
+		"entriesKept":     float64(s.entriesKept),
+	}
+	if pl != nil {
+		f["steps"] = float64(len(pl.Steps))
+		f["estTimeSec"] = pl.EstTimeSec
+		f["estCost"] = pl.EstCost
+	}
+	return f
 }
 
 // tagEntry is one dpTable record: the cheapest known way to produce a
@@ -231,16 +287,23 @@ func (p *Planner) Plan(g *workflow.Graph) (*Plan, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	dp, err := p.buildTable(g, nil)
+	p.emit(trace.Event{Type: trace.EvPlanStart, Fields: map[string]float64{"nodes": float64(g.Len())}})
+	dp, stats, err := p.buildTable(g, nil)
 	if err != nil {
 		return nil, err
 	}
-	return p.extract(g, dp, started)
+	plan, err := p.extract(g, dp, started)
+	if err != nil {
+		return nil, err
+	}
+	p.emit(trace.Event{Type: trace.EvPlanFinish, Fields: stats.fields(plan)})
+	return plan, nil
 }
 
 // buildTable fills the dpTable. seed pre-populates dataset entries (used by
 // replanning to inject already-materialized intermediates).
-func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[*workflow.Node]map[string]*tagEntry, error) {
+func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[*workflow.Node]map[string]*tagEntry, *dpStats, error) {
+	stats := &dpStats{}
 	dp := make(map[*workflow.Node]map[string]*tagEntry)
 	insert := func(n *workflow.Node, e *tagEntry) {
 		key := e.meta.String()
@@ -251,6 +314,7 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 		}
 		if old, ok := m[key]; !ok || e.cost < old.cost {
 			m[key] = e
+			stats.entriesKept++
 		}
 	}
 
@@ -276,7 +340,7 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 
 	ops, err := g.OperatorsTopological()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, o := range ops {
 		mos := p.cfg.Library.FindMaterialized(o.Operator)
@@ -284,9 +348,16 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 			if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
 				continue
 			}
+			stats.candidatesTried++
 			cand := p.tryCandidate(o, mo, dp)
 			if cand == nil {
 				continue
+			}
+			stats.candidatesKept++
+			for _, in := range cand.inputs {
+				if in.moved {
+					stats.movesConsidered++
+				}
 			}
 			total := cand.pathCost(p.cfg.Objective)
 			for idx, out := range o.Outputs {
@@ -308,7 +379,7 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 			}
 		}
 	}
-	return dp, nil
+	return dp, stats, nil
 }
 
 type pathTotals struct{ cost, time, money float64 }
@@ -534,9 +605,35 @@ func (p *Planner) extract(g *workflow.Graph, dp map[*workflow.Node]map[string]*t
 	}
 	build(best)
 
-	plan.EstObjective = best.cost
-	plan.EstTimeSec = best.time
-	plan.EstCost = best.money
+	// The DP totals are a tree relaxation (see the package comment): shared
+	// producers were charged once per consuming branch, but extraction
+	// deduplicated them via candSteps. Recompute the reported estimates from
+	// the steps actually emitted.
+	plan.EstTimeSec, plan.EstCost = plan.StepTotals()
+	plan.EstObjective = p.cfg.Objective(plan.EstTimeSec, plan.EstCost)
 	plan.PlanningTime = time.Since(started)
 	return plan, nil
+}
+
+// StepTotals recomputes the plan's estimates from its deduplicated steps:
+// total cost is the sum over unique steps, total time the critical path over
+// the DependsOn edges (steps with only source inputs start at zero). Steps
+// are stored in dependency order, so a single forward pass suffices.
+func (pl *Plan) StepTotals() (timeSec, cost float64) {
+	finish := make(map[int]float64, len(pl.Steps))
+	for _, s := range pl.Steps {
+		start := 0.0
+		for _, dep := range s.DependsOn {
+			if f := finish[dep]; f > start {
+				start = f
+			}
+		}
+		f := start + s.EstTimeSec
+		finish[s.ID] = f
+		if f > timeSec {
+			timeSec = f
+		}
+		cost += s.EstCost
+	}
+	return timeSec, cost
 }

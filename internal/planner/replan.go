@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/workflow"
 )
 
@@ -30,6 +31,9 @@ func (p *Planner) Replan(g *workflow.Graph, done []MaterializedIntermediate) (*P
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	p.emit(trace.Event{Type: trace.EvPlanStart, Fields: map[string]float64{
+		"nodes": float64(g.Len()), "replan": 1, "seeded": float64(len(done)),
+	}})
 	seed := make(map[string]*tagEntry, len(done))
 	for _, d := range done {
 		if _, ok := g.Node(d.Dataset); !ok {
@@ -46,11 +50,18 @@ func (p *Planner) Replan(g *workflow.Graph, done []MaterializedIntermediate) (*P
 			source:  d.Dataset,
 		}
 	}
-	dp, err := p.buildTable(g, seed)
+	dp, stats, err := p.buildTable(g, seed)
 	if err != nil {
 		return nil, err
 	}
-	return p.extract(g, dp, started)
+	plan, err := p.extract(g, dp, started)
+	if err != nil {
+		return nil, err
+	}
+	f := stats.fields(plan)
+	f["replan"] = 1
+	p.emit(trace.Event{Type: trace.EvPlanFinish, Fields: f})
+	return plan, nil
 }
 
 // Describe renders a human-readable summary of the plan.

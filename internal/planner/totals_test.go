@@ -1,0 +1,163 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/trace"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// diamondGraph builds src -> a -> da; da -> b -> db; da -> c -> dc;
+// db,dc -> join -> out — the shape where the DP's tree relaxation charges the
+// shared producer a once per consuming branch.
+func diamondGraph(t *testing.T) (*workflow.Graph, *operator.Library, stubEstimator) {
+	t.Helper()
+	lib := mustLib(t, map[string]string{
+		"a_java":    "Constraints.Engine=Java\nConstraints.OpSpecification.Algorithm.name=a",
+		"b_java":    "Constraints.Engine=Java\nConstraints.OpSpecification.Algorithm.name=b",
+		"c_java":    "Constraints.Engine=Java\nConstraints.OpSpecification.Algorithm.name=c",
+		"join_java": "Constraints.Engine=Java\nConstraints.OpSpecification.Algorithm.name=join\nConstraints.Input.number=2",
+	})
+	est := stubEstimator{
+		"a_java":    {time: func(n float64) float64 { return 5 }, outFactor: 1},
+		"b_java":    {time: func(n float64) float64 { return 5 }, outFactor: 1},
+		"c_java":    {time: func(n float64) float64 { return 5 }, outFactor: 1},
+		"join_java": {time: func(n float64) float64 { return 5 }, outFactor: 1},
+	}
+	g := workflow.NewGraph()
+	g.AddDataset("src", operator.NewDataset("src", metadata.MustParse("Execution.path=/src\nOptimization.documents=100\nOptimization.size=1000")))
+	for _, op := range []string{"a", "b", "c", "join"} {
+		g.AddOperator(op, operator.NewAbstract(op, metadata.MustParse("Constraints.OpSpecification.Algorithm.name="+op)))
+	}
+	for _, d := range []string{"da", "db", "dc", "out"} {
+		g.AddDataset(d, nil)
+	}
+	for _, e := range [][2]string{
+		{"src", "a"}, {"a", "da"},
+		{"da", "b"}, {"b", "db"},
+		{"da", "c"}, {"c", "dc"},
+		{"db", "join"}, {"dc", "join"}, {"join", "out"},
+	} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.SetTarget("out")
+	return g, lib, est
+}
+
+// assertTotalsMatchSteps checks a plan's headline estimates against its own
+// deduplicated steps: cost is the sum over unique steps, time the critical
+// path over DependsOn.
+func assertTotalsMatchSteps(t *testing.T, plan *Plan) {
+	t.Helper()
+	wantTime, wantCost := plan.StepTotals()
+	if math.Abs(plan.EstTimeSec-wantTime) > 1e-9 {
+		t.Errorf("EstTimeSec = %v, step-derived critical path = %v\n%s", plan.EstTimeSec, wantTime, plan.Describe())
+	}
+	if math.Abs(plan.EstCost-wantCost) > 1e-9 {
+		t.Errorf("EstCost = %v, step-derived sum = %v\n%s", plan.EstCost, wantCost, plan.Describe())
+	}
+}
+
+// Regression for the diamond double-count: the DP table relaxes the workflow
+// as a tree, so before extraction the shared producer's time/cost is charged
+// once per consuming branch. The extracted plan dedups steps; its headline
+// estimates must be recomputed from those steps, not inherited from the
+// relaxed table entry.
+func TestDiamondPlanTotalsMatchSteps(t *testing.T) {
+	g, lib, est := diamondGraph(t)
+	p := newPlanner(t, lib, est)
+	plan, err := p.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTotalsMatchSteps(t, plan)
+
+	// Explicit ground truth: 4 unique 5s steps, critical path a -> b|c ->
+	// join = 15s; cost = 4 steps x 5s x 16 nodes = 320. The tree-relaxed
+	// table value would be 25s (a charged under both b and c).
+	if math.Abs(plan.EstTimeSec-15) > 1e-9 {
+		t.Errorf("EstTimeSec = %v, want 15 (critical path, shared producer charged once)", plan.EstTimeSec)
+	}
+	if math.Abs(plan.EstCost-320) > 1e-9 {
+		t.Errorf("EstCost = %v, want 320", plan.EstCost)
+	}
+	if got := p.cfg.Objective(plan.EstTimeSec, plan.EstCost); math.Abs(plan.EstObjective-got) > 1e-9 {
+		t.Errorf("EstObjective = %v, want objective(%v, %v) = %v", plan.EstObjective, plan.EstTimeSec, plan.EstCost, got)
+	}
+}
+
+// The Pareto extraction dedups the same way; every front member's totals
+// must equal its step-derived totals.
+func TestDiamondParetoTotalsMatchSteps(t *testing.T) {
+	g, lib, est := diamondGraph(t)
+	p := newPlanner(t, lib, est)
+	plans, err := p.ParetoPlans(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for i, plan := range plans {
+		assertTotalsMatchSteps(t, plan)
+		if math.Abs(plan.EstTimeSec-15) > 1e-9 {
+			t.Errorf("front[%d]: EstTimeSec = %v, want 15", i, plan.EstTimeSec)
+		}
+	}
+}
+
+// Replanning recomputes totals from deduplicated steps too.
+func TestReplanTotalsMatchSteps(t *testing.T) {
+	g, lib, est := diamondGraph(t)
+	p := newPlanner(t, lib, est)
+	done := []MaterializedIntermediate{{Dataset: "da", Records: 100, Bytes: 1000}}
+	plan, err := p.Replan(g, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTotalsMatchSteps(t, plan)
+	// a is already materialized: b|c -> join = 10s critical path, 3 steps.
+	if math.Abs(plan.EstTimeSec-10) > 1e-9 {
+		t.Errorf("replan EstTimeSec = %v, want 10\n%s", plan.EstTimeSec, plan.Describe())
+	}
+}
+
+// captureTracer records events for assertion.
+type captureTracer struct{ events []trace.Event }
+
+func (c *captureTracer) Emit(ev trace.Event) { c.events = append(c.events, ev) }
+
+func TestPlannerEmitsPlanEvents(t *testing.T) {
+	g, lib, est := diamondGraph(t)
+	cap := &captureTracer{}
+	p := newPlanner(t, lib, est, func(c *Config) { c.Tracer = cap })
+	if _, err := p.Plan(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.events) != 2 {
+		t.Fatalf("got %d events, want plan.start + plan.finish: %+v", len(cap.events), cap.events)
+	}
+	start, finish := cap.events[0], cap.events[1]
+	if start.Type != trace.EvPlanStart || finish.Type != trace.EvPlanFinish {
+		t.Fatalf("event types = %s, %s", start.Type, finish.Type)
+	}
+	if start.Fields["nodes"] != float64(g.Len()) {
+		t.Errorf("plan.start nodes = %v, want %d", start.Fields["nodes"], g.Len())
+	}
+	for _, f := range []string{"candidatesTried", "candidatesKept", "entriesKept", "steps", "estTimeSec", "estCost"} {
+		if _, ok := finish.Fields[f]; !ok {
+			t.Errorf("plan.finish missing field %q: %v", f, finish.Fields)
+		}
+	}
+	if finish.Fields["steps"] != 4 {
+		t.Errorf("plan.finish steps = %v, want 4", finish.Fields["steps"])
+	}
+	if finish.Fields["estTimeSec"] != 15 {
+		t.Errorf("plan.finish estTimeSec = %v, want 15 (deduplicated)", finish.Fields["estTimeSec"])
+	}
+}

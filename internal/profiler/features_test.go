@@ -1,0 +1,107 @@
+package profiler
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/metrics"
+)
+
+func obsRun(records int64, execSec float64, params map[string]float64) *metrics.Run {
+	p := map[string]float64{
+		"records": float64(records), "bytes": float64(records * 100),
+		"nodes": 4, "cores": 2, "memoryMB": 3456,
+	}
+	for k, v := range params {
+		p[k] = v
+	}
+	return &metrics.Run{
+		Operator: "op", Algorithm: "alg", Engine: "Spark",
+		Params:       p,
+		ExecTimeSec:  execSec,
+		CostUnits:    execSec * 8,
+		InputRecords: records, InputBytes: records * 100,
+		OutputRecords: records, OutputBytes: records * 100,
+	}
+}
+
+// A never-profiled operator's feature set must not be frozen to whatever
+// parameters its first observed run happened to carry: later runs with new
+// parameters extend the set, and historical rows are padded with zero.
+func TestObserveExtendsFeatureSet(t *testing.T) {
+	p := New(engine.NewDefaultEnvironment(1), 1)
+
+	// First runs carry only the base features.
+	for i := int64(1); i <= 4; i++ {
+		if err := p.Observe("op", obsRun(i*10_000, float64(i), nil)); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	om, ok := p.Models("op")
+	if !ok {
+		t.Fatal("operator not registered after Observe")
+	}
+	if got, want := len(om.Features), len(BaseFeatures); got != want {
+		t.Fatalf("initial features = %v, want just the %d base features", om.Features, want)
+	}
+
+	// A later run introduces a new operator parameter.
+	for i := int64(5); i <= 8; i++ {
+		if err := p.Observe("op", obsRun(i*10_000, float64(i), map[string]float64{"k": 5})); err != nil {
+			t.Fatalf("Observe with new param: %v", err)
+		}
+	}
+	found := false
+	for _, f := range om.Features {
+		if f == "k" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("feature set %v not extended with new param k", om.Features)
+	}
+	for i, row := range om.X {
+		if len(row) != len(om.Features) {
+			t.Fatalf("row %d has %d values for %d features (historical rows not re-vectorized)", i, len(row), len(om.Features))
+		}
+	}
+
+	// The extended feature is usable for estimation.
+	feats := map[string]float64{
+		"records": 50_000, "bytes": 5_000_000,
+		"nodes": 4, "cores": 2, "memoryMB": 3456, "k": 5,
+	}
+	if _, ok := p.Estimate("op", TargetExecTime, feats); !ok {
+		t.Fatal("Estimate failed after feature extension")
+	}
+}
+
+// Parallel Observe/Estimate calls must be race-free (run with -race).
+func TestProfilerConcurrentObserveEstimate(t *testing.T) {
+	p := New(engine.NewDefaultEnvironment(1), 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			op := fmt.Sprintf("op%d", w%4)
+			for i := int64(1); i <= 12; i++ {
+				params := map[string]float64{fmt.Sprintf("p%d", w%3): float64(w)}
+				if err := p.Observe(op, obsRun(i*1_000, float64(i), params)); err != nil {
+					t.Errorf("Observe: %v", err)
+					return
+				}
+				feats := map[string]float64{
+					"records": float64(i * 1_000), "bytes": float64(i * 100_000),
+					"nodes": 4, "cores": 2, "memoryMB": 3456,
+				}
+				p.Estimate(op, TargetExecTime, feats)
+				p.Operators()
+			}
+		}()
+	}
+	wg.Wait()
+}

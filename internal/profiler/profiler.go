@@ -285,9 +285,32 @@ func (p *Profiler) Feasible(opName string, records float64) bool {
 	return om.feasibleLocked(records)
 }
 
+// extendFeaturesLocked grows the feature set when a run carries parameters
+// never seen before, back-filling historical rows with zero — the value those
+// runs effectively had for a knob that did not exist yet. Without this, the
+// first run to reach an operator would freeze its feature set forever and
+// later parameters would be silently ignored by every model.
+func (om *OperatorModels) extendFeaturesLocked(run *metrics.Run) {
+	known := make(map[string]bool, len(om.Features))
+	for _, f := range om.Features {
+		known[f] = true
+	}
+	for _, name := range run.ParamNames() {
+		if known[name] {
+			continue
+		}
+		known[name] = true
+		om.Features = append(om.Features, name)
+		for i := range om.X {
+			om.X[i] = append(om.X[i], 0)
+		}
+	}
+}
+
 func (om *OperatorModels) appendRun(run *metrics.Run) {
 	om.mu.Lock()
 	defer om.mu.Unlock()
+	om.extendFeaturesLocked(run)
 	x := make([]float64, len(om.Features))
 	for i, f := range om.Features {
 		v, _ := run.Feature(f)

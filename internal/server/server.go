@@ -29,13 +29,17 @@ type Server struct {
 	platform *ires.Platform
 	// workflows stores registered abstract workflow graph files by name.
 	workflows map[string]string
-	mux       *http.ServeMux
+	// traces stores, per workflow name, the event timeline captured during
+	// its most recent execute action.
+	traces map[string][]ires.TraceEvent
+	mux    *http.ServeMux
 }
 
 // New builds a server around the platform.
 func New(p *ires.Platform) *Server {
-	s := &Server{platform: p, workflows: make(map[string]string)}
+	s := &Server{platform: p, workflows: make(map[string]string), traces: make(map[string][]ires.TraceEvent)}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/api/operators", s.handleOperators)
 	mux.HandleFunc("/api/operators/", s.handleOperator)
 	mux.HandleFunc("/api/datasets/", s.handleDataset)
@@ -345,7 +349,12 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		seq := s.platform.TraceSeq()
 		res, err := s.platform.Execute(g, plan)
+		events := s.platform.TraceSince(seq)
+		s.mu.Lock()
+		s.traces[name] = events
+		s.mu.Unlock()
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -355,6 +364,15 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		dto.CostUnits = res.TotalCostUnits
 		dto.Replans = res.Replans
 		writeJSON(w, http.StatusOK, dto)
+	case r.Method == http.MethodGet && action == "trace":
+		s.mu.Lock()
+		events, ok := s.traces[name]
+		s.mu.Unlock()
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no recorded execution for workflow %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"workflow": name, "events": events})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("unsupported %s %s", r.Method, r.URL.Path))
 	}
@@ -378,6 +396,17 @@ func (s *Server) materialize(name string) (*ires.Plan, *ires.Workflow, error) {
 	}
 	plan, err := s.platform.Plan(g)
 	return plan, g, err
+}
+
+// handleMetrics serves the platform's counter/gauge registry in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.platform.Metrics().WritePrometheus(w)
 }
 
 // --- engines ---

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	setupWordcount(t, ts)
+
+	// Before any execution: no recorded trace for the workflow.
+	resp, body := do(t, "GET", ts.URL+"/api/workflows/wc/trace", "")
+	expectCode(t, resp, body, http.StatusNotFound)
+
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/execute", "")
+	expectCode(t, resp, body, http.StatusOK)
+
+	// Prometheus exposition reflects the execution.
+	resp, body = do(t, "GET", ts.URL+"/metrics", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE ires_attempts_total counter",
+		"ires_attempts_total{engine=",
+		"ires_vtime_seconds",
+		"ires_plans_total",
+		"ires_trace_events_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Per-run timeline: only the events of the execute window.
+	resp, body = do(t, "GET", ts.URL+"/api/workflows/wc/trace", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var tr struct {
+		Workflow string `json:"workflow"`
+		Events   []struct {
+			Seq   int64   `json:"seq"`
+			VTime float64 `json:"vtime"`
+			Type  string  `json:"type"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("trace payload: %v\n%s", err, body)
+	}
+	if tr.Workflow != "wc" || len(tr.Events) == 0 {
+		t.Fatalf("trace: %s", body)
+	}
+	sawStart, sawFinish := false, false
+	for _, ev := range tr.Events {
+		switch ev.Type {
+		case "attempt.start":
+			sawStart = true
+		case "attempt.finish":
+			sawFinish = true
+		}
+	}
+	if !sawStart || !sawFinish {
+		t.Fatalf("trace lacks attempt lifecycle events: %s", body)
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ganttBar is one reconstructed attempt interval.
+type ganttBar struct {
+	step        string
+	engine      string
+	start       float64
+	end         float64
+	failed      bool
+	speculative bool
+	attempt     int
+}
+
+// GanttDOT reconstructs the executed timeline from an event log and renders
+// it as a Graphviz digraph: one cluster per engine, one node per attempt
+// labelled with its [start, end] virtual-time interval, edges ordering the
+// attempts on each engine chronologically. Failed attempts render dashed,
+// speculative copies with a doubled border.
+func GanttDOT(events []Event) string {
+	type liveKey struct {
+		step    string
+		engine  string
+		attempt int
+		spec    bool
+	}
+	live := make(map[liveKey]Event)
+	var bars []ganttBar
+	closeBar := func(start Event, endSec float64, failed bool) {
+		bars = append(bars, ganttBar{
+			step:        start.Step,
+			engine:      start.Engine,
+			start:       start.VTimeSec,
+			end:         endSec,
+			failed:      failed,
+			speculative: start.Speculative,
+			attempt:     start.Attempt,
+		})
+	}
+	for _, ev := range events {
+		k := liveKey{ev.Step, ev.Engine, ev.Attempt, ev.Speculative}
+		switch ev.Type {
+		case EvAttemptStart:
+			live[k] = ev
+		case EvAttemptFinish, EvAttemptFail:
+			if start, ok := live[k]; ok {
+				closeBar(start, ev.VTimeSec, ev.Type == EvAttemptFail)
+				delete(live, k)
+			}
+		}
+	}
+	// Attempts still open at the end of the log (e.g. lost to a node crash
+	// whose failure was attributed without engine/attempt detail) close at
+	// their own start so they remain visible.
+	for _, start := range live {
+		closeBar(start, start.VTimeSec, true)
+	}
+
+	sort.Slice(bars, func(i, j int) bool {
+		if bars[i].engine != bars[j].engine {
+			return bars[i].engine < bars[j].engine
+		}
+		if bars[i].start != bars[j].start {
+			return bars[i].start < bars[j].start
+		}
+		return bars[i].step < bars[j].step
+	})
+
+	var b strings.Builder
+	b.WriteString("digraph gantt {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	cluster := 0
+	for i := 0; i < len(bars); {
+		j := i
+		for j < len(bars) && bars[j].engine == bars[i].engine {
+			j++
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", cluster, bars[i].engine)
+		for k := i; k < j; k++ {
+			bar := bars[k]
+			style := "solid"
+			if bar.failed {
+				style = "dashed"
+			}
+			peripheries := 1
+			if bar.speculative {
+				peripheries = 2
+			}
+			fmt.Fprintf(&b, "    b%d [label=\"%s\\n[%.1fs, %.1fs] #%d\", style=%s, peripheries=%d];\n",
+				k, bar.step, bar.start, bar.end, bar.attempt, style, peripheries)
+		}
+		for k := i; k < j-1; k++ {
+			fmt.Fprintf(&b, "    b%d -> b%d;\n", k, k+1)
+		}
+		b.WriteString("  }\n")
+		cluster++
+		i = j
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

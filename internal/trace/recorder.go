@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultMaxEvents bounds the Recorder's in-memory log; past it the oldest
+// events are dropped (the registry keeps counting regardless).
+const DefaultMaxEvents = 1 << 16
+
+// Recorder is a Tracer that appends events to a bounded in-memory log and
+// aggregates them into a Registry. It is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	seq     int64
+	events  []Event
+	dropped int64
+	max     int
+	reg     *Registry
+}
+
+// NewRecorder builds a recorder holding at most max events (DefaultMaxEvents
+// when max <= 0).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	reg := NewRegistry()
+	reg.Help("ires_attempts_total", "operator/move execution attempts started, by engine")
+	reg.Help("ires_attempt_failures_total", "failed execution attempts, by engine")
+	reg.Help("ires_retries_total", "same-engine retries scheduled after transient failures")
+	reg.Help("ires_speculative_launches_total", "straggler backup copies launched")
+	reg.Help("ires_speculative_wins_total", "backup copies that beat the original attempt")
+	reg.Help("ires_breaker_trips_total", "circuit-breaker trips, by engine")
+	reg.Help("ires_replans_total", "fault-triggered replanning rounds")
+	reg.Help("ires_faults_injected_total", "chaos-layer injections, by kind")
+	reg.Help("ires_containers_lost_total", "containers invalidated by node failures")
+	reg.Help("ires_containers_live", "currently allocated containers")
+	reg.Help("ires_node_crashes_total", "cluster node crashes")
+	reg.Help("ires_plans_total", "planner invocations, by kind")
+	reg.Help("ires_vtime_seconds", "current virtual time of the simulation")
+	return &Recorder{max: max, reg: reg}
+}
+
+// Emit implements Tracer: the event gets the next sequence number, is
+// appended to the log and folded into the registry.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	r.events = append(r.events, ev)
+	if len(r.events) > r.max {
+		over := len(r.events) - r.max
+		r.events = append(r.events[:0:0], r.events[over:]...)
+		r.dropped += int64(over)
+	}
+	r.mu.Unlock()
+	r.aggregate(ev)
+}
+
+// aggregate maintains the counter/gauge registry from the event stream.
+func (r *Recorder) aggregate(ev Event) {
+	reg := r.reg
+	reg.Inc("ires_trace_events_total", map[string]string{"type": string(ev.Type)}, 1)
+	if ev.VTimeSec > reg.Value("ires_vtime_seconds", nil) {
+		reg.Set("ires_vtime_seconds", nil, ev.VTimeSec)
+	}
+	engine := map[string]string{"engine": ev.Engine}
+	switch ev.Type {
+	case EvAttemptStart:
+		reg.Inc("ires_attempts_total", engine, 1)
+		if ev.Speculative {
+			reg.Inc("ires_speculative_launches_total", nil, 1)
+		}
+	case EvAttemptFinish:
+		reg.Inc("ires_attempt_successes_total", engine, 1)
+		if ev.Speculative {
+			reg.Inc("ires_speculative_wins_total", nil, 1)
+		}
+	case EvAttemptFail:
+		reg.Inc("ires_attempt_failures_total", engine, 1)
+	case EvAttemptRetry:
+		reg.Inc("ires_retries_total", nil, 1)
+	case EvSpeculate:
+		reg.Inc("ires_speculation_deadlines_total", nil, 1)
+	case EvContainerAlloc:
+		n := ev.Fields["containers"]
+		reg.Inc("ires_containers_allocated_total", nil, n)
+		reg.Add("ires_containers_live", nil, n)
+	case EvContainerRelease:
+		n := ev.Fields["containers"]
+		reg.Inc("ires_containers_released_total", nil, n)
+		reg.Add("ires_containers_live", nil, -n)
+	case EvContainerLost:
+		n := ev.Fields["containers"]
+		reg.Inc("ires_containers_lost_total", nil, n)
+		reg.Add("ires_containers_live", nil, -n)
+	case EvBreakerTrip:
+		reg.Inc("ires_breaker_trips_total", engine, 1)
+	case EvBreakerReset:
+		reg.Inc("ires_breaker_resets_total", engine, 1)
+	case EvReplan:
+		reg.Inc("ires_replans_total", nil, 1)
+	case EvNodeCrash:
+		reg.Inc("ires_node_crashes_total", nil, 1)
+	case EvNodeRestore:
+		reg.Inc("ires_node_restores_total", nil, 1)
+	case EvFaultTransient:
+		reg.Inc("ires_faults_injected_total", map[string]string{"kind": "transient"}, 1)
+	case EvFaultStraggler:
+		reg.Inc("ires_faults_injected_total", map[string]string{"kind": "straggler"}, 1)
+	case EvFaultOutage:
+		reg.Inc("ires_faults_injected_total", map[string]string{"kind": "outage"}, 1)
+	case EvPlanStart:
+		kind := "plan"
+		if ev.Fields["replan"] > 0 {
+			kind = "replan"
+		} else if ev.Fields["pareto"] > 0 {
+			kind = "pareto"
+		}
+		reg.Inc("ires_plans_total", map[string]string{"kind": kind}, 1)
+	}
+}
+
+// Registry exposes the aggregated counters and gauges.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Seq returns the sequence number of the latest event (0 when empty).
+func (r *Recorder) Seq() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Events returns a copy of the retained event log.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Since returns the retained events with Seq > seq — the capture primitive
+// for per-run timelines.
+func (r *Recorder) Since(seq int64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Events are seq-ordered; binary search would be overkill at this size.
+	for i, ev := range r.events {
+		if ev.Seq > seq {
+			return append([]Event(nil), r.events[i:]...)
+		}
+	}
+	return nil
+}
+
+// Dropped reports how many events aged out of the bounded log.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONL writes events as JSON lines (one event per line).
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

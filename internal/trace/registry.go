@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a lock-protected counter/gauge store with a Prometheus-style
+// text exposition. Series are identified by metric name plus a sorted label
+// set; all mutators are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	kinds   map[string]string  // metric name -> "counter" | "gauge"
+	help    map[string]string  // metric name -> HELP line
+	series  map[string]float64 // full series key -> value
+	ordered []string           // series keys in first-seen order (resorted on write)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:  make(map[string]string),
+		help:   make(map[string]string),
+		series: make(map[string]float64),
+	}
+}
+
+// seriesKey renders `name{k1="v1",k2="v2"}` with sorted label keys, which is
+// also the exposition form.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) declare(name, kind string) {
+	if _, ok := r.kinds[name]; !ok {
+		r.kinds[name] = kind
+	}
+}
+
+// Help attaches a HELP line to a metric name.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// Inc adds delta to a counter series (creating it at zero).
+func (r *Registry) Inc(name string, labels map[string]string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.declare(name, "counter")
+	key := seriesKey(name, labels)
+	if _, ok := r.series[key]; !ok {
+		r.ordered = append(r.ordered, key)
+	}
+	r.series[key] += delta
+}
+
+// Add adds delta to a gauge series (delta may be negative).
+func (r *Registry) Add(name string, labels map[string]string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.declare(name, "gauge")
+	key := seriesKey(name, labels)
+	if _, ok := r.series[key]; !ok {
+		r.ordered = append(r.ordered, key)
+	}
+	r.series[key] += delta
+}
+
+// Set sets a gauge series to v.
+func (r *Registry) Set(name string, labels map[string]string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.declare(name, "gauge")
+	key := seriesKey(name, labels)
+	if _, ok := r.series[key]; !ok {
+		r.ordered = append(r.ordered, key)
+	}
+	r.series[key] = v
+}
+
+// Value reads one series (zero when absent).
+func (r *Registry) Value(name string, labels map[string]string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series[seriesKey(name, labels)]
+}
+
+// Sum adds up every series of a metric name across label sets.
+func (r *Registry) Sum(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0.0
+	for key, v := range r.series {
+		if key == name || strings.HasPrefix(key, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Snapshot returns a copy of every series value keyed by exposition name.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.series))
+	for k, v := range r.series {
+		out[k] = v
+	}
+	return out
+}
+
+// metricOf strips the label block off a series key.
+func metricOf(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, metrics sorted by name and series sorted within each metric, so
+// the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	keys := make([]string, len(r.ordered))
+	copy(keys, r.ordered)
+	sort.Strings(keys)
+	type row struct {
+		key string
+		val float64
+	}
+	byMetric := make(map[string][]row)
+	var metricNames []string
+	for _, key := range keys {
+		m := metricOf(key)
+		if _, ok := byMetric[m]; !ok {
+			metricNames = append(metricNames, m)
+		}
+		byMetric[m] = append(byMetric[m], row{key, r.series[key]})
+	}
+	kinds := make(map[string]string, len(r.kinds))
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Strings(metricNames)
+	for _, m := range metricNames {
+		if h := help[m]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m, h); err != nil {
+				return err
+			}
+		}
+		kind := kinds[m]
+		if kind == "" {
+			kind = "untyped"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m, kind); err != nil {
+			return err
+		}
+		for _, rw := range byMetric[m] {
+			if _, err := fmt.Fprintf(w, "%s %s\n", rw.key, formatValue(rw.val)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatValue renders integers without an exponent and everything else with
+// the shortest round-trip representation.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

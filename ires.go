@@ -41,6 +41,7 @@ import (
 	"github.com/asap-project/ires/internal/planner"
 	"github.com/asap-project/ires/internal/profiler"
 	"github.com/asap-project/ires/internal/provision"
+	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/vtime"
 	"github.com/asap-project/ires/internal/workflow"
 )
@@ -82,6 +83,14 @@ type (
 	StragglerFaults = faults.Straggler
 	// FaultStats counts what an armed fault schedule actually injected.
 	FaultStats = faults.Stats
+	// TraceEvent is one virtual-time-stamped structured event.
+	TraceEvent = trace.Event
+	// TraceEventType names the event vocabulary (see internal/trace).
+	TraceEventType = trace.EventType
+	// Tracer receives structured events from every platform layer.
+	Tracer = trace.Tracer
+	// MetricsRegistry is the platform's counter/gauge registry.
+	MetricsRegistry = trace.Registry
 )
 
 // Typed execution failures (see the executor package).
@@ -162,6 +171,10 @@ type Options struct {
 	BreakerCooldown  time.Duration
 	// MaxReplans bounds the failure/replan loop (zero: executor default).
 	MaxReplans int
+	// Tracer, when non-nil, receives every structured event the platform
+	// emits, in addition to the built-in recorder that feeds Metrics() and
+	// TraceEvents().
+	Tracer Tracer
 }
 
 // Platform is the IReS runtime: interface, optimizer and executor layers
@@ -184,6 +197,9 @@ type Platform struct {
 
 	abstracts   map[string]*operator.Abstract
 	runObserver func(op string, run *RunMetrics)
+
+	recorder *trace.Recorder
+	tracer   trace.Tracer
 }
 
 // NewPlatform builds a platform with the default engine deployment.
@@ -208,11 +224,15 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Library:   operator.NewLibrary(),
 		abstracts: make(map[string]*operator.Abstract),
 	}
+	p.recorder = trace.NewRecorder(0)
+	p.tracer = trace.Multi(p.recorder, opts.Tracer)
 	p.Cluster = cluster.New(p.Clock, opts.ClusterNodes, opts.CoresPerNode, opts.MemMBPerNode)
+	p.Cluster.SetTracer(p.tracer)
 	p.Monitor = cluster.NewMonitor(p.Cluster, p.Env, opts.MonitorPeriod)
 	p.Profiler = profiler.New(p.Env, opts.Seed)
 	p.provisioner = provision.New(p.Profiler, p.clusterBounds(), opts.Seed)
 	p.breaker = executor.NewCircuitBreaker(p.Clock, opts.BreakerThreshold, opts.BreakerCooldown)
+	p.breaker.Tracer = p.tracer
 
 	pl, err := planner.New(planner.Config{
 		Library:         p.Library,
@@ -221,6 +241,8 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Objective:       p.objective(),
 		EngineAvailable: p.engineUsable,
 		Resources:       p.chooseResources,
+		Tracer:          p.tracer,
+		Now:             p.Clock.Now,
 	})
 	if err != nil {
 		return nil, err
@@ -246,6 +268,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Speculate:         p.speculate,
 		Breaker:           p.breaker,
 		Monitor:           p.Monitor,
+		Tracer:            p.tracer,
 	}
 	p.Monitor.Start()
 	return p, nil
@@ -562,6 +585,7 @@ func (p *Platform) AvailableEngines() []string {
 // timed faults stay scheduled).
 func (p *Platform) InjectFaults(cfg FaultConfig) error {
 	sched := faults.New(cfg)
+	sched.SetTracer(p.tracer)
 	if err := sched.Arm(p.Clock, p.Env, p.Cluster); err != nil {
 		return err
 	}
@@ -583,6 +607,32 @@ func (p *Platform) FaultStats() FaultStats {
 // breaker (empty unless BreakerThreshold is set and an engine is flapping).
 func (p *Platform) BlacklistedEngines() []string {
 	return p.breaker.Tripped()
+}
+
+// Metrics exposes the platform's counter/gauge registry, fed by the
+// built-in trace recorder (attempts, retries, speculation, breaker trips,
+// replans, fault injections, container churn, virtual time).
+func (p *Platform) Metrics() *MetricsRegistry {
+	return p.recorder.Registry()
+}
+
+// TraceEvents returns a snapshot of the recorded structured events, oldest
+// first (bounded by the recorder's ring capacity).
+func (p *Platform) TraceEvents() []TraceEvent {
+	return p.recorder.Events()
+}
+
+// TraceSeq returns the sequence number of the most recently recorded event;
+// pass it to TraceSince to window a later snapshot.
+func (p *Platform) TraceSeq() int64 {
+	return p.recorder.Seq()
+}
+
+// TraceSince returns the recorded events with sequence numbers strictly
+// greater than seq — the per-run timeline when seq was captured via TraceSeq
+// just before the run.
+func (p *Platform) TraceSince(seq int64) []TraceEvent {
+	return p.recorder.Since(seq)
 }
 
 // FailNode schedules a node crash at absolute virtual time at: the node

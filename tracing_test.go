@@ -1,0 +1,166 @@
+package ires
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/asap-project/ires/internal/trace"
+)
+
+// faultyRun executes the text workflow on a freshly built platform with a
+// fixed seed and chaos enabled, returning the full JSONL event log.
+func faultyRun(t *testing.T, seed int64) ([]byte, *Platform, *ExecutionResult) {
+	t.Helper()
+	p, err := NewPlatform(Options{
+		Seed:             seed,
+		Retry:            RetryPolicy{MaxAttempts: 3, BaseBackoff: 2 * time.Second},
+		TimeoutFactor:    2.5,
+		BreakerThreshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTextOps(t, p)
+	if err := p.InjectFaults(FaultConfig{
+		Seed:      seed,
+		Default:   FaultTransient{FailProb: 0.25},
+		Straggler: StragglerFaults{Prob: 0.2, Factor: 3},
+		NodeCrashes: []NodeCrash{
+			{Node: "node3", At: 30 * time.Second},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Repair the node later so full-cluster steps stay schedulable.
+	p.Clock.Schedule(60*time.Second, func(time.Duration) {
+		_ = p.RestoreNode("node3")
+	})
+	wf := textWorkflow(t, p, 200_000)
+	_, res, err := p.Run(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := trace.WriteJSONL(&b, p.TraceEvents()); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), p, res
+}
+
+// Fixed seed => byte-identical event log. Every event is stamped with virtual
+// time only, so the trace is a deterministic, assertable artifact.
+func TestTraceDeterministicForFixedSeed(t *testing.T) {
+	first, _, _ := faultyRun(t, 11)
+	second, _, _ := faultyRun(t, 11)
+	if len(first) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if !bytes.Equal(first, second) {
+		a := strings.Split(string(first), "\n")
+		b := strings.Split(string(second), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("event logs diverge at line %d:\n  %s\n  %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("event logs differ in length: %d vs %d lines", len(a), len(b))
+	}
+
+	other, _, _ := faultyRun(t, 12)
+	if bytes.Equal(first, other) {
+		t.Fatal("different seeds produced identical event logs — noise/faults not seeded")
+	}
+}
+
+// The metrics registry must agree with the execution result's own counters.
+func TestMetricsAgreeWithExecutionResult(t *testing.T) {
+	_, p, res := faultyRun(t, 11)
+	reg := p.Metrics()
+
+	if got := reg.Sum("ires_retries_total"); got != float64(res.Retries) {
+		t.Errorf("ires_retries_total = %v, result.Retries = %d", got, res.Retries)
+	}
+	if got := reg.Sum("ires_replans_total"); got != float64(res.Replans) {
+		t.Errorf("ires_replans_total = %v, result.Replans = %d", got, res.Replans)
+	}
+	if got := reg.Sum("ires_speculative_launches_total"); got != float64(res.SpeculativeLaunches) {
+		t.Errorf("ires_speculative_launches_total = %v, result.SpeculativeLaunches = %d", got, res.SpeculativeLaunches)
+	}
+	if got := reg.Sum("ires_containers_lost_total"); got != float64(res.ContainersLost) {
+		t.Errorf("ires_containers_lost_total = %v, result.ContainersLost = %d", got, res.ContainersLost)
+	}
+	st := p.FaultStats()
+	if got := reg.Value("ires_faults_injected_total", map[string]string{"kind": "transient"}); got != float64(st.Transient) {
+		t.Errorf("transient injections = %v, FaultStats.Transient = %d", got, st.Transient)
+	}
+	if got := reg.Value("ires_faults_injected_total", map[string]string{"kind": "straggler"}); got != float64(st.Stragglers) {
+		t.Errorf("straggler injections = %v, FaultStats.Stragglers = %d", got, st.Stragglers)
+	}
+	if got := reg.Sum("ires_node_crashes_total"); got != 1 {
+		t.Errorf("ires_node_crashes_total = %v, want 1", got)
+	}
+	if got := reg.Sum("ires_attempts_total"); got <= 0 {
+		t.Error("no attempts counted")
+	}
+	// All allocations balanced by releases/losses once the run is over.
+	if got := reg.Value("ires_containers_live", nil); got != 0 {
+		t.Errorf("ires_containers_live = %v after run, want 0", got)
+	}
+	if got := reg.Value("ires_vtime_seconds", nil); got <= 0 {
+		t.Errorf("ires_vtime_seconds = %v, want > 0", got)
+	}
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"ires_attempts_total", "ires_vtime_seconds", "# TYPE"} {
+		if !strings.Contains(b.String(), metric) {
+			t.Errorf("Prometheus exposition missing %q", metric)
+		}
+	}
+}
+
+// TraceSeq/TraceSince window a single run's timeline out of the recorder.
+func TestTraceSinceWindowsOneRun(t *testing.T) {
+	p, err := NewPlatform(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTextOps(t, p)
+	wf := textWorkflow(t, p, 10_000)
+	plan, err := p.Plan(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := p.TraceSeq()
+	if _, err := p.Execute(wf, plan); err != nil {
+		t.Fatal(err)
+	}
+	window := p.TraceSince(seq)
+	if len(window) == 0 {
+		t.Fatal("no events in execution window")
+	}
+	for _, ev := range window {
+		if ev.Seq <= seq {
+			t.Fatalf("event %d leaked into window starting after %d", ev.Seq, seq)
+		}
+		if ev.Type == trace.EvPlanStart && ev.Fields["replan"] == 0 && ev.Fields["pareto"] == 0 {
+			t.Fatalf("initial planning event leaked into the execution window: %+v", ev)
+		}
+	}
+	starts, finishes := 0, 0
+	for _, ev := range window {
+		switch ev.Type {
+		case trace.EvAttemptStart:
+			starts++
+		case trace.EvAttemptFinish:
+			finishes++
+		}
+	}
+	if starts == 0 || starts != finishes {
+		t.Fatalf("attempt starts/finishes = %d/%d, want equal and > 0", starts, finishes)
+	}
+}
