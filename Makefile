@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-smoke
+.PHONY: all build test race vet fmt shuffle ci bench bench-smoke
 
 all: build
 
@@ -19,14 +19,19 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# shuffle re-runs the suite twice in randomized order to flush out
+# inter-test ordering dependencies and leaked global state.
+shuffle:
+	$(GO) test -shuffle=on -count=2 ./...
+
 # ci is the gate a PR must pass: formatting, static analysis, and the full
-# test suite under the race detector.
-ci: fmt vet race
+# test suite under the race detector plus a shuffled double pass.
+ci: fmt vet race shuffle
 
 bench:
 	$(GO) run ./cmd/ires-bench
 
-# bench-smoke runs one small experiment end-to-end (planning, execution,
-# fault recovery) as a fast sanity pass for the whole stack.
+# bench-smoke runs a few small experiments end-to-end (planning, execution,
+# fault recovery, scheduler contention) as a fast sanity pass for the stack.
 bench-smoke:
-	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22
+	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22,SCHED

@@ -34,6 +34,10 @@ type Node struct {
 	healthy   bool
 	usedCores int
 	usedMemMB int
+	// reservedBy names the reservation holding this node (0 = unreserved).
+	// A node belongs to at most one reservation at a time, which is what
+	// makes admission quotas impossible to oversubscribe.
+	reservedBy int
 }
 
 // FreeCores returns the node's unallocated cores.
@@ -51,6 +55,10 @@ type Container struct {
 	NodeName string
 	Cores    int
 	MemMB    int
+
+	// resID records the reservation the container was allocated under
+	// (0 when allocated from the unreserved pool).
+	resID int
 
 	released bool
 	lost     atomic.Bool
@@ -75,6 +83,9 @@ type Cluster struct {
 	nextID int
 	live   map[int]*Container // outstanding (non-released) containers by ID
 
+	nextResID    int
+	reservations map[int]*Reservation // outstanding node leases by ID
+
 	// healthScript is the customizable per-node health probe; the default
 	// returns the node's current flag (set via SetNodeHealth, the failure
 	// injection hook).
@@ -91,22 +102,32 @@ func (c *Cluster) SetTracer(t trace.Tracer) {
 	c.tracer = t
 }
 
-// emitLocked stamps the current virtual time and forwards to the tracer; the
-// caller holds c.mu.
-func (c *Cluster) emitLocked(ev trace.Event) {
-	if c.tracer == nil {
+// emit stamps the current virtual time and forwards to the tracer. It must
+// be called WITHOUT c.mu held: tracers may call back into the cluster (the
+// test suite installs an invariant-checking tracer that does exactly that).
+func (c *Cluster) emit(ev trace.Event) {
+	c.mu.Lock()
+	t := c.tracer
+	clock := c.clock
+	c.mu.Unlock()
+	if t == nil {
 		return
 	}
 	var now time.Duration
-	if c.clock != nil {
-		now = c.clock.Now()
+	if clock != nil {
+		now = clock.Now()
 	}
-	c.tracer.Emit(ev.At(now))
+	t.Emit(ev.At(now))
 }
 
 // New builds a cluster of count identical nodes named node0..node<count-1>.
 func New(clock *vtime.Clock, count, coresPerNode, memMBPerNode int) *Cluster {
-	c := &Cluster{nodes: make(map[string]*Node), clock: clock, live: make(map[int]*Container)}
+	c := &Cluster{
+		nodes:        make(map[string]*Node),
+		clock:        clock,
+		live:         make(map[int]*Container),
+		reservations: make(map[int]*Reservation),
+	}
 	for i := 0; i < count; i++ {
 		name := fmt.Sprintf("node%d", i)
 		c.nodes[name] = &Node{Name: name, Cores: coresPerNode, MemMB: memMBPerNode, healthy: true}
@@ -177,9 +198,9 @@ func (c *Cluster) FailNode(name string, at time.Duration) error {
 // live containers. It returns the number of containers lost.
 func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	n, ok := c.nodes[name]
 	if !ok {
+		c.mu.Unlock()
 		return 0
 	}
 	n.healthy = false
@@ -196,7 +217,8 @@ func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 		n.usedMemMB -= ctr.MemMB
 		lost++
 	}
-	c.emitLocked(trace.Event{
+	c.mu.Unlock()
+	c.emit(trace.Event{
 		Type: trace.EvNodeCrash, Node: name,
 		Fields: map[string]float64{"containersLost": float64(lost)},
 	})
@@ -209,9 +231,7 @@ func (c *Cluster) RestoreNode(name string) error {
 	if err := c.SetNodeHealth(name, true); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.emitLocked(trace.Event{Type: trace.EvNodeRestore, Node: name})
-	c.mu.Unlock()
+	c.emit(trace.Event{Type: trace.EvNodeRestore, Node: name})
 	return nil
 }
 
@@ -245,10 +265,122 @@ func (c *Cluster) HealthyNodes() []*Node {
 	return out
 }
 
+// Reservation is an exclusive lease on a set of whole nodes, the admission
+// currency of the multi-workflow scheduler: a run's executor allocates its
+// containers only inside its reservation, so admitted runs can never starve
+// each other of capacity (and the sum of reservations can never exceed the
+// cluster, node-granularity enforced structurally).
+type Reservation struct {
+	id    int
+	nodes []string // stable order
+}
+
+// ID returns the reservation's cluster-unique id.
+func (r *Reservation) ID() int { return r.id }
+
+// Nodes returns the reserved node names in stable order.
+func (r *Reservation) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Size returns the number of reserved nodes.
+func (r *Reservation) Size() int { return len(r.nodes) }
+
+// Reserve leases n whole healthy, unreserved nodes (first-fit in stable
+// node order). It returns ErrInsufficientResources when fewer than n such
+// nodes exist; the reservation is atomic.
+func (c *Cluster) Reserve(n int) (*Reservation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: invalid reservation size %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var picked []string
+	for _, name := range c.order {
+		node := c.nodes[name]
+		if node.healthy && node.reservedBy == 0 {
+			picked = append(picked, name)
+			if len(picked) == n {
+				break
+			}
+		}
+	}
+	if len(picked) < n {
+		return nil, fmt.Errorf("%w: want %d unreserved nodes, have %d", ErrInsufficientResources, n, len(picked))
+	}
+	c.nextResID++
+	res := &Reservation{id: c.nextResID, nodes: picked}
+	for _, name := range picked {
+		c.nodes[name].reservedBy = res.id
+	}
+	c.reservations[res.id] = res
+	return res, nil
+}
+
+// ReleaseReservation returns the leased nodes to the unreserved pool.
+// Releasing twice is a safe no-op.
+func (c *Cluster) ReleaseReservation(r *Reservation) {
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.reservations[r.id]; !ok {
+		return
+	}
+	delete(c.reservations, r.id)
+	for _, name := range r.nodes {
+		if n, ok := c.nodes[name]; ok && n.reservedBy == r.id {
+			n.reservedBy = 0
+		}
+	}
+}
+
+// UnreservedHealthy counts the healthy nodes not held by any reservation —
+// the pool admission policies draw quotas from.
+func (c *Cluster) UnreservedHealthy() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	count := 0
+	for _, n := range c.nodes {
+		if n.healthy && n.reservedBy == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// ReservedNodes counts the nodes currently held by reservations.
+func (c *Cluster) ReservedNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	count := 0
+	for _, n := range c.nodes {
+		if n.reservedBy != 0 {
+			count++
+		}
+	}
+	return count
+}
+
 // Allocate grants count containers of (cores, memMB) each, spread over the
-// healthy nodes with a most-free-first policy. Allocation is atomic: either
-// all containers are granted or none.
+// healthy unreserved nodes with a most-free-first policy. Allocation is
+// atomic: either all containers are granted or none. (On a cluster with no
+// reservations this is every healthy node — the single-workflow behaviour.)
 func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
+	return c.allocate(count, cores, memMB, 0)
+}
+
+// AllocateIn is Allocate restricted to the nodes of a reservation: the
+// per-run allocation path of the multi-workflow scheduler.
+func (c *Cluster) AllocateIn(r *Reservation, count, cores, memMB int) ([]*Container, error) {
+	if r == nil {
+		return c.allocate(count, cores, memMB, 0)
+	}
+	return c.allocate(count, cores, memMB, r.id)
+}
+
+// allocate places containers on healthy nodes whose reservedBy matches
+// resID (0 = the unreserved pool).
+func (c *Cluster) allocate(count, cores, memMB, resID int) ([]*Container, error) {
 	if count <= 0 || cores <= 0 || memMB <= 0 {
 		return nil, fmt.Errorf("cluster: invalid request %dx(%dc,%dMB)", count, cores, memMB)
 	}
@@ -261,6 +393,7 @@ func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
 			n := c.nodes[ctr.NodeName]
 			n.usedCores -= ctr.Cores
 			n.usedMemMB -= ctr.MemMB
+			delete(c.live, ctr.ID)
 		}
 	}
 	for i := 0; i < count; i++ {
@@ -268,7 +401,7 @@ func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
 		var best *Node
 		for _, name := range c.order {
 			n := c.nodes[name]
-			if !n.healthy || n.FreeCores() < cores || n.FreeMemMB() < memMB {
+			if !n.healthy || n.reservedBy != resID || n.FreeCores() < cores || n.FreeMemMB() < memMB {
 				continue
 			}
 			if best == nil || n.FreeCores() > best.FreeCores() ||
@@ -283,7 +416,7 @@ func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
 		best.usedCores += cores
 		best.usedMemMB += memMB
 		c.nextID++
-		ctr := &Container{ID: c.nextID, NodeName: best.Name, Cores: cores, MemMB: memMB}
+		ctr := &Container{ID: c.nextID, NodeName: best.Name, Cores: cores, MemMB: memMB, resID: resID}
 		c.live[ctr.ID] = ctr
 		granted = append(granted, ctr)
 	}
@@ -378,6 +511,58 @@ func (c *Cluster) CheckInvariants() error {
 		if n.usedCores > n.Cores || n.usedMemMB > n.MemMB {
 			return fmt.Errorf("cluster: node %s over-allocated (%d/%d cores, %d/%d MB)",
 				name, n.usedCores, n.Cores, n.usedMemMB, n.MemMB)
+		}
+		if n.reservedBy != 0 {
+			res, ok := c.reservations[n.reservedBy]
+			if !ok {
+				return fmt.Errorf("cluster: node %s reserved by unknown reservation %d", name, n.reservedBy)
+			}
+			found := false
+			for _, rn := range res.nodes {
+				if rn == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("cluster: node %s claims reservation %d which does not list it", name, n.reservedBy)
+			}
+		}
+	}
+	// Reservations are disjoint whole-node leases: their total size can
+	// never exceed the cluster, and every reserved node must point back.
+	reserved := 0
+	for id, res := range c.reservations {
+		reserved += len(res.nodes)
+		for _, rn := range res.nodes {
+			n, ok := c.nodes[rn]
+			if !ok {
+				return fmt.Errorf("cluster: reservation %d lists unknown node %s", id, rn)
+			}
+			if n.reservedBy != id {
+				return fmt.Errorf("cluster: reservation %d lists node %s held by %d", id, rn, n.reservedBy)
+			}
+		}
+	}
+	if reserved > len(c.nodes) {
+		return fmt.Errorf("cluster: %d reserved nodes exceed cluster size %d", reserved, len(c.nodes))
+	}
+	// Containers allocated under a still-live reservation must sit on that
+	// reservation's nodes.
+	for id, ctr := range c.live {
+		if ctr.resID == 0 {
+			continue
+		}
+		if _, ok := c.reservations[ctr.resID]; !ok {
+			continue // lease released/crashed away while work drained
+		}
+		n, ok := c.nodes[ctr.NodeName]
+		if !ok {
+			return fmt.Errorf("cluster: container %d on unknown node %s", id, ctr.NodeName)
+		}
+		if n.reservedBy != ctr.resID {
+			return fmt.Errorf("cluster: container %d allocated under reservation %d but node %s is held by %d",
+				id, ctr.resID, ctr.NodeName, n.reservedBy)
 		}
 	}
 	return nil

@@ -23,7 +23,13 @@ type Monitor struct {
 	services   map[string]bool
 	started    bool
 	ticks      int
-	onChange   []func()
+	cbSeq      int
+	onChange   []monitorCB
+}
+
+type monitorCB struct {
+	id int
+	fn func()
 }
 
 // NewMonitor builds a monitor over the cluster and engine environment,
@@ -40,14 +46,28 @@ func NewMonitor(c *Cluster, env *engine.Environment, period time.Duration) *Moni
 
 // OnChange registers a callback fired (synchronously, during Poll) whenever
 // a node or service changes status. Multiple callbacks may be registered;
-// they fire in registration order.
-func (m *Monitor) OnChange(fn func()) {
+// they fire in registration order. The returned function deregisters the
+// callback — per-run executors subscribe for the duration of one Execute,
+// so a long-lived scheduler does not accumulate dead subscriptions.
+func (m *Monitor) OnChange(fn func()) (remove func()) {
 	if fn == nil {
-		return
+		return func() {}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.onChange = append(m.onChange, fn)
+	m.cbSeq++
+	id := m.cbSeq
+	m.onChange = append(m.onChange, monitorCB{id: id, fn: fn})
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, cb := range m.onChange {
+			if cb.id == id {
+				m.onChange = append(m.onChange[:i], m.onChange[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // Start schedules periodic polls on the cluster's virtual clock. It is
@@ -98,12 +118,12 @@ func (m *Monitor) Poll() bool {
 		}
 	}
 	m.ticks++
-	cbs := append([]func(){}, m.onChange...)
+	cbs := append([]monitorCB{}, m.onChange...)
 	m.mu.Unlock()
 
 	if changed {
 		for _, cb := range cbs {
-			cb()
+			cb.fn()
 		}
 	}
 	return changed

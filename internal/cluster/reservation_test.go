@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/asap-project/ires/internal/vtime"
+)
+
+func TestReserveRelease(t *testing.T) {
+	c := newTestCluster() // 4 nodes
+	r, err := c.Reserve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 || len(r.Nodes()) != 2 {
+		t.Fatalf("reservation size = %d, want 2", r.Size())
+	}
+	if got := c.ReservedNodes(); got != 2 {
+		t.Fatalf("ReservedNodes = %d, want 2", got)
+	}
+	if got := c.UnreservedHealthy(); got != 2 {
+		t.Fatalf("UnreservedHealthy = %d, want 2", got)
+	}
+	// Only two unreserved nodes remain.
+	if _, err := c.Reserve(3); !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("Reserve(3) on 2 free nodes: err = %v", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	c.ReleaseReservation(r)
+	c.ReleaseReservation(r) // double release is a no-op
+	if got := c.ReservedNodes(); got != 0 {
+		t.Fatalf("ReservedNodes after release = %d, want 0", got)
+	}
+	if _, err := c.Reserve(4); err != nil {
+		t.Fatalf("full-cluster reservation after release: %v", err)
+	}
+}
+
+func TestReserveInvalidAndUnhealthy(t *testing.T) {
+	c := newTestCluster()
+	if _, err := c.Reserve(0); err == nil {
+		t.Fatal("Reserve(0) accepted")
+	}
+	if err := c.SetNodeHealth("node1", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reserve(4); !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("Reserve(4) with one node down: err = %v", err)
+	}
+	r, err := c.Reserve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Nodes() {
+		if n == "node1" {
+			t.Fatal("unhealthy node leased")
+		}
+	}
+}
+
+// Containers allocated inside a reservation land only on its nodes, and the
+// unreserved pool never bleeds into a lease (or vice versa).
+func TestAllocateInConfinement(t *testing.T) {
+	c := newTestCluster() // 4 nodes x (8c, 16384MB)
+	r, err := c.Reserve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leased := map[string]bool{}
+	for _, n := range r.Nodes() {
+		leased[n] = true
+	}
+	in, err := c.AllocateIn(r, 4, 4, 8192) // needs both lease nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctr := range in {
+		if !leased[ctr.NodeName] {
+			t.Fatalf("reserved allocation landed on unleased node %s", ctr.NodeName)
+		}
+	}
+	out, err := c.Allocate(4, 4, 8192) // fills the two unreserved nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctr := range out {
+		if leased[ctr.NodeName] {
+			t.Fatalf("unreserved allocation landed on leased node %s", ctr.NodeName)
+		}
+	}
+	// The lease is full; more lease-confined demand must fail atomically
+	// even though the cluster as a whole is also full here — so drain the
+	// unreserved pool first and retry to prove the failure is lease-local.
+	c.ReleaseAll(out)
+	if _, err := c.AllocateIn(r, 1, 8, 8192); !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("over-lease allocation: err = %v", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// nil reservation falls back to the unreserved pool.
+	free, err := c.AllocateIn(nil, 1, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leased[free[0].NodeName] {
+		t.Fatal("nil-reservation allocation landed on a leased node")
+	}
+}
+
+// A node crash inside a reservation kills its containers but leaves the
+// accounting consistent; releasing the lease afterwards restores the pool.
+func TestReservationSurvivesNodeCrash(t *testing.T) {
+	clock := vtime.NewClock()
+	c := New(clock, 4, 8, 16384)
+	r, err := c.Reserve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocateIn(r, 2, 4, 8192); err != nil {
+		t.Fatal(err)
+	}
+	victim := r.Nodes()[0]
+	if err := c.FailNode(victim, 0); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(0)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after crash in lease: %v", err)
+	}
+	// The crashed node stays leased (the run's admission slot is unchanged)
+	// but hosts no containers; allocation inside the lease uses survivors.
+	if got := c.ReservedNodes(); got != 2 {
+		t.Fatalf("ReservedNodes after crash = %d, want 2", got)
+	}
+	if _, err := c.AllocateIn(r, 1, 4, 8192); err != nil {
+		t.Fatal(err)
+	}
+	c.ReleaseReservation(r)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.UnreservedHealthy(); got != 3 {
+		t.Fatalf("UnreservedHealthy after release = %d, want 3 (one node dead)", got)
+	}
+}
+
+// Randomized reserve/allocate/release/crash sequences keep CheckInvariants
+// true and never over-reserve the cluster.
+func TestReservationQuickInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	clock := vtime.NewClock()
+	c := New(clock, 6, 8, 16384)
+	type lease struct {
+		r    *Reservation
+		ctrs []*Container
+	}
+	var leases []*lease
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(5) {
+		case 0: // reserve
+			if r, err := c.Reserve(1 + rng.Intn(3)); err == nil {
+				leases = append(leases, &lease{r: r})
+			}
+		case 1: // allocate inside a random lease
+			if len(leases) > 0 {
+				l := leases[rng.Intn(len(leases))]
+				if ctrs, err := c.AllocateIn(l.r, 1+rng.Intn(2), 1+rng.Intn(4), 1024*(1+rng.Intn(4))); err == nil {
+					l.ctrs = append(l.ctrs, ctrs...)
+				}
+			}
+		case 2: // release a random lease and its containers
+			if len(leases) > 0 {
+				i := rng.Intn(len(leases))
+				l := leases[i]
+				c.ReleaseAll(l.ctrs)
+				c.ReleaseReservation(l.r)
+				leases = append(leases[:i], leases[i+1:]...)
+			}
+		case 3: // crash/restore a random node
+			name := c.Nodes()[rng.Intn(6)].Name
+			if rng.Intn(2) == 0 {
+				c.FailNode(name, clock.Now())
+				clock.Advance(0)
+			} else {
+				c.RestoreNode(name)
+			}
+		case 4: // unreserved allocation noise
+			if ctrs, err := c.Allocate(1, 1+rng.Intn(4), 2048); err == nil {
+				c.ReleaseAll(ctrs)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if got := c.ReservedNodes(); got > 6 {
+			t.Fatalf("step %d: %d reserved nodes on a 6-node cluster", step, got)
+		}
+	}
+}

@@ -25,7 +25,6 @@ package executor
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +48,11 @@ var ErrTooManyReplans = errors.New("executor: too many replans")
 // ErrContainersLost indicates a step's containers were invalidated by a
 // node failure mid-run. It is retryable: the work relaunches elsewhere.
 var ErrContainersLost = errors.New("executor: containers lost to node failure")
+
+// ErrCanceled indicates the run was canceled through its run handle. The
+// executor drains in-flight attempts (releasing their containers) before
+// returning it.
+var ErrCanceled = errors.New("executor: run canceled")
 
 // Replanner produces a new plan for the remaining workflow given the
 // intermediates that already exist. The core platform wires this to the
@@ -159,8 +163,35 @@ type Executor struct {
 	// discards them.
 	Tracer trace.Tracer
 
-	subscribeOnce sync.Once
-	healthDirty   atomic.Bool
+	// Party, when non-nil, makes every virtual-time advance cooperative:
+	// instead of driving the shared clock directly, the executor parks on
+	// its party and the clock advances only when all concurrent runs are
+	// parked. Required when several executors share one clock.
+	Party *vtime.Party
+	// Lease, when non-nil, confines container allocation to the reserved
+	// nodes of one admission lease; resource requests wider than the lease
+	// are clamped to its size.
+	Lease *cluster.Reservation
+	// Canceled, when non-nil, is polled at decision points; returning true
+	// aborts the run with ErrCanceled after draining in-flight work.
+	Canceled func() bool
+
+	healthDirty atomic.Bool
+}
+
+// advanceTo moves virtual time to target: cooperatively (yielding to other
+// runs) when a Party is set, directly otherwise.
+func (e *Executor) advanceTo(target time.Duration) {
+	if e.Party != nil {
+		e.Party.WaitUntil(target)
+		return
+	}
+	e.Clock.AdvanceTo(target)
+}
+
+// canceled reports whether the run handle asked this execution to stop.
+func (e *Executor) canceled() bool {
+	return e.Canceled != nil && e.Canceled()
 }
 
 // emit stamps the current virtual time on ev and hands it to the tracer.
@@ -226,7 +257,8 @@ func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, erro
 		return nil, fmt.Errorf("executor: Env, Cluster and Clock are required")
 	}
 	if e.Monitor != nil {
-		e.subscribeOnce.Do(func() { e.Monitor.OnChange(e.NotifyHealthChange) })
+		unsubscribe := e.Monitor.OnChange(e.NotifyHealthChange)
+		defer unsubscribe()
 	}
 	maxReplans := e.MaxReplans
 	if maxReplans == 0 {
@@ -251,6 +283,9 @@ func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, erro
 
 	current := plan
 	for {
+		if e.canceled() {
+			return res, ErrCanceled
+		}
 		failed, err := e.runPlan(g, current, datasets, res)
 		if err != nil {
 			return res, err
@@ -276,7 +311,7 @@ func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, erro
 			// The only remaining implementations may sit on blacklisted
 			// engines. Wait out the cooldown (half-open readmits them)
 			// and try once more before giving up.
-			e.Clock.Advance(e.Breaker.Cooldown)
+			e.advanceTo(e.Clock.Now() + e.Breaker.Cooldown)
 			next, err = e.Replanner.Replan(g, done)
 		}
 		if err != nil {
@@ -377,7 +412,12 @@ func (e *Executor) runPlan(g *workflow.Graph, plan *planner.Plan, datasets map[s
 	stalled := false
 	var stallSince time.Duration
 
+	canceled := false
 	for st.completed < len(plan.Steps) && st.failure == nil {
+		if e.canceled() {
+			canceled = true
+			break
+		}
 		startedAny, err := st.startReady()
 		if err != nil {
 			return nil, err
@@ -417,6 +457,9 @@ func (e *Executor) runPlan(g *workflow.Graph, plan *planner.Plan, datasets map[s
 	// failure (the paper's executor keeps successfully produced results).
 	for len(st.inFlight) > 0 {
 		st.advanceOnce()
+	}
+	if canceled {
+		return nil, ErrCanceled
 	}
 	return st.failure, nil
 }
@@ -561,7 +604,13 @@ func (st *planRun) launch(s *planner.Step, opName, engineName, algorithm string,
 	e := st.e
 	now := e.Clock.Now()
 	eRes := engine.Resources{Nodes: r.Nodes, CoresPerN: r.CoresPerN, MemMBPerN: r.MemMBPerN}
-	ctrs, err := e.Cluster.Allocate(eRes.Nodes, eRes.CoresPerN, eRes.MemMBPerN)
+	if e.Lease != nil && eRes.Nodes > e.Lease.Size() {
+		// The plan may want more gang members than the admission lease
+		// holds; run narrower (and correspondingly slower) rather than
+		// poach capacity granted to other runs.
+		eRes.Nodes = e.Lease.Size()
+	}
+	ctrs, err := e.Cluster.AllocateIn(e.Lease, eRes.Nodes, eRes.CoresPerN, eRes.MemMBPerN)
 	if err != nil {
 		if errors.Is(err, cluster.ErrInsufficientResources) {
 			return nil, err, nil
@@ -719,12 +768,12 @@ func (st *planRun) advanceClockTo(target time.Duration) {
 		if !ok || evAt >= target {
 			break
 		}
-		st.e.Clock.AdvanceTo(evAt)
+		st.e.advanceTo(evAt)
 		if st.sweepLost(false) {
 			return
 		}
 	}
-	st.e.Clock.AdvanceTo(target)
+	st.e.advanceTo(target)
 	st.sweepLost(false)
 }
 
@@ -738,14 +787,14 @@ func (st *planRun) advanceOnce() {
 		if !ok || evAt >= target {
 			break
 		}
-		st.e.Clock.AdvanceTo(evAt)
+		st.e.advanceTo(evAt)
 		if st.sweepLost(false) {
 			// Flights changed (an attempt died with its node); recompute
 			// everything from the outer loop at the current instant.
 			return
 		}
 	}
-	st.e.Clock.AdvanceTo(target)
+	st.e.advanceTo(target)
 	if st.sweepLost(false) {
 		return
 	}

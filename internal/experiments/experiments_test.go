@@ -433,6 +433,60 @@ func TestAblationModelSelection(t *testing.T) {
 	}
 }
 
+func TestSchedContentionPoliciesDiffer(t *testing.T) {
+	r, err := SchedContention(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 3 {
+		t.Fatalf("expected one table with 3 policy rows, got %+v", r.Tables)
+	}
+	// Parse the summary table back into policy -> (batch, mean makespan, peak).
+	type row struct {
+		batch, mean float64
+		peak        string
+	}
+	byPolicy := map[string]row{}
+	for _, tr := range r.Tables[0].Rows {
+		var b, m float64
+		if _, err := sscanFloat(tr[1], &b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscanFloat(tr[2], &m); err != nil {
+			t.Fatal(err)
+		}
+		byPolicy[tr[0]] = row{batch: b, mean: m, peak: tr[4]}
+	}
+	fifo, fair := byPolicy["FIFO"], byPolicy["FairShare(2)"]
+	// FIFO never overlaps; fair-share must.
+	if fifo.peak != "1" {
+		t.Errorf("FIFO peak concurrency = %s, want 1", fifo.peak)
+	}
+	if fair.peak == "0" || fair.peak == "1" {
+		t.Errorf("FairShare(2) peak concurrency = %s, want >1", fair.peak)
+	}
+	// The acceptance criterion: the policies produce measurably different
+	// makespans on the identical burst (>5% apart both per-run and per-batch).
+	relDiff := func(a, b float64) float64 {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d / b
+	}
+	if relDiff(fifo.mean, fair.mean) < 0.05 {
+		t.Errorf("mean makespans indistinguishable: FIFO %.1fs vs FairShare(2) %.1fs", fifo.mean, fair.mean)
+	}
+	if relDiff(fifo.batch, fair.batch) < 0.05 {
+		t.Errorf("batch completion indistinguishable: FIFO %.1fs vs FairShare(2) %.1fs", fifo.batch, fair.batch)
+	}
+	// Overlapped runs lease fewer nodes each, so their individual makespans
+	// must stretch relative to whole-cluster FIFO runs.
+	if fair.mean <= fifo.mean {
+		t.Errorf("FairShare(2) mean makespan %.1fs not above FIFO %.1fs", fair.mean, fifo.mean)
+	}
+}
+
 func TestReportRender(t *testing.T) {
 	r := &Report{ID: "X", Title: "t", XLabel: "x", YLabel: "y"}
 	r.AddSeries("a", Point{X: 1, Y: 2}, Point{X: 10, Y: 20, Failed: true})

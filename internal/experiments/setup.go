@@ -94,6 +94,16 @@ func TextPlatform(seed int64) (*ires.Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := profileTextOps(p, seed); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// profileTextOps registers and profiles the Fig 12 operator pairs on an
+// existing platform (the scheduler-contention experiment builds its platforms
+// with non-default admission policies).
+func profileTextOps(p *ires.Platform, seed int64) error {
 	p.Profiler.Factories = fastFactories(seed)
 	ops := map[string]string{
 		"tfidf_scikit":  textDesc(ires.EngineScikit, "TF_IDF", "LFS", "csv"),
@@ -103,7 +113,7 @@ func TextPlatform(seed int64) (*ires.Platform, error) {
 	}
 	for name, desc := range ops {
 		if err := p.RegisterOperator(name, desc); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for name := range ops {
@@ -118,10 +128,10 @@ func TextPlatform(seed int64) (*ires.Platform, error) {
 			Resources:      res,
 		}
 		if _, err := p.ProfileOperator(name, space); err != nil {
-			return nil, fmt.Errorf("profiling %s: %w", name, err)
+			return fmt.Errorf("profiling %s: %w", name, err)
 		}
 	}
-	return p, nil
+	return nil
 }
 
 func textDesc(eng, alg, fs, typ string) string {

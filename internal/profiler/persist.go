@@ -23,6 +23,14 @@ type persistedOperator struct {
 	X              [][]float64          `json:"samples"`
 	Targets        map[string][]float64 `json:"targets"`
 	MinFailRecords float64              `json:"minFailRecords,omitempty"`
+	// Chosen records the selected model family per target (since version
+	// 2). Without it, import re-runs full CV selection, which may pick a
+	// different family than the exporter was using — especially after the
+	// feature set grew mid-session and old samples were zero-padded — and
+	// silently change predictions across a save/load cycle.
+	Chosen map[string]string `json:"chosen,omitempty"`
+	// SinceReselect preserves the incremental-retraining cadence (version 2).
+	SinceReselect int `json:"sinceReselect,omitempty"`
 }
 
 type persistedLibrary struct {
@@ -30,7 +38,9 @@ type persistedLibrary struct {
 	Operators []persistedOperator `json:"operators"`
 }
 
-const persistVersion = 1
+// persistVersion 2 adds Chosen/SinceReselect; version-1 files (no recorded
+// family choices) import with full re-selection, as before.
+const persistVersion = 2
 
 // Export writes the profiler's model library as JSON.
 func (p *Profiler) Export(w io.Writer) error {
@@ -45,6 +55,11 @@ func (p *Profiler) Export(w io.Writer) error {
 			Features:       append([]string(nil), om.Features...),
 			MinFailRecords: om.minFailRecords,
 			Targets:        make(map[string][]float64, len(om.targets)),
+			Chosen:         make(map[string]string, len(om.chosen)),
+			SinceReselect:  om.sinceReselect,
+		}
+		for t, fam := range om.chosen {
+			po.Chosen[t] = fam
 		}
 		po.X = make([][]float64, len(om.X))
 		for i, row := range om.X {
@@ -62,13 +77,14 @@ func (p *Profiler) Export(w io.Writer) error {
 }
 
 // Import reads a persisted library, replacing any same-named operators, and
-// retrains every imported model with full cross-validated selection.
+// retrains every imported model — using the persisted family choice when one
+// was recorded, full cross-validated selection otherwise.
 func (p *Profiler) Import(r io.Reader) error {
 	var lib persistedLibrary
 	if err := json.NewDecoder(r).Decode(&lib); err != nil {
 		return fmt.Errorf("profiler: import: %w", err)
 	}
-	if lib.Version != persistVersion {
+	if lib.Version < 1 || lib.Version > persistVersion {
 		return fmt.Errorf("profiler: import: unsupported version %d", lib.Version)
 	}
 	for _, po := range lib.Operators {
@@ -102,11 +118,12 @@ func (p *Profiler) Import(r io.Reader) error {
 			reselectEvery: p.ReselectEvery,
 		}
 		om.minFailRecords = po.MinFailRecords
+		om.sinceReselect = po.SinceReselect
 		if om.targets == nil {
 			om.targets = make(map[string][]float64)
 		}
 		if len(om.X) > 0 {
-			if err := om.retrain(true); err != nil {
+			if err := om.retrainRestoring(po.Chosen); err != nil {
 				return fmt.Errorf("profiler: import: retraining %s: %w", po.Operator, err)
 			}
 		}

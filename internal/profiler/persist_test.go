@@ -74,6 +74,92 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 }
 
+// A library whose feature set grew mid-session (historical rows zero-padded
+// for the new parameter) must survive a save/load cycle without changing
+// predictions. Import refits the persisted model family rather than
+// re-running CV selection, which can land on a different family over the
+// padded matrix and silently shift every estimate.
+func TestExportImportKeepsExtendedFeatureSemantics(t *testing.T) {
+	env := engine.NewDefaultEnvironment(7)
+	src := newProfiler(env)
+	if _, err := src.ProfileOffline("tfidf_spark", engine.EngineSpark, engine.AlgTFIDF, tfidfSpace()); err != nil {
+		t.Fatal(err)
+	}
+	// Observed runs introduce a new operator parameter "k", extending the
+	// feature set and zero-padding the offline rows.
+	for i := int64(1); i <= 6; i++ {
+		run := obsRun(i*20_000, 1.7*float64(i), map[string]float64{"k": float64(3 + i%2)})
+		if err := src.Observe("tfidf_spark", run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	som, _ := src.Models("tfidf_spark")
+	extended := false
+	for _, f := range som.Features {
+		if f == "k" {
+			extended = true
+		}
+	}
+	if !extended {
+		t.Fatalf("feature set %v not extended with k", som.Features)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := newProfiler(engine.NewDefaultEnvironment(7))
+	if err := dst.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dom, ok := dst.Models("tfidf_spark")
+	if !ok {
+		t.Fatal("operator missing after import")
+	}
+	feats := map[string]float64{
+		"records": 60_000, "bytes": 6_000_000,
+		"nodes": 8, "cores": 2, "memoryMB": 3456, "k": 4,
+	}
+	for _, target := range []string{TargetExecTime, TargetCost, TargetOutRecords, TargetOutBytes} {
+		if got, want := dom.ChosenFamily(target), som.ChosenFamily(target); got != want {
+			t.Errorf("%s: model family flipped %q -> %q across round trip", target, want, got)
+		}
+		want, ok1 := src.Estimate("tfidf_spark", target, feats)
+		got, ok2 := dst.Estimate("tfidf_spark", target, feats)
+		if ok1 != ok2 {
+			t.Fatalf("%s: estimate availability drifted (%v -> %v)", target, ok1, ok2)
+		}
+		if math.Abs(want-got) > 1e-9 {
+			t.Errorf("%s: estimate drifted across round trip: %v -> %v", target, want, got)
+		}
+	}
+}
+
+// Version-1 files carry no recorded family choices; they must still import,
+// falling back to full cross-validated selection as before.
+func TestImportVersion1Compat(t *testing.T) {
+	payload := `{"version": 1, "operators": [{
+		"operator": "legacy_op", "algorithm": "alg", "engine": "Spark",
+		"features": ["records", "nodes"],
+		"samples": [[1000, 2], [2000, 2], [4000, 4], [8000, 4]],
+		"targets": {"execTime": [1, 2, 3.5, 5]}}]}`
+	p := newProfiler(engine.NewDefaultEnvironment(1))
+	if err := p.Import(strings.NewReader(payload)); err != nil {
+		t.Fatalf("v1 import: %v", err)
+	}
+	om, ok := p.Models("legacy_op")
+	if !ok {
+		t.Fatal("legacy operator missing after v1 import")
+	}
+	if om.ChosenFamily(TargetExecTime) == "" {
+		t.Fatal("no model family selected for v1-imported target")
+	}
+	if _, ok := p.Estimate("legacy_op", TargetExecTime, map[string]float64{"records": 3000, "nodes": 3}); !ok {
+		t.Fatal("estimate unavailable after v1 import")
+	}
+}
+
 func TestImportErrors(t *testing.T) {
 	p := newProfiler(engine.NewDefaultEnvironment(1))
 	cases := []string{

@@ -371,6 +371,52 @@ func (om *OperatorModels) retrain(reselect bool) error {
 	return nil
 }
 
+// retrainRestoring refits models from a persisted library, honouring the
+// family choices recorded at export time: a target whose family is present in
+// chosen (and known to this profiler's factories) is refit with that family
+// directly, so a save/load cycle cannot flip the selection — important when
+// old samples were zero-padded after the feature set grew, where fresh CV can
+// land on a different family than the exporter was using. Targets without a
+// recorded family (version-1 files, or a family this build no longer ships)
+// fall back to full cross-validated selection.
+func (om *OperatorModels) retrainRestoring(chosen map[string]string) error {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	for target, y := range om.targets {
+		if len(y) == 0 {
+			continue
+		}
+		var m model.Model
+		if fam := chosen[target]; fam != "" {
+			for _, f := range om.factories {
+				if cand := f(); cand.Name() == fam {
+					m = cand
+					break
+				}
+			}
+		}
+		if m == nil {
+			if len(y) < 3 {
+				m = om.factories[0]()
+			} else {
+				sel, _, err := model.SelectBestRelative(om.factories, om.X, y, om.cvFolds, om.seed)
+				if err != nil {
+					return err
+				}
+				om.models[target] = sel
+				om.chosen[target] = sel.Name()
+				continue
+			}
+		}
+		if err := m.Train(om.X, y); err != nil {
+			return err
+		}
+		om.models[target] = m
+		om.chosen[target] = m.Name()
+	}
+	return nil
+}
+
 // Estimate predicts one target for a feature map.
 func (om *OperatorModels) Estimate(target string, feats map[string]float64) (float64, bool) {
 	om.mu.Lock()

@@ -1,0 +1,532 @@
+// Package scheduler multiplexes several workflow executions over the shared
+// simulated cluster and the single virtual clock — the multi-tenant layer of
+// the platform (the paper's IReS instance is a shared service: many users
+// submit abstract workflows against one YARN cluster).
+//
+// The design splits arbitration in two:
+//
+//   - Admission: a pluggable Policy decides when a queued run may start and
+//     how many whole nodes it leases (cluster.Reservation). Node-granular
+//     leases make oversubscription structurally impossible and keep admitted
+//     runs from starving each other of containers.
+//   - Cooperation: every admitted run executes on its own goroutine but
+//     blocks on virtual time through a vtime.Party, so at most one run
+//     executes at any instant and the interleaving is a pure function of the
+//     virtual-time schedule. Fixed seed in, byte-identical traces out — even
+//     under the race detector.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/asap-project/ires/internal/cluster"
+	"github.com/asap-project/ires/internal/executor"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/trace"
+	"github.com/asap-project/ires/internal/vtime"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// ErrCanceled indicates the run was canceled before or during execution.
+var ErrCanceled = errors.New("scheduler: run canceled")
+
+// Status is the lifecycle state of a submitted run.
+type Status int
+
+const (
+	StatusQueued Status = iota
+	StatusRunning
+	StatusSucceeded
+	StatusFailed
+	StatusCanceled
+)
+
+// String returns the lowercase status name.
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusSucceeded:
+		return "succeeded"
+	case StatusFailed:
+		return "failed"
+	case StatusCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool { return s >= StatusSucceeded }
+
+// Snapshot is a point-in-time view of a run, safe to serialize.
+type Snapshot struct {
+	ID       string `json:"id"`
+	Workflow string `json:"workflow,omitempty"`
+	Status   string `json:"status"`
+	// LeasedNodes is the node quota granted at admission (0 while queued).
+	LeasedNodes int `json:"leasedNodes,omitempty"`
+	// Virtual-time marks, in seconds since simulation start. FinishedSec is
+	// meaningful only for terminal runs.
+	SubmittedSec float64 `json:"submittedSec"`
+	StartedSec   float64 `json:"startedSec,omitempty"`
+	FinishedSec  float64 `json:"finishedSec,omitempty"`
+	// MakespanSec is the run's execution duration (terminal runs only).
+	MakespanSec float64 `json:"makespanSec,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Run is the handle of one submitted workflow.
+type Run struct {
+	id       string
+	workflow string
+	g        *workflow.Graph
+	sched    *Scheduler
+
+	canceled atomic.Bool
+	done     chan struct{}
+
+	mu          sync.Mutex
+	status      Status
+	lease       *cluster.Reservation
+	party       *vtime.Party
+	plan        *planner.Plan
+	result      *executor.Result
+	err         error
+	submittedAt time.Duration
+	startedAt   time.Duration
+	finishedAt  time.Duration
+}
+
+// ID returns the scheduler-unique run id (also stamped on trace events).
+func (r *Run) ID() string { return r.id }
+
+// Wait blocks until the run reaches a terminal state and returns its plan,
+// execution result and error. It kicks the cooperative clock, so waiting on
+// a freshly submitted batch starts it.
+func (r *Run) Wait() (*planner.Plan, *executor.Result, error) {
+	r.sched.clock.Kick()
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.plan, r.result, r.err
+}
+
+// Status returns a point-in-time snapshot of the run.
+func (r *Run) Status() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		ID:           r.id,
+		Workflow:     r.workflow,
+		Status:       r.status.String(),
+		SubmittedSec: r.submittedAt.Seconds(),
+	}
+	if r.lease != nil {
+		snap.LeasedNodes = r.lease.Size()
+	}
+	if r.status >= StatusRunning {
+		snap.StartedSec = r.startedAt.Seconds()
+	}
+	if r.status.Terminal() {
+		snap.FinishedSec = r.finishedAt.Seconds()
+		snap.MakespanSec = (r.finishedAt - r.startedAt).Seconds()
+	}
+	if r.err != nil {
+		snap.Error = r.err.Error()
+	}
+	return snap
+}
+
+// Done exposes the run's completion channel.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Cancel requests cancellation: a queued run is removed from the queue
+// immediately, a running one stops at its next decision point (in-flight
+// attempts drain first so no containers leak). Cancel is asynchronous; use
+// Wait to observe the terminal state.
+func (r *Run) Cancel() {
+	r.canceled.Store(true)
+	r.sched.dropIfQueued(r)
+	// A running party notices the flag at its next decision point; kick in
+	// case every party is parked and the clock needs a push.
+	r.sched.clock.Kick()
+}
+
+// Policy decides admission: when a queued run may start and how many whole
+// nodes it leases. Implementations must be pure functions of their inputs —
+// admission happens inside the scheduler lock.
+type Policy interface {
+	Name() string
+	// Quota returns the node lease size for the next admission given the
+	// cluster's total node count, the currently unreserved healthy nodes,
+	// and the number of active and queued runs. Returning <= 0 holds
+	// admission until the state changes.
+	Quota(totalNodes, freeNodes, active, queued int) int
+}
+
+// FIFO admits one run at a time and leases it every node: strict submission
+// order, zero inter-run interference, serialized makespans.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Quota implements Policy.
+func (FIFO) Quota(totalNodes, freeNodes, active, queued int) int {
+	if active > 0 {
+		return 0
+	}
+	return totalNodes
+}
+
+// FairShare admits up to MaxConcurrent runs, each leasing an equal slice of
+// the cluster. Contended workloads overlap instead of serializing, trading
+// per-run speed for throughput.
+type FairShare struct {
+	// MaxConcurrent bounds simultaneously admitted runs (min 1).
+	MaxConcurrent int
+}
+
+// Name implements Policy.
+func (f FairShare) Name() string { return fmt.Sprintf("fair-share(%d)", f.slots()) }
+
+func (f FairShare) slots() int {
+	if f.MaxConcurrent < 1 {
+		return 1
+	}
+	return f.MaxConcurrent
+}
+
+// Quota implements Policy.
+func (f FairShare) Quota(totalNodes, freeNodes, active, queued int) int {
+	k := f.slots()
+	if active >= k {
+		return 0
+	}
+	share := totalNodes / k
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// Exec runs one planned workflow; *executor.Executor satisfies it.
+type Exec interface {
+	Execute(g *workflow.Graph, plan *planner.Plan) (*executor.Result, error)
+}
+
+// Config wires a Scheduler.
+type Config struct {
+	Clock   *vtime.Clock
+	Cluster *cluster.Cluster
+	// Policy is the admission policy (default FIFO).
+	Policy Policy
+	// Plan produces the materialized plan for an admitted run. It is called
+	// inside the run's party, so concurrent planning is serialized and
+	// deterministic.
+	Plan func(g *workflow.Graph) (*planner.Plan, error)
+	// NewExecutor builds the per-run executor. The scheduler hands it the
+	// run's lease and cooperative party plus a cancellation probe; the
+	// implementation must confine the executor to them.
+	NewExecutor func(runID string, lease *cluster.Reservation, party *vtime.Party, canceled func() bool) Exec
+	// Tracer receives run lifecycle events; nil discards them.
+	Tracer trace.Tracer
+}
+
+// Scheduler is the multi-workflow submission queue + admission controller.
+// It is safe for concurrent use.
+type Scheduler struct {
+	clock   *vtime.Clock
+	cluster *cluster.Cluster
+	policy  Policy
+	plan    func(g *workflow.Graph) (*planner.Plan, error)
+	newExec func(runID string, lease *cluster.Reservation, party *vtime.Party, canceled func() bool) Exec
+	tracer  trace.Tracer
+
+	mu     sync.Mutex
+	nextID int
+	queue  []*Run
+	active map[string]*Run
+	all    []*Run // submission order
+}
+
+// New builds a scheduler; Clock, Cluster, Plan and NewExecutor are required.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Clock == nil || cfg.Cluster == nil || cfg.Plan == nil || cfg.NewExecutor == nil {
+		return nil, fmt.Errorf("scheduler: Clock, Cluster, Plan and NewExecutor are required")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = FIFO{}
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.Nop()
+	}
+	return &Scheduler{
+		clock:   cfg.Clock,
+		cluster: cfg.Cluster,
+		policy:  policy,
+		plan:    cfg.Plan,
+		newExec: cfg.NewExecutor,
+		tracer:  tracer,
+		active:  make(map[string]*Run),
+	}, nil
+}
+
+// Policy returns the active admission policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Submit enqueues a workflow and returns its run handle. Admission is
+// attempted immediately, but no admitted run executes until the cooperative
+// clock is kicked (Run.Wait, Drain or Start) — so a batch of Submit calls is
+// deterministic regardless of goroutine scheduling.
+func (s *Scheduler) Submit(g *workflow.Graph) *Run {
+	return s.SubmitNamed(g.Target, g)
+}
+
+// SubmitNamed is Submit with an explicit workflow label for status listings.
+func (s *Scheduler) SubmitNamed(name string, g *workflow.Graph) *Run {
+	s.mu.Lock()
+	s.nextID++
+	r := &Run{
+		id:          fmt.Sprintf("run-%03d", s.nextID),
+		workflow:    name,
+		g:           g,
+		sched:       s,
+		done:        make(chan struct{}),
+		status:      StatusQueued,
+		submittedAt: s.clock.Now(),
+	}
+	s.queue = append(s.queue, r)
+	s.all = append(s.all, r)
+	depth := len(s.queue)
+	s.mu.Unlock()
+
+	s.tracer.Emit(trace.Event{
+		Type: trace.EvRunSubmit, RunID: r.id, Operator: name,
+		Fields: map[string]float64{"queueDepth": float64(depth)},
+	}.At(r.submittedAt))
+
+	s.admit()
+	return r
+}
+
+// Start kicks the cooperative clock so admitted runs begin executing.
+func (s *Scheduler) Start() { s.clock.Kick() }
+
+// Drain waits until every submitted run (including ones submitted while
+// draining) reaches a terminal state.
+func (s *Scheduler) Drain() {
+	for {
+		s.mu.Lock()
+		pending := make([]*Run, 0, len(s.queue)+len(s.active))
+		pending = append(pending, s.queue...)
+		for _, r := range s.active {
+			pending = append(pending, r)
+		}
+		s.mu.Unlock()
+		if len(pending) == 0 {
+			return
+		}
+		s.clock.Kick()
+		for _, r := range pending {
+			<-r.done
+		}
+	}
+}
+
+// Runs returns snapshots of every submitted run in submission order.
+func (s *Scheduler) Runs() []Snapshot {
+	s.mu.Lock()
+	runs := append([]*Run(nil), s.all...)
+	s.mu.Unlock()
+	out := make([]Snapshot, len(runs))
+	for i, r := range runs {
+		out[i] = r.Status()
+	}
+	return out
+}
+
+// Get returns the run with the given id.
+func (s *Scheduler) Get(id string) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.all {
+		if r.id == id {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// QueueDepth reports the number of queued (not yet admitted) runs.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// ActiveRuns reports the number of admitted, unfinished runs.
+func (s *Scheduler) ActiveRuns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// admit runs the admission loop under the scheduler lock.
+func (s *Scheduler) admit() {
+	type admitted struct {
+		r     *Run
+		nodes int
+	}
+	var started []admitted
+	s.mu.Lock()
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if head.canceled.Load() {
+			s.queue = s.queue[1:]
+			s.finalizeCanceled(head)
+			continue
+		}
+		total := len(s.cluster.Nodes())
+		free := s.cluster.UnreservedHealthy()
+		quota := s.policy.Quota(total, free, len(s.active), len(s.queue))
+		if quota <= 0 {
+			break
+		}
+		if quota > free {
+			// Progress guarantee: with nothing running, waiting for more
+			// free nodes would wait forever — shrink to what exists.
+			if len(s.active) > 0 || free == 0 {
+				break
+			}
+			quota = free
+		}
+		lease, err := s.cluster.Reserve(quota)
+		if err != nil {
+			break
+		}
+		s.queue = s.queue[1:]
+		now := s.clock.Now()
+		head.mu.Lock()
+		head.status = StatusRunning
+		head.lease = lease
+		head.party = s.clock.Join()
+		head.startedAt = now
+		head.mu.Unlock()
+		s.active[head.id] = head
+		started = append(started, admitted{r: head, nodes: lease.Size()})
+	}
+	s.mu.Unlock()
+
+	for _, a := range started {
+		s.tracer.Emit(trace.Event{
+			Type: trace.EvRunAdmit, RunID: a.r.id, Operator: a.r.workflow,
+			Fields: map[string]float64{"nodes": float64(a.nodes)},
+		}.At(a.r.startedAt))
+		go s.runParty(a.r)
+	}
+}
+
+// finalizeCanceled finishes a run that was canceled while still queued.
+// Caller holds s.mu.
+func (s *Scheduler) finalizeCanceled(r *Run) {
+	now := s.clock.Now()
+	r.mu.Lock()
+	r.status = StatusCanceled
+	r.err = ErrCanceled
+	r.startedAt = now
+	r.finishedAt = now
+	r.mu.Unlock()
+	s.tracer.Emit(trace.Event{Type: trace.EvRunCancel, RunID: r.id, Operator: r.workflow}.At(now))
+	close(r.done)
+}
+
+// dropIfQueued removes a canceled run from the queue (no-op when already
+// admitted; the running party observes the flag itself).
+func (s *Scheduler) dropIfQueued(r *Run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, q := range s.queue {
+		if q == r {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.finalizeCanceled(r)
+			return
+		}
+	}
+}
+
+// runParty is the per-run goroutine: it awaits its dispatch turn, plans,
+// executes confined to the lease, and finishes — admitting successors
+// before leaving the cooperative clock.
+func (s *Scheduler) runParty(r *Run) {
+	r.party.Await()
+
+	var (
+		plan *planner.Plan
+		res  *executor.Result
+		err  error
+	)
+	switch {
+	case r.canceled.Load():
+		err = ErrCanceled
+	default:
+		plan, err = s.plan(r.g)
+		if err == nil {
+			exec := s.newExec(r.id, r.lease, r.party, r.canceled.Load)
+			res, err = exec.Execute(r.g, plan)
+			if errors.Is(err, executor.ErrCanceled) {
+				err = ErrCanceled
+			}
+		}
+	}
+
+	now := s.clock.Now()
+	status := StatusSucceeded
+	switch {
+	case errors.Is(err, ErrCanceled):
+		status = StatusCanceled
+	case err != nil:
+		status = StatusFailed
+	}
+	r.mu.Lock()
+	r.status = status
+	r.plan = plan
+	r.result = res
+	r.err = err
+	r.finishedAt = now
+	started := r.startedAt
+	lease := r.lease
+	r.mu.Unlock()
+
+	ev := trace.Event{
+		Type: trace.EvRunFinish, RunID: r.id, Operator: r.workflow,
+		Fields: map[string]float64{"makespanSec": (now - started).Seconds()},
+	}
+	if status == StatusCanceled {
+		ev = trace.Event{Type: trace.EvRunCancel, RunID: r.id, Operator: r.workflow}
+	} else if err != nil {
+		ev.Error = err.Error()
+	}
+	s.tracer.Emit(ev.At(now))
+
+	s.mu.Lock()
+	s.cluster.ReleaseReservation(lease)
+	delete(s.active, r.id)
+	s.mu.Unlock()
+
+	// Admit successors before leaving: the party count never touches zero
+	// mid-drain, so the cooperative clock keeps flowing from run to run.
+	s.admit()
+
+	close(r.done)
+	r.party.Leave()
+}

@@ -46,6 +46,8 @@ func New(p *ires.Platform) *Server {
 	mux.HandleFunc("/api/abstractOperators/", s.handleAbstractOperator)
 	mux.HandleFunc("/api/workflows", s.handleWorkflows)
 	mux.HandleFunc("/api/workflows/", s.handleWorkflow)
+	mux.HandleFunc("/api/runs", s.handleRuns)
+	mux.HandleFunc("/api/runs/", s.handleRun)
 	mux.HandleFunc("/api/engines", s.handleEngines)
 	mux.HandleFunc("/api/engines/", s.handleEngine)
 	mux.HandleFunc("/api/faults", s.handleFaults)
@@ -250,6 +252,7 @@ func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
 
 // planDTO serialises a materialized plan.
 type planDTO struct {
+	RunID        string        `json:"runId,omitempty"`
 	Target       string        `json:"target"`
 	EstTimeSec   float64       `json:"estTimeSec"`
 	EstCost      float64       `json:"estCost"`
@@ -344,14 +347,17 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, out)
 	case r.Method == http.MethodPost && action == "execute":
-		plan, g, err := s.materialize(name)
+		// Synchronous execution: submit to the multi-workflow scheduler and
+		// wait — the request occupies a queue slot like any other run, so
+		// concurrent execute calls are arbitrated by the admission policy.
+		_, g, err := s.graphOf(name)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		seq := s.platform.TraceSeq()
-		res, err := s.platform.Execute(g, plan)
-		events := s.platform.TraceSince(seq)
+		run := s.platform.SubmitNamed(name, g)
+		plan, res, err := run.Wait()
+		events := s.platform.TraceForRun(run.ID())
 		s.mu.Lock()
 		s.traces[name] = events
 		s.mu.Unlock()
@@ -360,10 +366,22 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		dto := planToDTO(plan)
+		dto.RunID = run.ID()
 		dto.ExecutionSec = res.Makespan.Seconds()
 		dto.CostUnits = res.TotalCostUnits
 		dto.Replans = res.Replans
 		writeJSON(w, http.StatusOK, dto)
+	case r.Method == http.MethodPost && action == "submit":
+		// Asynchronous execution: enqueue and return the run handle
+		// immediately; poll GET /api/runs/{id} for progress.
+		_, g, err := s.graphOf(name)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		run := s.platform.SubmitNamed(name, g)
+		s.platform.Start()
+		writeJSON(w, http.StatusAccepted, run.Status())
 	case r.Method == http.MethodGet && action == "trace":
 		s.mu.Lock()
 		events, ok := s.traces[name]
@@ -396,6 +414,51 @@ func (s *Server) materialize(name string) (*ires.Plan, *ires.Workflow, error) {
 	}
 	plan, err := s.platform.Plan(g)
 	return plan, g, err
+}
+
+// --- runs ---
+
+// handleRuns lists every submitted run in submission order.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	runs := s.platform.Runs()
+	if runs == nil {
+		runs = []ires.RunSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, runs)
+}
+
+// handleRun serves GET /api/runs/{id} (status snapshot), GET
+// /api/runs/{id}/trace (the run's demuxed event timeline) and POST
+// /api/runs/{id}/cancel.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id, action := tailName(r.URL.Path, "/api/runs/")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("run id required"))
+		return
+	}
+	run, ok := s.platform.RunByID(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && action == "":
+		writeJSON(w, http.StatusOK, run.Status())
+	case r.Method == http.MethodGet && action == "trace":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"run":    id,
+			"events": s.platform.TraceForRun(id),
+		})
+	case r.Method == http.MethodPost && action == "cancel":
+		run.Cancel()
+		writeJSON(w, http.StatusOK, run.Status())
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("unsupported %s %s", r.Method, r.URL.Path))
+	}
 }
 
 // handleMetrics serves the platform's counter/gauge registry in the

@@ -297,6 +297,121 @@ func TestWebUIServed(t *testing.T) {
 	}
 }
 
+func TestRunEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	// Fresh platform: the run list is an empty array, not null.
+	resp, body := do(t, "GET", ts.URL+"/api/runs", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty run list = %q, want []", body)
+	}
+
+	setupWordcount(t, ts)
+
+	// Asynchronous submission returns 202 with the run handle immediately.
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/submit", "")
+	expectCode(t, resp, body, http.StatusAccepted)
+	var snap struct {
+		ID       string `json:"id"`
+		Workflow string `json:"workflow"`
+		Status   string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID == "" || snap.Workflow != "wc" {
+		t.Fatalf("submit snapshot: %s", body)
+	}
+
+	// Poll until the run is terminal (virtual time makes this near-instant
+	// in wall time, but the goroutine handoff is asynchronous).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = do(t, "GET", ts.URL+"/api/runs/"+snap.ID, "")
+		expectCode(t, resp, body, http.StatusOK)
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Status == "succeeded" || snap.Status == "failed" || snap.Status == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s still %s", snap.ID, snap.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if snap.Status != "succeeded" {
+		t.Fatalf("run finished %s: %s", snap.Status, body)
+	}
+
+	// The run shows up in the listing.
+	resp, body = do(t, "GET", ts.URL+"/api/runs", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var list []struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil || len(list) != 1 {
+		t.Fatalf("run list: %s", body)
+	}
+
+	// Its demuxed trace carries only events stamped with this run's id.
+	resp, body = do(t, "GET", ts.URL+"/api/runs/"+snap.ID+"/trace", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var tr struct {
+		Run    string `json:"run"`
+		Events []struct {
+			Run  string `json:"run"`
+			Type string `json:"type"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Run != snap.ID || len(tr.Events) == 0 {
+		t.Fatalf("trace: %s", body)
+	}
+	for _, ev := range tr.Events {
+		if ev.Run != snap.ID {
+			t.Fatalf("foreign event in run trace: %+v", ev)
+		}
+	}
+
+	// Cancel on a terminal run is a safe no-op that returns the snapshot.
+	resp, body = do(t, "POST", ts.URL+"/api/runs/"+snap.ID+"/cancel", "")
+	expectCode(t, resp, body, http.StatusOK)
+
+	// The synchronous execute action also records its run id, addressable
+	// through the same endpoints.
+	resp, body = do(t, "POST", ts.URL+"/api/workflows/wc/execute", "")
+	expectCode(t, resp, body, http.StatusOK)
+	var exec struct {
+		RunID string `json:"runId"`
+	}
+	if err := json.Unmarshal([]byte(body), &exec); err != nil || exec.RunID == "" {
+		t.Fatalf("execute runId: %s", body)
+	}
+	resp, body = do(t, "GET", ts.URL+"/api/runs/"+exec.RunID, "")
+	expectCode(t, resp, body, http.StatusOK)
+
+	// Error paths.
+	for _, c := range []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/api/runs/run-999", http.StatusNotFound},
+		{"DELETE", "/api/runs", http.StatusMethodNotAllowed},
+		{"POST", "/api/runs/" + snap.ID + "/bogus", http.StatusMethodNotAllowed},
+		{"POST", "/api/workflows/none/submit", http.StatusBadRequest},
+	} {
+		resp, body := do(t, c.method, ts.URL+c.path, "")
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d (%s)", c.method, c.path, resp.StatusCode, c.want, body)
+		}
+	}
+}
+
 func TestFaultInjectionEndpoint(t *testing.T) {
 	_, ts, _ := newTestServer(t)
 	setupWordcount(t, ts)

@@ -41,6 +41,9 @@ func NewRecorder(max int) *Recorder {
 	reg.Help("ires_node_crashes_total", "cluster node crashes")
 	reg.Help("ires_plans_total", "planner invocations, by kind")
 	reg.Help("ires_vtime_seconds", "current virtual time of the simulation")
+	reg.Help("ires_runs_submitted_total", "workflow runs submitted to the scheduler")
+	reg.Help("ires_runs_admitted_total", "workflow runs admitted (granted a node lease)")
+	reg.Help("ires_runs_finished_total", "workflow runs reaching a terminal state, by status")
 	return &Recorder{max: max, reg: reg}
 }
 
@@ -113,6 +116,18 @@ func (r *Recorder) aggregate(ev Event) {
 		reg.Inc("ires_faults_injected_total", map[string]string{"kind": "straggler"}, 1)
 	case EvFaultOutage:
 		reg.Inc("ires_faults_injected_total", map[string]string{"kind": "outage"}, 1)
+	case EvRunSubmit:
+		reg.Inc("ires_runs_submitted_total", nil, 1)
+	case EvRunAdmit:
+		reg.Inc("ires_runs_admitted_total", nil, 1)
+	case EvRunFinish:
+		status := "succeeded"
+		if ev.Error != "" {
+			status = "failed"
+		}
+		reg.Inc("ires_runs_finished_total", map[string]string{"status": status}, 1)
+	case EvRunCancel:
+		reg.Inc("ires_runs_finished_total", map[string]string{"status": "canceled"}, 1)
 	case EvPlanStart:
 		kind := "plan"
 		if ev.Fields["replan"] > 0 {
@@ -153,6 +168,22 @@ func (r *Recorder) Since(seq int64) []Event {
 		}
 	}
 	return nil
+}
+
+// ForRun returns the retained events belonging to one scheduler run,
+// renumbered 1..n so a run's log is byte-stable regardless of what other
+// runs interleaved with it in the global sequence.
+func (r *Recorder) ForRun(runID string) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, ev := range r.events {
+		if ev.RunID == runID {
+			ev.Seq = int64(len(out) + 1)
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // Dropped reports how many events aged out of the bounded log.

@@ -55,6 +55,13 @@ const (
 	EvFaultTransient EventType = "fault.transient"
 	EvFaultStraggler EventType = "fault.straggler"
 	EvFaultOutage    EventType = "fault.outage"
+
+	// Multi-workflow scheduler lifecycle: submission into the queue,
+	// admission (with the granted node quota in Fields), terminal states.
+	EvRunSubmit EventType = "run.submit"
+	EvRunAdmit  EventType = "run.admit"
+	EvRunFinish EventType = "run.finish"
+	EvRunCancel EventType = "run.cancel"
 )
 
 // Event is one structured trace record. Only deterministic, virtual-time
@@ -66,6 +73,11 @@ type Event struct {
 	// VTimeSec is the virtual time of the event in seconds.
 	VTimeSec float64   `json:"vtime"`
 	Type     EventType `json:"type"`
+
+	// RunID identifies the scheduler run the event belongs to, so the
+	// interleaved log of concurrent workflows can be demuxed per run.
+	// Empty for platform-global events (node crashes, fault injections).
+	RunID string `json:"run,omitempty"`
 
 	// Step is the plan-step name the event concerns, when any.
 	Step string `json:"step,omitempty"`
@@ -114,6 +126,28 @@ func (m multi) Emit(ev Event) {
 	for _, t := range m {
 		t.Emit(ev)
 	}
+}
+
+// withRun stamps a run id on every event passing through.
+type withRun struct {
+	t  Tracer
+	id string
+}
+
+func (w withRun) Emit(ev Event) {
+	if ev.RunID == "" {
+		ev.RunID = w.id
+	}
+	w.t.Emit(ev)
+}
+
+// WithRun wraps a tracer so every emitted event carries the given run id,
+// demuxing the shared trace log when several workflows execute at once.
+func WithRun(t Tracer, runID string) Tracer {
+	if t == nil {
+		return Nop()
+	}
+	return withRun{t: t, id: runID}
 }
 
 // Multi fans out to every non-nil tracer; with none it returns Nop.

@@ -1,0 +1,253 @@
+package vtime
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// partyLoop runs a party that appends "<name>@<now>" to log at each of its
+// wake times, then leaves. The log is guarded by mu because appends happen
+// from different goroutines — though never concurrently, which is exactly
+// what the -race run validates.
+func partyLoop(c *Clock, p *Party, name string, wakes []time.Duration, mu *sync.Mutex, log *[]string, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		p.Await()
+		for _, t := range wakes {
+			mu.Lock()
+			*log = append(*log, fmt.Sprintf("%s@%v", name, c.Now()))
+			mu.Unlock()
+			p.WaitUntil(t)
+		}
+		mu.Lock()
+		*log = append(*log, fmt.Sprintf("%s@%v", name, c.Now()))
+		mu.Unlock()
+		p.Leave()
+	}()
+}
+
+// Parties wake in (time, registration order) priority, one at a time, and
+// the schedule is a pure function of the wake times.
+func TestPartyWakeOrdering(t *testing.T) {
+	run := func() string {
+		c := NewClock()
+		var (
+			mu  sync.Mutex
+			log []string
+			wg  sync.WaitGroup
+		)
+		wg.Add(3)
+		// a and b contend at t=10 (a registered first, wins the tiebreak);
+		// c2 sleeps past both.
+		pa := c.Join()
+		pb := c.Join()
+		pc := c.Join()
+		partyLoop(c, pa, "a", []time.Duration{10, 30}, &mu, &log, &wg)
+		partyLoop(c, pb, "b", []time.Duration{10, 20}, &mu, &log, &wg)
+		partyLoop(c, pc, "c", []time.Duration{40}, &mu, &log, &wg)
+		c.Kick()
+		wg.Wait()
+		return strings.Join(log, " ")
+	}
+	want := "a@0s b@0s c@0s a@10ns b@10ns b@20ns a@30ns c@40ns"
+	for i := 0; i < 20; i++ {
+		if got := run(); got != want {
+			t.Fatalf("iteration %d: wake order = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// No party runs before Kick, no matter how long the goroutines have been
+// scheduled: Join parks without dispatching.
+func TestPartyJoinParksUntilKick(t *testing.T) {
+	c := NewClock()
+	p := c.Join()
+	ran := make(chan struct{})
+	go func() {
+		p.Await()
+		close(ran)
+		p.Leave()
+	}()
+	select {
+	case <-ran:
+		t.Fatal("party ran before Kick")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Kick()
+	<-ran
+}
+
+// WaitUntil with a non-future time keeps the execution token but still fires
+// events due at the current instant (Schedule clamps past times to now).
+func TestPartyWaitUntilAtNow(t *testing.T) {
+	c := NewClock()
+	p := c.Join()
+	fired := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Await()
+		c.Schedule(0, func(time.Duration) { fired = true })
+		p.WaitUntil(c.Now()) // must not block: p is the only party
+		if !fired {
+			t.Error("due event not fired by zero-length WaitUntil")
+		}
+		p.Leave()
+	}()
+	c.Kick()
+	<-done
+}
+
+// The clock advances only when every party is parked, and scheduled events
+// fire (in order) on the way to the earliest wake time.
+func TestPartyAdvanceFiresScheduledEvents(t *testing.T) {
+	c := NewClock()
+	var (
+		mu  sync.Mutex
+		log []string
+	)
+	c.Schedule(5, func(now time.Duration) {
+		mu.Lock()
+		log = append(log, fmt.Sprintf("ev@%v", now))
+		mu.Unlock()
+	})
+	p := c.Join()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Await()
+		p.WaitUntil(10)
+		mu.Lock()
+		log = append(log, fmt.Sprintf("party@%v", c.Now()))
+		mu.Unlock()
+		p.Leave()
+	}()
+	c.Kick()
+	<-done
+	got := strings.Join(log, " ")
+	if want := "ev@5ns party@10ns"; got != want {
+		t.Fatalf("log = %q, want %q", got, want)
+	}
+}
+
+// A leaving party unblocks the rest: the remaining minimum wake time wins.
+func TestPartyLeaveUnblocksRemaining(t *testing.T) {
+	c := NewClock()
+	pa := c.Join()
+	pb := c.Join()
+	done := make(chan struct{})
+	go func() {
+		pa.Await()
+		pa.Leave() // departs immediately; b must still be dispatched
+	}()
+	go func() {
+		defer close(done)
+		pb.Await()
+		pb.WaitUntil(100)
+		pb.Leave()
+	}()
+	c.Kick()
+	<-done
+	if now := c.Now(); now != 100 {
+		t.Fatalf("clock at %v after drain, want 100ns", now)
+	}
+	if c.Parties() != 0 {
+		t.Fatalf("parties = %d after all left", c.Parties())
+	}
+}
+
+// Joins from a running party (as the scheduler admits successor runs) take
+// effect before the joiner parks again, and the new party is dispatched in
+// time order with the rest. Run with -race.
+func TestPartyDynamicJoin(t *testing.T) {
+	c := NewClock()
+	var (
+		mu  sync.Mutex
+		log []string
+		wg  sync.WaitGroup
+	)
+	wg.Add(2)
+	pa := c.Join()
+	go func() {
+		defer wg.Done()
+		pa.Await()
+		// Spawn a second party mid-run; it must not execute until a parks.
+		pb := c.Join()
+		partyLoop(c, pb, "b", []time.Duration{15}, &mu, &log, &wg)
+		mu.Lock()
+		log = append(log, fmt.Sprintf("a@%v", c.Now()))
+		mu.Unlock()
+		p := pa
+		p.WaitUntil(20)
+		mu.Lock()
+		log = append(log, fmt.Sprintf("a@%v", c.Now()))
+		mu.Unlock()
+		p.Leave()
+	}()
+	c.Kick()
+	wg.Wait()
+	got := strings.Join(log, " ")
+	if want := "a@0s b@0s b@15ns a@20ns"; got != want {
+		t.Fatalf("log = %q, want %q", got, want)
+	}
+}
+
+// Hammering Kick from many goroutines while parties cooperate must neither
+// race nor wake two parties at once. Run with -race.
+func TestPartyConcurrentKick(t *testing.T) {
+	c := NewClock()
+	const parties = 4
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		running int
+		maxSeen int
+	)
+	wg.Add(parties)
+	for i := 0; i < parties; i++ {
+		p := c.Join()
+		step := time.Duration(i + 1)
+		go func() {
+			defer wg.Done()
+			p.Await()
+			for k := 1; k <= 50; k++ {
+				mu.Lock()
+				running++
+				if running > maxSeen {
+					maxSeen = running
+				}
+				mu.Unlock()
+				mu.Lock()
+				running--
+				mu.Unlock()
+				p.WaitUntil(c.Now() + step)
+			}
+			p.Leave()
+		}()
+	}
+	stop := make(chan struct{})
+	var kickers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		kickers.Add(1)
+		go func() {
+			defer kickers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Kick()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	kickers.Wait()
+	if maxSeen != 1 {
+		t.Fatalf("observed %d parties running concurrently, want exactly 1", maxSeen)
+	}
+}

@@ -21,6 +21,145 @@ type Clock struct {
 	now    time.Duration
 	events eventHeap
 	seq    int64
+
+	// Cooperative-party state (see Join). parties counts registered
+	// parties; waiters holds the parked ones. started gates dispatch so a
+	// batch of Join calls can complete before any party runs.
+	parties     int
+	partySeq    int64
+	waiters     []*waiter
+	started     bool
+	dispatching bool
+}
+
+// Party is one cooperating goroutine multiplexed over a shared Clock.
+//
+// The cooperation protocol makes concurrent executors deterministic: at most
+// one party executes at any moment. A party runs until it blocks on a future
+// virtual time via WaitUntil; only when every registered party is blocked
+// does the clock advance — to the earliest requested wake time, firing due
+// scheduled events on the way — and exactly one party (smallest wake time,
+// registration order as tiebreak) resumes. Goroutines are real, so the race
+// detector still validates the locking, but the interleaving is a pure
+// function of the virtual-time schedule, never of OS scheduling.
+type Party struct {
+	c    *Clock
+	id   int64
+	wake chan struct{}
+}
+
+type waiter struct {
+	p  *Party
+	at time.Duration
+}
+
+// Join registers a new party, parked at the current virtual time. The party
+// does not run until it is dispatched: the caller must hand the returned
+// Party to a goroutine whose first act is Await. Dispatch begins when Kick
+// is called (or a running party blocks) and all registered parties are
+// parked — so a batch of Joins is deterministic regardless of when the
+// parties' goroutines actually start.
+func (c *Clock) Join() *Party {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.parties++
+	c.partySeq++
+	p := &Party{c: c, id: c.partySeq, wake: make(chan struct{}, 1)}
+	c.waiters = append(c.waiters, &waiter{p: p, at: c.now})
+	return p
+}
+
+// Await blocks until the party is first dispatched. It must be the party
+// goroutine's first interaction with the clock.
+func (p *Party) Await() {
+	<-p.wake
+}
+
+// WaitUntil blocks the party until virtual time t. If t is not in the
+// future it fires the events due at the current instant and returns without
+// yielding the execution token. Otherwise the party parks; when all parties
+// are parked the clock advances to the earliest wake time and resumes that
+// party.
+func (p *Party) WaitUntil(t time.Duration) {
+	c := p.c
+	c.mu.Lock()
+	if t <= c.now {
+		// Zero-length advance: fire events already due at this instant
+		// (Schedule clamps past times to now) while keeping the token.
+		c.advanceLocked(c.now)
+		c.mu.Unlock()
+		return
+	}
+	c.waiters = append(c.waiters, &waiter{p: p, at: t})
+	c.dispatchLocked()
+	c.mu.Unlock()
+	<-p.wake
+}
+
+// Leave deregisters the party. The party must be running (not parked); its
+// departure may unblock the remaining parties.
+func (p *Party) Leave() {
+	c := p.c
+	c.mu.Lock()
+	c.parties--
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// Kick starts (or resumes) cooperative dispatch: if every registered party
+// is parked, the earliest waiter is woken. Callers use it after a batch of
+// Join calls, and whenever an external waiter (Run.Wait, Drain) needs the
+// party system to make progress.
+func (c *Clock) Kick() {
+	c.mu.Lock()
+	c.started = true
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// Parties reports the number of registered cooperative parties.
+func (c *Clock) Parties() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.parties
+}
+
+// dispatchLocked wakes the earliest parked party when every party is
+// parked, advancing the clock (and firing due scheduled events) to its wake
+// time first. Caller holds c.mu.
+func (c *Clock) dispatchLocked() {
+	// advanceLocked releases the lock around callbacks; a concurrent Kick
+	// must not start a second dispatch in that window.
+	if c.dispatching {
+		return
+	}
+	c.dispatching = true
+	defer func() { c.dispatching = false }()
+	for {
+		if !c.started || c.parties == 0 || len(c.waiters) < c.parties {
+			return
+		}
+		// Earliest wake time; registration order as tiebreak.
+		best := 0
+		for i := 1; i < len(c.waiters); i++ {
+			w, b := c.waiters[i], c.waiters[best]
+			if w.at < b.at || (w.at == b.at && w.p.id < b.p.id) {
+				best = i
+			}
+		}
+		target := c.waiters[best].at
+		// advanceLocked unlocks around callbacks; callbacks may Join new
+		// parties or change the waiter set, so re-examine afterwards.
+		before := len(c.waiters)
+		c.advanceLocked(target)
+		if len(c.waiters) != before {
+			continue
+		}
+		w := c.waiters[best]
+		c.waiters = append(c.waiters[:best], c.waiters[best+1:]...)
+		w.p.wake <- struct{}{}
+		return
+	}
 }
 
 // NewClock returns a clock positioned at virtual time zero.
@@ -43,18 +182,26 @@ func (c *Clock) Advance(d time.Duration) {
 		panic(fmt.Sprintf("vtime: negative advance %v", d))
 	}
 	c.mu.Lock()
-	target := c.now + d
+	c.advanceLocked(c.now + d)
+	c.mu.Unlock()
+}
+
+// advanceLocked moves the clock to target (>= now), firing due events in
+// timestamp order. Caller holds c.mu; the lock is released around each
+// callback so callbacks may schedule further events or read the clock.
+func (c *Clock) advanceLocked(target time.Duration) {
 	for len(c.events) > 0 && c.events[0].at <= target {
 		ev := heap.Pop(&c.events).(*event)
-		c.now = ev.at
-		// Release the lock while running the callback so callbacks may
-		// schedule further events or read the clock.
+		if ev.at > c.now {
+			c.now = ev.at
+		}
 		c.mu.Unlock()
 		ev.fn(ev.at)
 		c.mu.Lock()
 	}
-	c.now = target
-	c.mu.Unlock()
+	if target > c.now {
+		c.now = target
+	}
 }
 
 // AdvanceTo moves the clock forward to absolute virtual time t, firing the

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/asap-project/ires/internal/cluster"
@@ -41,6 +42,7 @@ import (
 	"github.com/asap-project/ires/internal/planner"
 	"github.com/asap-project/ires/internal/profiler"
 	"github.com/asap-project/ires/internal/provision"
+	"github.com/asap-project/ires/internal/scheduler"
 	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/vtime"
 	"github.com/asap-project/ires/internal/workflow"
@@ -91,7 +93,24 @@ type (
 	Tracer = trace.Tracer
 	// MetricsRegistry is the platform's counter/gauge registry.
 	MetricsRegistry = trace.Registry
+	// Run is the handle of one submitted workflow (see Submit).
+	Run = scheduler.Run
+	// RunSnapshot is a point-in-time view of a submitted run.
+	RunSnapshot = scheduler.Snapshot
+	// AdmissionPolicy decides when queued runs start and how many nodes
+	// they lease (see FIFO and FairShare).
+	AdmissionPolicy = scheduler.Policy
 )
+
+// FIFO returns the admission policy that runs one workflow at a time with
+// the whole cluster leased to it (strict submission order).
+func FIFO() AdmissionPolicy { return scheduler.FIFO{} }
+
+// FairShare returns the admission policy that runs up to maxConcurrent
+// workflows at once, each leasing an equal slice of the cluster's nodes.
+func FairShare(maxConcurrent int) AdmissionPolicy {
+	return scheduler.FairShare{MaxConcurrent: maxConcurrent}
+}
 
 // Typed execution failures (see the executor package).
 var (
@@ -105,6 +124,8 @@ var (
 	// ErrFaultInjected marks a transient failure produced by the
 	// chaos-injection layer.
 	ErrFaultInjected = faults.ErrInjected
+	// ErrRunCanceled marks a run stopped through its handle's Cancel.
+	ErrRunCanceled = scheduler.ErrCanceled
 )
 
 // Engine names of the default deployment.
@@ -175,6 +196,9 @@ type Options struct {
 	// emits, in addition to the built-in recorder that feeds Metrics() and
 	// TraceEvents().
 	Tracer Tracer
+	// Admission picks the multi-workflow admission policy for Submit/Run
+	// (default FIFO: one workflow at a time, whole cluster leased).
+	Admission AdmissionPolicy
 }
 
 // Platform is the IReS runtime: interface, optimizer and executor layers
@@ -193,10 +217,16 @@ type Platform struct {
 	provisioner *provision.Provisioner
 	executor    *executor.Executor
 	breaker     *executor.CircuitBreaker
-	faults      *faults.Schedule
+	sched       *scheduler.Scheduler
 
-	abstracts   map[string]*operator.Abstract
-	runObserver func(op string, run *RunMetrics)
+	// mu guards the mutable hooks shared between the API surface and the
+	// per-run executors built while workflows are in flight.
+	mu            sync.Mutex
+	faults        *faults.Schedule
+	trivialReplan bool
+	runObserver   func(op string, run *RunMetrics)
+
+	abstracts map[string]*operator.Abstract
 
 	recorder *trace.Recorder
 	tracer   trace.Tracer
@@ -270,8 +300,56 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Monitor:           p.Monitor,
 		Tracer:            p.tracer,
 	}
+	sched, err := scheduler.New(scheduler.Config{
+		Clock:       p.Clock,
+		Cluster:     p.Cluster,
+		Policy:      opts.Admission,
+		Plan:        func(g *workflow.Graph) (*planner.Plan, error) { return p.planner.Plan(g) },
+		NewExecutor: p.newRunExecutor,
+		Tracer:      p.tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.sched = sched
 	p.Monitor.Start()
 	return p, nil
+}
+
+// newRunExecutor builds the executor of one admitted run: same wiring as the
+// solo executor, but confined to the run's node lease, cooperating on the
+// shared clock through the run's party, and stamping the run id on every
+// trace event.
+func (p *Platform) newRunExecutor(runID string, lease *cluster.Reservation, party *vtime.Party, canceled func() bool) scheduler.Exec {
+	p.mu.Lock()
+	var inj executor.Injector
+	if p.faults != nil {
+		inj = p.faults
+	}
+	var rp executor.Replanner = replanAdapter{p.planner}
+	if p.trivialReplan {
+		rp = trivialReplanAdapter{p.planner}
+	}
+	p.mu.Unlock()
+	return &executor.Executor{
+		Env:               p.Env,
+		Cluster:           p.Cluster,
+		Clock:             p.Clock,
+		Observer:          p.observe,
+		Replanner:         rp,
+		MaxReplans:        p.executor.MaxReplans,
+		LaunchOverheadSec: p.executor.LaunchOverheadSec,
+		Retry:             p.opts.Retry,
+		TimeoutFactor:     p.opts.TimeoutFactor,
+		Speculate:         p.speculate,
+		Faults:            inj,
+		Breaker:           p.breaker,
+		Monitor:           p.Monitor,
+		Tracer:            trace.WithRun(p.tracer, runID),
+		Party:             party,
+		Lease:             lease,
+		Canceled:          canceled,
+	}
 }
 
 func (p *Platform) clusterBounds() engine.Resources {
@@ -385,8 +463,11 @@ func (p *Platform) chooseResources(mo *operator.Materialized, records, bytes int
 func (p *Platform) observe(opName string, run *metrics.Run) {
 	// Online model refinement: every actual run feeds the models.
 	_ = p.Profiler.Observe(opName, run)
-	if p.runObserver != nil {
-		p.runObserver(opName, run)
+	p.mu.Lock()
+	obs := p.runObserver
+	p.mu.Unlock()
+	if obs != nil {
+		obs(opName, run)
 	}
 }
 
@@ -394,6 +475,8 @@ func (p *Platform) observe(opName string, run *metrics.Run) {
 // addition to the built-in model refinement (useful for experiments that
 // react to execution progress, e.g. failure injection at a precise point).
 func (p *Platform) SetRunObserver(fn func(op string, run *RunMetrics)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.runObserver = fn
 }
 
@@ -401,6 +484,9 @@ func (p *Platform) SetRunObserver(fn func(op string, run *RunMetrics)) {
 // that ignores materialized intermediates — the TrivialReplan baseline of
 // the paper's fault-tolerance evaluation.
 func (p *Platform) UseTrivialReplanner() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trivialReplan = true
 	p.executor.Replanner = trivialReplanAdapter{p.planner}
 }
 
@@ -518,14 +604,52 @@ func (p *Platform) Execute(g *Workflow, plan *Plan) (*ExecutionResult, error) {
 	return p.executor.Execute(g, plan)
 }
 
-// Run plans and executes a workflow in one call.
+// Run plans and executes a workflow in one call: it submits the workflow to
+// the multi-workflow scheduler and waits for the result. Under the default
+// FIFO admission policy this is equivalent to the historical Plan+Execute.
 func (p *Platform) Run(g *Workflow) (*Plan, *ExecutionResult, error) {
-	plan, err := p.Plan(g)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := p.Execute(g, plan)
-	return plan, res, err
+	return p.Submit(g).Wait()
+}
+
+// Submit enqueues a workflow for execution under the platform's admission
+// policy and returns its run handle immediately. Nothing executes until the
+// scheduler is started (Start), waited on (Run.Wait, Drain) — so a batch of
+// submissions is deterministic regardless of goroutine scheduling.
+func (p *Platform) Submit(g *Workflow) *Run {
+	return p.sched.Submit(g)
+}
+
+// SubmitNamed is Submit with an explicit workflow label for run listings.
+func (p *Platform) SubmitNamed(name string, g *Workflow) *Run {
+	return p.sched.SubmitNamed(name, g)
+}
+
+// Start kicks the scheduler so admitted runs begin executing without
+// blocking the caller (pair with Drain or Run.Wait).
+func (p *Platform) Start() {
+	p.sched.Start()
+}
+
+// Drain blocks until every submitted run reaches a terminal state.
+func (p *Platform) Drain() {
+	p.sched.Drain()
+}
+
+// Runs lists every submitted run in submission order.
+func (p *Platform) Runs() []RunSnapshot {
+	return p.sched.Runs()
+}
+
+// RunByID returns the handle of a submitted run.
+func (p *Platform) RunByID(id string) (*Run, bool) {
+	return p.sched.Get(id)
+}
+
+// TraceForRun returns the trace events of one submitted run, demuxed from
+// the shared log and renumbered so a run's trace is byte-stable regardless
+// of what executed alongside it.
+func (p *Platform) TraceForRun(id string) []TraceEvent {
+	return p.recorder.ForRun(id)
 }
 
 // ProvisionFront exposes the NSGA-II Pareto front of resource choices for a
@@ -589,18 +713,23 @@ func (p *Platform) InjectFaults(cfg FaultConfig) error {
 	if err := sched.Arm(p.Clock, p.Env, p.Cluster); err != nil {
 		return err
 	}
+	p.mu.Lock()
 	p.faults = sched
 	p.executor.Faults = sched
+	p.mu.Unlock()
 	return nil
 }
 
 // FaultStats reports the injection counters of the armed fault schedule
 // (zero value when InjectFaults was never called).
 func (p *Platform) FaultStats() FaultStats {
-	if p.faults == nil {
+	p.mu.Lock()
+	sched := p.faults
+	p.mu.Unlock()
+	if sched == nil {
 		return FaultStats{}
 	}
-	return p.faults.Stats()
+	return sched.Stats()
 }
 
 // BlacklistedEngines lists the engines currently excluded by the circuit
