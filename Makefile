@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt shuffle ci bench bench-smoke
+.PHONY: all build test race vet fmt shuffle ci bench bench-smoke bench-planner
 
 all: build
 
@@ -32,6 +32,14 @@ bench:
 	$(GO) run ./cmd/ires-bench
 
 # bench-smoke runs a few small experiments end-to-end (planning, execution,
-# fault recovery, scheduler contention) as a fast sanity pass for the stack.
-bench-smoke:
+# fault recovery, scheduler contention) as a fast sanity pass for the stack,
+# then the tracked planner benchmarks with their acceptance gate.
+bench-smoke: bench-planner
 	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22,SCHED
+
+# bench-planner runs the tracked planner benchmark suite (cold plan, warm
+# replan, warm Pareto) and rewrites the BENCH_PLANNER.json baseline; it
+# fails if the warm replan falls below the 3x-speedup / 50%-fewer-allocs
+# floor or if warm plans diverge from cold ones.
+bench-planner:
+	$(GO) run ./cmd/bench-planner -out BENCH_PLANNER.json

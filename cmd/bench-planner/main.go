@@ -1,0 +1,73 @@
+// Command bench-planner runs the tracked planner micro-benchmark suite
+// (cold plan, warm replan, warm Pareto on the Fig 12 text-analytics
+// workflow), verifies the warm builds reproduce the cold plans byte for
+// byte, and writes the measurements to BENCH_PLANNER.json.
+//
+// Usage:
+//
+//	bench-planner [-seed N] [-docs N] [-out FILE] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asap-project/ires/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "seed for the simulated environment")
+	docs := flag.Int64("docs", 100_000, "workflow input size (documents)")
+	out := flag.String("out", "BENCH_PLANNER.json", "output file (empty: stdout only)")
+	check := flag.Bool("check", true, "fail unless warm replan is >=3x faster and >=50% fewer allocs than cold plan")
+	flag.Parse()
+
+	report, err := experiments.RunPlannerBench(*seed, *docs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-planner:", err)
+		os.Exit(1)
+	}
+
+	for _, r := range report.Results {
+		fmt.Printf("%-22s %10d ns/op  %8d B/op  %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("replan speedup:  %.1fx (cold plan vs warm replan)\n", report.ReplanSpeedup)
+	fmt.Printf("alloc reduction: %.0f%%\n", report.AllocReduction*100)
+	fmt.Printf("warm identical:  %v   cache hits/misses: %d/%d (epoch %d)\n",
+		report.WarmIdentical, report.CacheHits, report.CacheMisses, report.CacheEpoch)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-planner:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bench-planner:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-planner:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *check {
+		if report.ReplanSpeedup < 3 {
+			fmt.Fprintf(os.Stderr, "bench-planner: warm replan speedup %.2fx below the 3x floor\n", report.ReplanSpeedup)
+			os.Exit(1)
+		}
+		if report.AllocReduction < 0.5 {
+			fmt.Fprintf(os.Stderr, "bench-planner: allocation reduction %.0f%% below the 50%% floor\n", report.AllocReduction*100)
+			os.Exit(1)
+		}
+		if !report.WarmIdentical {
+			fmt.Fprintln(os.Stderr, "bench-planner: warm plans diverged from cold references")
+			os.Exit(1)
+		}
+	}
+}

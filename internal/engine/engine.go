@@ -173,6 +173,17 @@ type Environment struct {
 	infra     Infrastructure
 	available map[string]bool
 	noise     *noiseSource
+	// gen counts planner-visible environment mutations (registrations,
+	// availability flips, infrastructure swaps); the planner folds it into
+	// its cache validity.
+	gen uint64
+}
+
+// Gen returns the environment's mutation generation counter.
+func (e *Environment) Gen() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen
 }
 
 // NewEnvironment returns an environment with the given infrastructure and
@@ -193,6 +204,7 @@ func (e *Environment) Register(p Profile) {
 	defer e.mu.Unlock()
 	e.engines[p.Name] = p
 	e.available[p.Name] = true
+	e.gen++
 }
 
 // RegisterWorkload adds (or replaces) an algorithm workload profile.
@@ -227,6 +239,9 @@ func (e *Environment) Engines() []string {
 func (e *Environment) SetAvailable(name string, on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.available[name] != on {
+		e.gen++
+	}
 	e.available[name] = on
 }
 
@@ -250,6 +265,7 @@ func (e *Environment) SetInfrastructure(infra Infrastructure) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.infra = infra
+	e.gen++
 }
 
 // GroundTruthSec computes the noise-free execution time of algorithm on

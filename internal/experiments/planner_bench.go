@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	ires "github.com/asap-project/ires"
+	"github.com/asap-project/ires/internal/planner"
+)
+
+// Planner micro-benchmark suite — the tracked perf baseline for the
+// incremental planner (BENCH_PLANNER.json). The scenario is the Fig 12
+// text-analytics workflow on a profiled TextPlatform: a cold plan rebuilds
+// the DP table from scratch (cache flushed per iteration), a warm replan
+// replays a fault-recovery round with the tf-idf output already
+// materialized, and a warm Pareto build replays the multi-objective table.
+
+// PlannerBench is a reusable planner benchmark environment.
+type PlannerBench struct {
+	P    *ires.Platform
+	WF   *ires.Workflow
+	Done []planner.MaterializedIntermediate
+	// Cold is the reference plan of the cold build; warm builds must
+	// describe identically.
+	Cold *ires.Plan
+	// ColdReplan is the reference replan with the Done set.
+	ColdReplan *ires.Plan
+}
+
+// NewPlannerBench builds the benchmark environment: the Fig 12 platform and
+// workflow, plus the done-set a mid-workflow replan would see (d1, the
+// tf-idf output, already materialized).
+func NewPlannerBench(seed int64, docs int64) (*PlannerBench, error) {
+	p, err := TextPlatform(seed)
+	if err != nil {
+		return nil, err
+	}
+	wf, err := TextWorkflow(p, docs)
+	if err != nil {
+		return nil, err
+	}
+	cold, err := p.Plan(wf)
+	if err != nil {
+		return nil, err
+	}
+	step, ok := cold.StepFor("tfidf")
+	if !ok {
+		return nil, fmt.Errorf("planner bench: cold plan has no tfidf step:\n%s", cold.Describe())
+	}
+	done := []planner.MaterializedIntermediate{{
+		Dataset: "d1",
+		Meta:    step.OutMeta,
+		Records: step.OutRecords,
+		Bytes:   step.OutBytes,
+	}}
+	coldReplan, err := p.Replan(wf, done)
+	if err != nil {
+		return nil, err
+	}
+	return &PlannerBench{P: p, WF: wf, Done: done, Cold: cold, ColdReplan: coldReplan}, nil
+}
+
+// BenchPlanCold measures a from-scratch optimization pass: the planner cache
+// is flushed before every iteration.
+func (e *PlannerBench) BenchPlanCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.P.ResetPlannerCache()
+		pl, err := e.P.Plan(e.WF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = pl
+	}
+}
+
+// BenchReplanWarm measures the fault-recovery replan with a hot cache: the
+// first replan after the warm-up is served from memoized subtrees and the
+// shared seed map.
+func (e *PlannerBench) BenchReplanWarm(b *testing.B) {
+	b.ReportAllocs()
+	if _, err := e.P.Replan(e.WF, e.Done); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := e.P.Replan(e.WF, e.Done)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = pl
+	}
+}
+
+// BenchParetoWarm measures a warm multi-objective build.
+func (e *PlannerBench) BenchParetoWarm(b *testing.B) {
+	b.ReportAllocs()
+	if _, err := e.P.ParetoPlans(e.WF); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plans, err := e.P.ParetoPlans(e.WF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = plans
+	}
+}
+
+// PlannerBenchResult is one benchmark's measurement.
+type PlannerBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	MsPerOp     float64 `json:"msPerOp"`
+}
+
+// PlannerBenchReport is the BENCH_PLANNER.json schema: the three tracked
+// measurements plus the derived acceptance ratios.
+type PlannerBenchReport struct {
+	Seed    int64                `json:"seed"`
+	Docs    int64                `json:"docs"`
+	Results []PlannerBenchResult `json:"results"`
+	// ReplanSpeedup is cold-plan ns/op over warm-replan ns/op.
+	ReplanSpeedup float64 `json:"replanSpeedup"`
+	// AllocReduction is the fractional drop in allocations from cold plan to
+	// warm replan (0.5 = half the allocations).
+	AllocReduction float64 `json:"allocReduction"`
+	// WarmIdentical records that warm builds described byte-identically to
+	// the cold references.
+	WarmIdentical bool `json:"warmIdentical"`
+	// CacheStats snapshots the planner cache counters after the run.
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	CacheEpoch  uint64 `json:"cacheEpoch"`
+}
+
+func toResult(name string, r testing.BenchmarkResult) PlannerBenchResult {
+	return PlannerBenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+	}
+}
+
+// RunPlannerBench executes the suite via testing.Benchmark and derives the
+// acceptance ratios. The warm-vs-cold identity check runs first so the
+// measurements are taken on a planner whose determinism was just verified.
+func RunPlannerBench(seed, docs int64) (*PlannerBenchReport, error) {
+	env, err := NewPlannerBench(seed, docs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Determinism gate: warm plan and warm replan must describe identically
+	// to the cold references captured at construction.
+	warmPlan, err := env.P.Plan(env.WF)
+	if err != nil {
+		return nil, err
+	}
+	warmReplan, err := env.P.Replan(env.WF, env.Done)
+	if err != nil {
+		return nil, err
+	}
+	identical := warmPlan.Describe() == env.Cold.Describe() &&
+		warmReplan.Describe() == env.ColdReplan.Describe()
+	if !identical {
+		return nil, fmt.Errorf("planner bench: warm plan diverged from cold reference:\ncold:\n%s\nwarm:\n%s",
+			env.Cold.Describe(), warmPlan.Describe())
+	}
+
+	cold := testing.Benchmark(env.BenchPlanCold)
+	warm := testing.Benchmark(env.BenchReplanWarm)
+	pareto := testing.Benchmark(env.BenchParetoWarm)
+
+	report := &PlannerBenchReport{
+		Seed: seed,
+		Docs: docs,
+		Results: []PlannerBenchResult{
+			toResult("BenchmarkPlanCold", cold),
+			toResult("BenchmarkReplanWarm", warm),
+			toResult("BenchmarkParetoWarm", pareto),
+		},
+		WarmIdentical: identical,
+	}
+	if warm.NsPerOp() > 0 {
+		report.ReplanSpeedup = float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+	}
+	if ca := cold.AllocsPerOp(); ca > 0 {
+		report.AllocReduction = 1 - float64(warm.AllocsPerOp())/float64(ca)
+	}
+	cs := env.P.PlannerCacheStats()
+	report.CacheHits, report.CacheMisses, report.CacheEpoch = cs.Hits, cs.Misses, cs.Epoch
+	return report, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *PlannerBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -12,7 +12,10 @@ import (
 // and named datasets. Matching an abstract operator against the library is
 // accelerated by an index on highly selective metadata attributes — the
 // algorithm name — so only operators with the right algorithm are examined
-// by the full tree-matching pass (D3.3 §2.2.3).
+// by the full tree-matching pass (D3.3 §2.2.3). On top of that, full match
+// results are memoized per abstract constraints tree and maintained
+// incrementally on AddOperator/RemoveOperator, so the planner's repeated
+// FindMaterialized calls are map lookups instead of tree-matching scans.
 //
 // Library is safe for concurrent use.
 type Library struct {
@@ -20,7 +23,24 @@ type Library struct {
 	ops         map[string]*Materialized
 	byAlgorithm map[string][]string // algorithm -> sorted operator names
 	datasets    map[string]*Dataset
+	// matchIdx memoizes FindMaterialized: abstract Constraints tree string
+	// -> the matching operator names (sorted) plus the constraints tree the
+	// incremental maintenance re-matches new operators against.
+	matchIdx map[string]*matchEntry
+	// gen counts operator mutations; the planner folds it into its cache
+	// validity so library changes invalidate memoized plans.
+	gen uint64
 }
+
+// matchEntry is one memoized FindMaterialized result.
+type matchEntry struct {
+	constraints *metadata.Tree // cloned abstract Constraints subtree (may be nil)
+	names       []string       // sorted names of matching operators
+}
+
+// maxMatchIdx bounds the number of distinct abstract shapes memoized;
+// overflow clears the index (it rebuilds on demand).
+const maxMatchIdx = 256
 
 // NewLibrary returns an empty library.
 func NewLibrary() *Library {
@@ -28,7 +48,15 @@ func NewLibrary() *Library {
 		ops:         make(map[string]*Materialized),
 		byAlgorithm: make(map[string][]string),
 		datasets:    make(map[string]*Dataset),
+		matchIdx:    make(map[string]*matchEntry),
 	}
+}
+
+// Gen returns the library's operator-mutation generation counter.
+func (l *Library) Gen() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.gen
 }
 
 // AddOperator registers a materialized operator. Re-registering a name
@@ -52,7 +80,38 @@ func (l *Library) AddOperator(m *Materialized) error {
 		names[i] = m.Name
 		l.byAlgorithm[alg] = names
 	}
+	// Incrementally maintain the memoized match lists: the new definition
+	// joins every cached abstract shape it satisfies (replacements were
+	// dropped by removeFromIndexLocked above).
+	cons := m.Meta.Node("Constraints")
+	for _, e := range l.matchIdx {
+		if metadata.Matches(e.constraints, cons) {
+			e.names = insertSorted(e.names, m.Name)
+		}
+	}
+	l.gen++
 	return nil
+}
+
+// insertSorted adds name to a sorted slice if absent.
+func insertSorted(names []string, name string) []string {
+	i := sort.SearchStrings(names, name)
+	if i < len(names) && names[i] == name {
+		return names
+	}
+	names = append(names, "")
+	copy(names[i+1:], names[i:])
+	names[i] = name
+	return names
+}
+
+// removeSorted deletes name from a sorted slice if present.
+func removeSorted(names []string, name string) []string {
+	i := sort.SearchStrings(names, name)
+	if i < len(names) && names[i] == name {
+		return append(names[:i], names[i+1:]...)
+	}
+	return names
 }
 
 // AddOperatorDescription parses a description string and registers the
@@ -83,6 +142,7 @@ func (l *Library) RemoveOperator(name string) bool {
 	}
 	delete(l.ops, name)
 	l.removeFromIndexLocked(m)
+	l.gen++
 	return true
 }
 
@@ -92,6 +152,9 @@ func (l *Library) removeFromIndexLocked(m *Materialized) {
 	i := sort.SearchStrings(names, m.Name)
 	if i < len(names) && names[i] == m.Name {
 		l.byAlgorithm[alg] = append(names[:i], names[i+1:]...)
+	}
+	for _, e := range l.matchIdx {
+		e.names = removeSorted(e.names, m.Name)
 	}
 }
 
@@ -120,11 +183,44 @@ func (l *Library) Operators() []*Materialized {
 }
 
 // FindMaterialized returns all materialized operators matching the abstract
-// operator, in deterministic (name) order. When the abstract operator
-// declares an algorithm, only the indexed candidates are tree-matched.
+// operator, in deterministic (name) order. Matching depends only on the
+// abstract operator's Constraints subtree, so results are memoized per
+// constraints shape and maintained incrementally on operator mutation; a
+// miss falls back to the algorithm-indexed tree-matching scan.
 func (l *Library) FindMaterialized(a *Abstract) []*Materialized {
+	cons := a.Meta.Node("Constraints")
+	key := ""
+	if cons != nil {
+		key = cons.String()
+	}
 	l.mu.RLock()
-	defer l.mu.RUnlock()
+	if e, ok := l.matchIdx[key]; ok {
+		out := l.resolveLocked(e.names)
+		l.mu.RUnlock()
+		return out
+	}
+	l.mu.RUnlock()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.matchIdx[key]; ok {
+		return l.resolveLocked(e.names)
+	}
+	names := l.matchNamesLocked(a)
+	var consClone *metadata.Tree
+	if cons != nil {
+		consClone = cons.Clone()
+	}
+	if len(l.matchIdx) >= maxMatchIdx {
+		l.matchIdx = make(map[string]*matchEntry)
+	}
+	l.matchIdx[key] = &matchEntry{constraints: consClone, names: names}
+	return l.resolveLocked(names)
+}
+
+// matchNamesLocked runs the algorithm-prefiltered tree-matching scan and
+// returns the sorted matching operator names.
+func (l *Library) matchNamesLocked(a *Abstract) []string {
 	var candidates []string
 	if alg := a.Algorithm(); alg != "" && alg != metadata.Wildcard {
 		candidates = l.byAlgorithm[alg]
@@ -135,13 +231,53 @@ func (l *Library) FindMaterialized(a *Abstract) []*Materialized {
 		}
 		sort.Strings(candidates)
 	}
-	var out []*Materialized
+	var names []string
 	for _, name := range candidates {
-		m := l.ops[name]
-		if m.MatchesAbstract(a) {
+		if l.ops[name].MatchesAbstract(a) {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// resolveLocked maps operator names to their current definitions.
+func (l *Library) resolveLocked(names []string) []*Materialized {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]*Materialized, 0, len(names))
+	for _, n := range names {
+		if m, ok := l.ops[n]; ok {
 			out = append(out, m)
 		}
 	}
+	return out
+}
+
+// ResetMatchIndex drops the memoized FindMaterialized results; they rebuild
+// on demand. Match results are unchanged — the generation counter does not
+// move — so this exists for cold-start benchmarking, not invalidation,
+// which is maintained incrementally on operator mutation.
+func (l *Library) ResetMatchIndex() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.matchIdx = make(map[string]*matchEntry)
+}
+
+// Engines returns the distinct engines of the registered operators, sorted.
+// The planner fingerprints engine availability against this set.
+func (l *Library) Engines() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	seen := make(map[string]bool)
+	for _, m := range l.ops {
+		seen[m.Engine()] = true
+	}
+	out := make([]string, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,543 @@
+package planner
+
+// Incremental planning: the DP over the abstract workflow is memoized at
+// operator-node granularity. For every operator node the planner hashes the
+// node identity (name + abstract description) together with the structural
+// signatures of every input tag front and the pre-existing state of every
+// output tag front; the cached value is the exact sequence of table inserts
+// (plus the per-node DP statistics) that the cold evaluation produced.
+// Replaying the inserts through the normal min-merge reproduces the cold
+// table bit for bit — including entriesKept and prunedFronts counters — so a
+// warm build emits byte-identical plans and trace events.
+//
+// Entry signatures are structural digests: two entries with equal signatures
+// describe the same producing subplan (same materialized operator chain,
+// same moves, same sizes, same accumulated estimates), so a signature match
+// on every input front implies the node would resolve identically.
+//
+// The whole cache is validated once per build against a composite of the
+// external epoch hook (breaker/availability/profiler generations), the
+// library generation, and a per-engine availability fingerprint; any change
+// flushes everything and bumps the planner epoch counter. The availability
+// fingerprint is load-bearing: a circuit breaker re-opening on virtual-time
+// cooldown changes EngineAvailable without any counter moving.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// maxCachedNodes bounds the number of memoized node results (scalar +
+// Pareto) held between builds; exceeding it clears the cache wholesale at
+// the next build boundary (never mid-build, so one build never mixes entry
+// generations).
+const maxCachedNodes = 4096
+
+// sig is a 128-bit structural digest (two independent FNV-1a-style streams).
+type sig struct{ a, b uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	altOffset64 = 0x9e3779b97f4a7c15
+	altPrime64  = 0xc2b2ae3d27d4eb4f
+)
+
+type hasher struct{ a, b uint64 }
+
+func newHasher() hasher { return hasher{fnvOffset64, altOffset64} }
+
+func (h *hasher) byte(c byte) {
+	h.a = (h.a ^ uint64(c)) * fnvPrime64
+	h.b = (h.b ^ uint64(c)) * altPrime64
+}
+
+func (h *hasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v))
+		v >>= 8
+	}
+}
+
+func (h *hasher) i64(v int64)   { h.u64(uint64(v)) }
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+func (h *hasher) sig(s sig) { h.u64(s.a); h.u64(s.b) }
+
+func (h *hasher) bool(v bool) {
+	if v {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+func (h *hasher) sum() sig { return sig{h.a, h.b} }
+
+// leafSig digests a zero-cost table entry (materialized source dataset or
+// replan seed).
+func leafSig(source, metaKey string, records, bytes int64) sig {
+	h := newHasher()
+	h.str("leaf")
+	h.str(source)
+	h.str(metaKey)
+	h.i64(records)
+	h.i64(bytes)
+	return h.sum()
+}
+
+// derivedEntrySig digests a derived table entry: the producing node and
+// materialization, the chosen output, and the full input resolution. Equal
+// signatures extract to identical plan subtrees.
+func derivedEntrySig(c *candidate, outIndex int, metaKey string, t pathTotals) sig {
+	h := newHasher()
+	h.str("op")
+	h.str(c.node.Name)
+	h.str(c.mo.Name)
+	h.u64(uint64(outIndex))
+	h.str(metaKey)
+	h.i64(c.outRecords)
+	h.i64(c.outBytes)
+	h.f64(t.cost)
+	h.f64(t.time)
+	h.f64(t.money)
+	h.u64(uint64(len(c.inputs)))
+	for _, in := range c.inputs {
+		h.sig(in.entry.sig)
+		h.bool(in.moved)
+		h.f64(in.moveTime)
+		h.f64(in.moveCost)
+	}
+	return h.sum()
+}
+
+// pDerivedSig is derivedEntrySig for the multi-objective table.
+func pDerivedSig(c *pCandidate, outIndex int, metaKey string) sig {
+	h := newHasher()
+	h.str("pop")
+	h.str(c.node.Name)
+	h.str(c.mo.Name)
+	h.u64(uint64(outIndex))
+	h.str(metaKey)
+	h.i64(c.outRecords)
+	h.i64(c.outBytes)
+	h.f64(c.opTime)
+	h.f64(c.opMoney)
+	h.u64(uint64(len(c.inputs)))
+	for _, in := range c.inputs {
+		h.sig(in.entry.sig)
+		h.bool(in.moved)
+		h.f64(in.moveTime)
+		h.f64(in.moveCost)
+	}
+	return h.sum()
+}
+
+func entryMapSig(h *hasher, m map[string]*tagEntry) {
+	keys := sortedKeys(m)
+	h.u64(uint64(len(keys)))
+	for _, k := range keys {
+		h.str(k)
+		h.sig(m[k].sig)
+	}
+}
+
+func pEntryMapSig(h *hasher, m map[string][]*pEntry) {
+	keys := sortedPKeys(m)
+	h.u64(uint64(len(keys)))
+	for _, k := range keys {
+		h.str(k)
+		h.u64(uint64(len(m[k])))
+		for _, e := range m[k] {
+			h.sig(e.sig)
+		}
+	}
+}
+
+// nodeKey digests an operator node's full DP context: its identity, the tag
+// fronts of every input, and the pre-insert state of every output. Must be
+// called with p.mu held (it reads the meta-string cache).
+func (p *Planner) nodeKey(o *workflow.Node, dp map[*workflow.Node]map[string]*tagEntry) sig {
+	h := newHasher()
+	h.str("node")
+	h.str(o.Name)
+	h.str(p.metaStrLocked(o.Operator.Meta))
+	h.u64(uint64(len(o.Inputs)))
+	for _, in := range o.Inputs {
+		h.str(in.Name)
+		entryMapSig(&h, dp[in])
+	}
+	h.u64(uint64(len(o.Outputs)))
+	for _, out := range o.Outputs {
+		h.str(out.Name)
+		entryMapSig(&h, dp[out])
+	}
+	return h.sum()
+}
+
+// pNodeKey is nodeKey over the multi-objective table.
+func (p *Planner) pNodeKey(o *workflow.Node, dp map[*workflow.Node]map[string][]*pEntry) sig {
+	h := newHasher()
+	h.str("pnode")
+	h.str(o.Name)
+	h.str(p.metaStrLocked(o.Operator.Meta))
+	h.u64(uint64(len(o.Inputs)))
+	for _, in := range o.Inputs {
+		h.str(in.Name)
+		pEntryMapSig(&h, dp[in])
+	}
+	h.u64(uint64(len(o.Outputs)))
+	for _, out := range o.Outputs {
+		h.str(out.Name)
+		pEntryMapSig(&h, dp[out])
+	}
+	return h.sum()
+}
+
+// insertRec is one recorded table insert of a node evaluation.
+type insertRec struct {
+	out int // index into the node's Outputs
+	e   *tagEntry
+}
+
+// nodeResult is the memoized outcome of evaluating one operator node.
+type nodeResult struct {
+	inserts            []insertRec
+	tried, kept, moves int
+}
+
+// pInsertRec / pNodeResult mirror insertRec / nodeResult for ParetoPlans.
+type pInsertRec struct {
+	out int
+	e   *pEntry
+}
+
+type pNodeResult struct {
+	inserts []pInsertRec
+}
+
+// cacheValidity is the composite the cache is checked against at every
+// build boundary.
+type cacheValidity struct {
+	epoch  uint64 // Config.Epoch() — external invalidation counters
+	libGen uint64 // operator library generation
+	avail  string // per-engine availability fingerprint, '0'/'1' per engine
+}
+
+// planCache holds every memoized artefact. It is guarded by Planner.mu,
+// which also serializes whole table builds so one build never observes a
+// concurrent flush (mixing entry generations would break step deduplication
+// during extraction).
+type planCache struct {
+	init     bool
+	validity cacheValidity
+	epoch    uint64 // completed flushes (the ires_planner_epoch gauge)
+
+	nodes   map[sig]*nodeResult
+	pnodes  map[sig]*pNodeResult
+	leaves  map[sig]*tagEntry
+	pleaves map[sig]*pEntry
+	seeds   map[sig]map[string]*tagEntry
+	// metaStrs caches Tree.String() renderings keyed by tree pointer (node
+	// keys and seed hashes re-render the same trees every build). Flushed
+	// with the rest of the cache; trees must not be mutated between builds
+	// (mutating a graph's operator metadata without rebuilding the graph is
+	// unsupported).
+	metaStrs map[*metadata.Tree]string
+
+	hits, misses uint64 // cumulative node-level lookups
+	rowsAlloc    uint64 // tagEntry/pEntry rows created since construction
+}
+
+// CacheStats is a snapshot of the planner's memoization counters.
+type CacheStats struct {
+	// Hits and Misses count operator-node memo lookups across
+	// Plan/Replan/ParetoPlans builds.
+	Hits   uint64
+	Misses uint64
+	// Epoch counts completed cache flushes (invalidation events).
+	Epoch uint64
+	// NodeEntries is the number of node results currently cached.
+	NodeEntries int
+	// RowsAllocated counts DP table rows (tagEntry/pEntry) ever created;
+	// a fully warm build leaves it unchanged.
+	RowsAllocated uint64
+}
+
+// CacheStats returns the planner's current memoization counters.
+func (p *Planner) CacheStats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return CacheStats{
+		Hits:          p.cache.hits,
+		Misses:        p.cache.misses,
+		Epoch:         p.cache.epoch,
+		NodeEntries:   len(p.cache.nodes) + len(p.cache.pnodes),
+		RowsAllocated: p.cache.rowsAlloc,
+	}
+}
+
+// FlushCache drops every memoized result and bumps the planner epoch, as an
+// invalidation would. Cold-start benchmarks and tests use it; normal
+// invalidation is automatic via Config.Epoch/library/availability changes.
+func (p *Planner) FlushCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cache.init {
+		p.flushLocked()
+	}
+}
+
+func (p *Planner) flushLocked() {
+	p.cache.nodes = make(map[sig]*nodeResult)
+	p.cache.pnodes = make(map[sig]*pNodeResult)
+	p.cache.leaves = make(map[sig]*tagEntry)
+	p.cache.pleaves = make(map[sig]*pEntry)
+	p.cache.seeds = make(map[sig]map[string]*tagEntry)
+	p.cache.metaStrs = make(map[*metadata.Tree]string)
+	p.cache.epoch++
+}
+
+// metaStrLocked renders a metadata tree to its canonical string, memoized by
+// tree pointer (nil renders as the empty tree).
+func (p *Planner) metaStrLocked(t *metadata.Tree) string {
+	if t == nil {
+		return ""
+	}
+	if s, ok := p.cache.metaStrs[t]; ok {
+		return s
+	}
+	s := t.String()
+	p.cache.metaStrs[t] = s
+	return s
+}
+
+// availFingerprint probes EngineAvailable for every distinct library engine
+// (sorted), catching availability changes that no generation counter
+// records — e.g. a circuit breaker re-opening after its virtual-time
+// cooldown.
+func (p *Planner) availFingerprint() string {
+	if p.cfg.EngineAvailable == nil {
+		return ""
+	}
+	engines := p.cfg.Library.Engines()
+	b := make([]byte, len(engines))
+	for i, e := range engines {
+		if p.cfg.EngineAvailable(e) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// ensureCacheValidLocked is called (with p.mu held) at the start of every
+// build; it flushes the cache when any invalidation input moved or the
+// cache outgrew its bound. Flushes never happen mid-build.
+func (p *Planner) ensureCacheValidLocked() {
+	v := cacheValidity{libGen: p.cfg.Library.Gen(), avail: p.availFingerprint()}
+	if p.cfg.Epoch != nil {
+		v.epoch = p.cfg.Epoch()
+	}
+	if !p.cache.init {
+		p.cache.init = true
+		p.cache.validity = v
+		p.cache.epoch = 0
+		p.flushLocked()
+		p.cache.epoch = 0 // the initial allocation is not an invalidation
+		return
+	}
+	if v != p.cache.validity {
+		p.flushLocked()
+		p.cache.validity = v
+		return
+	}
+	if len(p.cache.nodes)+len(p.cache.pnodes)+len(p.cache.metaStrs) > maxCachedNodes {
+		p.flushLocked()
+	}
+}
+
+// recordBuildLocked folds one build's cache counters into the cumulative
+// stats and the metrics registry.
+func (p *Planner) recordBuildLocked(stats *dpStats) {
+	p.cache.hits += uint64(stats.cacheHits)
+	p.cache.misses += uint64(stats.cacheMisses)
+	if p.cfg.Metrics != nil {
+		p.cfg.Metrics.Inc(MetricCacheHits, nil, float64(stats.cacheHits))
+		p.cfg.Metrics.Inc(MetricCacheMisses, nil, float64(stats.cacheMisses))
+		p.cfg.Metrics.Set(MetricEpoch, nil, float64(p.cache.epoch))
+	}
+}
+
+// Metric names the planner reports through Config.Metrics. They are the
+// Prometheus spellings of the planner.cache.hit / planner.cache.miss /
+// planner.epoch counters.
+const (
+	MetricCacheHits   = "ires_planner_cache_hits_total"
+	MetricCacheMisses = "ires_planner_cache_misses_total"
+	MetricEpoch       = "ires_planner_epoch"
+)
+
+// leafEntryLocked returns the (memoized) zero-cost entry for a materialized
+// source dataset.
+func (p *Planner) leafEntryLocked(d *workflow.Node) *tagEntry {
+	meta := d.Dataset.Constraints()
+	metaKey := p.metaStrLocked(meta)
+	if meta == nil {
+		meta = metadata.New()
+	}
+	records, bytes := d.Dataset.Records(), d.Dataset.SizeBytes()
+	s := leafSig(d.Name, metaKey, records, bytes)
+	if e, ok := p.cache.leaves[s]; ok {
+		return e
+	}
+	e := &tagEntry{
+		meta:    meta.Clone(),
+		metaKey: metaKey,
+		records: records,
+		bytes:   bytes,
+		source:  d.Name,
+		sig:     s,
+	}
+	p.cache.rowsAlloc++
+	p.cache.leaves[s] = e
+	return e
+}
+
+// pLeafEntryLocked is leafEntryLocked for the multi-objective table.
+func (p *Planner) pLeafEntryLocked(d *workflow.Node) *pEntry {
+	meta := d.Dataset.Constraints()
+	metaKey := p.metaStrLocked(meta)
+	if meta == nil {
+		meta = metadata.New()
+	}
+	records, bytes := d.Dataset.Records(), d.Dataset.SizeBytes()
+	h := newHasher()
+	h.str("pleaf")
+	h.str(d.Name)
+	h.str(metaKey)
+	h.i64(records)
+	h.i64(bytes)
+	s := h.sum()
+	if e, ok := p.cache.pleaves[s]; ok {
+		return e
+	}
+	e := &pEntry{
+		meta:    meta.Clone(),
+		metaKey: metaKey,
+		records: records,
+		bytes:   bytes,
+		source:  d.Name,
+		sig:     s,
+	}
+	p.cache.rowsAlloc++
+	p.cache.pleaves[s] = e
+	return e
+}
+
+// seedForLocked validates the done-set against the graph and returns the
+// (memoized) seed entry map for it. The map is read-only downstream, so the
+// same map is shared by every replan with an identical done-set — replaying
+// with unchanged intermediates allocates no new table rows.
+func (p *Planner) seedForLocked(g *workflow.Graph, done []MaterializedIntermediate) (map[string]*tagEntry, error) {
+	for _, d := range done {
+		if _, ok := g.Node(d.Dataset); !ok {
+			return nil, fmt.Errorf("planner: replan: unknown dataset %q", d.Dataset)
+		}
+	}
+	sorted := append([]MaterializedIntermediate(nil), done...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Dataset < sorted[j].Dataset })
+	h := newHasher()
+	h.str("seed")
+	h.u64(uint64(len(sorted)))
+	for _, d := range sorted {
+		h.str(d.Dataset)
+		h.str(p.metaStrLocked(d.Meta))
+		h.i64(d.Records)
+		h.i64(d.Bytes)
+	}
+	s := h.sum()
+	if m, ok := p.cache.seeds[s]; ok {
+		return m, nil
+	}
+	m := make(map[string]*tagEntry, len(sorted))
+	for _, d := range sorted {
+		metaKey := p.metaStrLocked(d.Meta)
+		meta := d.Meta
+		if meta == nil {
+			meta = metadata.New()
+		}
+		e := &tagEntry{
+			meta:    meta.Clone(),
+			metaKey: metaKey,
+			records: d.Records,
+			bytes:   d.Bytes,
+			source:  d.Dataset,
+		}
+		e.sig = leafSig(d.Dataset, metaKey, d.Records, d.Bytes)
+		p.cache.rowsAlloc++
+		m[d.Dataset] = e
+	}
+	p.cache.seeds[s] = m
+	return m, nil
+}
+
+// defaultWorkers picks the candidate-evaluation pool width: enough to
+// overlap estimator calls, small enough not to oversubscribe test runs.
+func defaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runConcurrent invokes fn(0..n-1) over a bounded worker pool. Callers own
+// determinism: fn writes to index-addressed slots and the caller reduces in
+// index order.
+func (p *Planner) runConcurrent(n int, fn func(int)) {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,428 @@
+package planner
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/asap-project/ires/internal/metadata"
+	"github.com/asap-project/ires/internal/trace"
+)
+
+// textEstimator is the standard stub for the Figure 4 text-analytics
+// workflow: Hadoop scales sub-linearly, WEKA is fast on small inputs but
+// blows up on large ones.
+func textEstimator() stubEstimator {
+	return stubEstimator{
+		"TF_IDF_mahout": {time: func(r float64) float64 { return 100 + r/100 }, outFactor: 0.8},
+		"TF_IDF_weka":   {time: func(r float64) float64 { return 5 + r/10 }, outFactor: 0.8},
+		"kmeans_mahout": {time: func(r float64) float64 { return 120 + r/80 }, outFactor: 0.1},
+		"kmeans_weka":   {time: func(r float64) float64 { return 8 + r/8 }, outFactor: 0.1},
+	}
+}
+
+// traceJSONL renders a recorder's retained events as JSON lines, the
+// byte-comparison form used by the determinism tests.
+func traceJSONL(t *testing.T, rec *trace.Recorder) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := trace.WriteJSONL(&b, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestWarmPlanByteIdentical is the determinism guard: a warm (fully cached)
+// build must produce byte-identical Describe output AND byte-identical trace
+// events compared to the cold build that populated the cache. A fresh
+// planner with its own recorder serves as the cold reference so sequence
+// numbers line up.
+func TestWarmPlanByteIdentical(t *testing.T) {
+	for _, workers := range []int{-1, 0, 3} {
+		lib := textLib(t)
+		est := textEstimator()
+
+		coldRec := trace.NewRecorder(0)
+		cold := newPlanner(t, lib, est, func(c *Config) { c.Tracer = coldRec; c.Workers = workers })
+		warmRec := trace.NewRecorder(0)
+		warm := newPlanner(t, lib, est, func(c *Config) { c.Tracer = warmRec; c.Workers = workers })
+
+		g := textWorkflow(t, 1000)
+		coldPlan, err := cold.Plan(g)
+		if err != nil {
+			t.Fatalf("workers=%d: cold plan: %v", workers, err)
+		}
+		if _, err := warm.Plan(g); err != nil { // populate warm's cache
+			t.Fatalf("workers=%d: warm-up plan: %v", workers, err)
+		}
+		warmPlan, err := warm.Plan(textWorkflow(t, 1000)) // fresh graph, cached subtrees
+		if err != nil {
+			t.Fatalf("workers=%d: warm plan: %v", workers, err)
+		}
+
+		cs := warm.CacheStats()
+		if cs.Hits == 0 {
+			t.Fatalf("workers=%d: warm build had no cache hits: %+v", workers, cs)
+		}
+		if got, want := warmPlan.Describe(), coldPlan.Describe(); got != want {
+			t.Fatalf("workers=%d: warm Describe diverged:\ncold:\n%s\nwarm:\n%s", workers, want, got)
+		}
+		// The warm recorder saw two builds; its second build's events must
+		// equal the cold recorder's single build after renumbering.
+		coldEvents := coldRec.Events()
+		warmEvents := warmRec.Events()
+		if len(warmEvents) != 2*len(coldEvents) {
+			t.Fatalf("workers=%d: event counts: cold=%d warm=%d", workers, len(coldEvents), len(warmEvents))
+		}
+		second := warmEvents[len(coldEvents):]
+		for i := range second {
+			second[i].Seq = coldEvents[i].Seq
+		}
+		var wantBuf, gotBuf bytes.Buffer
+		if err := trace.WriteJSONL(&wantBuf, coldEvents); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteJSONL(&gotBuf, second); err != nil {
+			t.Fatal(err)
+		}
+		if wantBuf.String() != gotBuf.String() {
+			t.Fatalf("workers=%d: warm trace diverged:\ncold:\n%s\nwarm:\n%s",
+				workers, wantBuf.String(), gotBuf.String())
+		}
+	}
+}
+
+// TestWarmReplanByteIdentical extends the guard to replanning with a
+// done-set and a restricted engine set (the fault path exercised after
+// breaker trips in fixed-seed fault schedules).
+func TestWarmReplanByteIdentical(t *testing.T) {
+	lib := textLib(t)
+	est := textEstimator()
+	javaDown := func(name string) bool { return name != "Java" }
+	done := []MaterializedIntermediate{{
+		Dataset: "d1",
+		Meta: metadata.MustParse(`
+Engine.FS=HDFS
+type=SequenceFile
+`),
+		Records: 800,
+		Bytes:   800 * 4000,
+	}}
+
+	coldRec := trace.NewRecorder(0)
+	cold := newPlanner(t, lib, est, func(c *Config) { c.Tracer = coldRec; c.EngineAvailable = javaDown })
+	warmRec := trace.NewRecorder(0)
+	warm := newPlanner(t, lib, est, func(c *Config) { c.Tracer = warmRec; c.EngineAvailable = javaDown })
+
+	coldPlan, err := cold.Replan(textWorkflow(t, 1000), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Replan(textWorkflow(t, 1000), done); err != nil {
+		t.Fatal(err)
+	}
+	warmPlan, err := warm.Replan(textWorkflow(t, 1000), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheStats().Hits == 0 {
+		t.Fatal("warm replan had no cache hits")
+	}
+	if got, want := warmPlan.Describe(), coldPlan.Describe(); got != want {
+		t.Fatalf("warm replan Describe diverged:\ncold:\n%s\nwarm:\n%s", want, got)
+	}
+	coldEvents := coldRec.Events()
+	warmEvents := warmRec.Events()
+	second := warmEvents[len(coldEvents):]
+	for i := range second {
+		second[i].Seq = coldEvents[i].Seq
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := trace.WriteJSONL(&wantBuf, coldEvents); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(&gotBuf, second); err != nil {
+		t.Fatal(err)
+	}
+	if wantBuf.String() != gotBuf.String() {
+		t.Fatalf("warm replan trace diverged:\ncold:\n%s\nwarm:\n%s", wantBuf.String(), gotBuf.String())
+	}
+}
+
+// TestWarmParetoByteIdentical covers the multi-objective table: a warm
+// ParetoPlans call must return the same front, plan for plan, as the cold
+// call that filled the cache.
+func TestWarmParetoByteIdentical(t *testing.T) {
+	lib := textLib(t)
+	est := textEstimator()
+	p := newPlanner(t, lib, est)
+
+	coldPlans, err := p.ParetoPlans(textWorkflow(t, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmPlans, err := p.ParetoPlans(textWorkflow(t, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheStats().Hits == 0 {
+		t.Fatal("warm pareto build had no cache hits")
+	}
+	if len(warmPlans) != len(coldPlans) {
+		t.Fatalf("front size changed: cold=%d warm=%d", len(coldPlans), len(warmPlans))
+	}
+	for i := range coldPlans {
+		if got, want := warmPlans[i].Describe(), coldPlans[i].Describe(); got != want {
+			t.Fatalf("front[%d] diverged:\ncold:\n%s\nwarm:\n%s", i, want, got)
+		}
+	}
+}
+
+// TestReplanSeedReuse is the regression test for the hoisted seed map:
+// replanning twice with the same done-set must not allocate any new DP
+// table rows — the second build is served entirely from cache.
+func TestReplanSeedReuse(t *testing.T) {
+	p := newPlanner(t, textLib(t), textEstimator())
+	done := []MaterializedIntermediate{{
+		Dataset: "d1",
+		Meta: metadata.MustParse(`
+Engine.FS=HDFS
+type=SequenceFile
+`),
+		Records: 800,
+		Bytes:   800 * 4000,
+	}}
+	first, err := p.Replan(textWorkflow(t, 1000), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := p.CacheStats().RowsAllocated
+	second, err := p.Replan(textWorkflow(t, 1000), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := p.CacheStats()
+	if after.RowsAllocated != rows {
+		t.Fatalf("warm replan allocated %d new table rows", after.RowsAllocated-rows)
+	}
+	if after.Hits == 0 {
+		t.Fatal("warm replan had no cache hits")
+	}
+	if first.Describe() != second.Describe() {
+		t.Fatalf("replans diverged:\n%s\nvs\n%s", first.Describe(), second.Describe())
+	}
+}
+
+// TestCacheMetricsAgree asserts the satellite contract: the registry's
+// ires_planner_cache_* series must agree exactly with CacheStats (which
+// itself accumulates the per-build dpStats), and the counters must appear
+// in the Prometheus exposition. Cache counters must NOT leak into trace
+// events, which have to stay byte-identical warm vs cold.
+func TestCacheMetricsAgree(t *testing.T) {
+	reg := trace.NewRegistry()
+	rec := trace.NewRecorder(0)
+	p := newPlanner(t, textLib(t), textEstimator(), func(c *Config) {
+		c.Metrics = reg
+		c.Tracer = rec
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := p.Plan(textWorkflow(t, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := p.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("expected both hits and misses after 3 builds: %+v", cs)
+	}
+	if got := reg.Value(MetricCacheHits, nil); got != float64(cs.Hits) {
+		t.Fatalf("%s=%v, CacheStats.Hits=%d", MetricCacheHits, got, cs.Hits)
+	}
+	if got := reg.Value(MetricCacheMisses, nil); got != float64(cs.Misses) {
+		t.Fatalf("%s=%v, CacheStats.Misses=%d", MetricCacheMisses, got, cs.Misses)
+	}
+	if got := reg.Value(MetricEpoch, nil); got != float64(cs.Epoch) {
+		t.Fatalf("%s=%v, CacheStats.Epoch=%d", MetricEpoch, got, cs.Epoch)
+	}
+	var prom bytes.Buffer
+	reg.WritePrometheus(&prom)
+	for _, name := range []string{MetricCacheHits, MetricCacheMisses, MetricEpoch} {
+		if !bytes.Contains(prom.Bytes(), []byte(name)) {
+			t.Fatalf("Prometheus exposition missing %s:\n%s", name, prom.String())
+		}
+	}
+	// No cache counter may appear in trace-event fields.
+	for _, ev := range rec.Events() {
+		for _, k := range []string{"cacheHits", "cacheMisses"} {
+			if _, ok := ev.Fields[k]; ok {
+				t.Fatalf("trace event %s carries cache counter %q", ev.Type, k)
+			}
+		}
+	}
+}
+
+// TestEpochInvalidation covers every external invalidation channel: the
+// Epoch hook, a library mutation, and an availability flip each must flush
+// the cache (epoch bump, next build all-miss) and yield correct fresh plans.
+func TestEpochInvalidation(t *testing.T) {
+	t.Run("epoch hook", func(t *testing.T) {
+		var epoch uint64
+		p := newPlanner(t, textLib(t), textEstimator(), func(c *Config) {
+			c.Epoch = func() uint64 { return epoch }
+		})
+		if _, err := p.Plan(textWorkflow(t, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		before := p.CacheStats()
+		epoch++
+		if _, err := p.Plan(textWorkflow(t, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		after := p.CacheStats()
+		if after.Epoch != before.Epoch+1 {
+			t.Fatalf("epoch hook bump did not flush: before=%+v after=%+v", before, after)
+		}
+		if after.Hits != before.Hits {
+			t.Fatalf("post-flush build hit the cache: before=%+v after=%+v", before, after)
+		}
+	})
+
+	t.Run("library mutation", func(t *testing.T) {
+		lib := textLib(t)
+		p := newPlanner(t, lib, textEstimator())
+		if _, err := p.Plan(textWorkflow(t, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		before := p.CacheStats()
+		if _, err := lib.AddOperatorDescription("kmeans_spark", `
+Constraints.Engine=Spark
+Constraints.OpSpecification.Algorithm.name=kmeans
+Constraints.Input.number=1
+Constraints.Output.number=1
+Constraints.Input0.Engine.FS=HDFS
+Constraints.Input0.type=SequenceFile
+Constraints.Output0.Engine.FS=HDFS
+Constraints.Output0.type=SequenceFile
+`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Plan(textWorkflow(t, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		after := p.CacheStats()
+		if after.Epoch != before.Epoch+1 {
+			t.Fatalf("library mutation did not flush: before=%+v after=%+v", before, after)
+		}
+	})
+
+	t.Run("availability flip", func(t *testing.T) {
+		javaUp := true
+		var mu sync.Mutex
+		avail := func(name string) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return javaUp || name != "Java"
+		}
+		est := textEstimator()
+		p := newPlanner(t, textLib(t), est, func(c *Config) { c.EngineAvailable = avail })
+		small, err := p.Plan(textWorkflow(t, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := small.Engines(); len(got) != 1 || got[0] != "Java" {
+			t.Fatalf("baseline small-input plan should be all-WEKA, got %v", got)
+		}
+		before := p.CacheStats()
+		mu.Lock()
+		javaUp = false
+		mu.Unlock()
+		flipped, err := p.Plan(textWorkflow(t, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := p.CacheStats()
+		if after.Epoch != before.Epoch+1 {
+			t.Fatalf("availability flip did not flush: before=%+v after=%+v", before, after)
+		}
+		for _, e := range flipped.Engines() {
+			if e == "Java" {
+				t.Fatalf("plan still uses unavailable Java engine:\n%s", flipped.Describe())
+			}
+		}
+	})
+}
+
+// TestFlushCache checks the explicit flush used by cold-start benchmarks.
+func TestFlushCache(t *testing.T) {
+	p := newPlanner(t, textLib(t), textEstimator())
+	if _, err := p.Plan(textWorkflow(t, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheStats().NodeEntries == 0 {
+		t.Fatal("cold build cached nothing")
+	}
+	p.FlushCache()
+	cs := p.CacheStats()
+	if cs.NodeEntries != 0 {
+		t.Fatalf("flush left %d node entries", cs.NodeEntries)
+	}
+	if cs.Epoch == 0 {
+		t.Fatal("flush did not bump the epoch")
+	}
+	if _, err := p.Plan(textWorkflow(t, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CacheStats().Hits; got != 0 {
+		t.Fatalf("post-flush build reported %d hits", got)
+	}
+}
+
+// TestConcurrentPlansRace hammers one planner from several goroutines (a mix
+// of Plan/Replan/ParetoPlans) so `go test -race` can catch cache races.
+func TestConcurrentPlansRace(t *testing.T) {
+	p := newPlanner(t, textLib(t), textEstimator(), func(c *Config) { c.Workers = 3 })
+	done := []MaterializedIntermediate{{
+		Dataset: "d1",
+		Meta: metadata.MustParse(`
+Engine.FS=HDFS
+type=SequenceFile
+`),
+		Records: 800,
+		Bytes:   800 * 4000,
+	}}
+	want, err := p.Plan(textWorkflow(t, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				switch (i + j) % 3 {
+				case 0:
+					pl, err := p.Plan(textWorkflow(t, 1000))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if pl.Describe() != want.Describe() {
+						t.Errorf("concurrent plan diverged:\n%s", pl.Describe())
+						return
+					}
+				case 1:
+					if _, err := p.Replan(textWorkflow(t, 1000), done); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := p.ParetoPlans(textWorkflow(t, 1000)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -36,7 +36,9 @@ func (a pVec) dominates(b pVec) bool {
 
 // pEntry is one non-dominated dpTable record.
 type pEntry struct {
-	meta    *metadata.Tree
+	meta *metadata.Tree
+	// metaKey caches meta.String(); see tagEntry.metaKey.
+	metaKey string
 	records int64
 	bytes   int64
 	v       pVec
@@ -44,6 +46,8 @@ type pEntry struct {
 	source   string
 	cand     *pCandidate
 	outIndex int
+	// sig is the structural digest of the producing subplan (memo.go).
+	sig sig
 }
 
 // pChoice is one resolved input of a candidate.
@@ -77,14 +81,18 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureCacheValidLocked()
 	p.emit(trace.Event{Type: trace.EvPlanStart, Fields: map[string]float64{
 		"nodes": float64(g.Len()), "pareto": 1,
 	}})
 
+	stats := &dpStats{}
 	prunedFronts := 0 // dominated/thinned entries dropped from tag fronts
 	dp := make(map[*workflow.Node]map[string][]*pEntry)
 	insert := func(n *workflow.Node, e *pEntry) {
-		key := e.meta.String()
+		key := e.metaKey
 		m := dp[n]
 		if m == nil {
 			m = make(map[string][]*pEntry)
@@ -97,16 +105,7 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 
 	for _, d := range g.Datasets() {
 		if d.Dataset.IsMaterialized() {
-			meta := d.Dataset.Constraints()
-			if meta == nil {
-				meta = metadata.New()
-			}
-			insert(d, &pEntry{
-				meta:    meta.Clone(),
-				records: d.Dataset.Records(),
-				bytes:   d.Dataset.SizeBytes(),
-				source:  d.Name,
-			})
+			insert(d, p.pLeafEntryLocked(d))
 		}
 	}
 
@@ -115,30 +114,22 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 		return nil, err
 	}
 	for _, o := range ops {
-		for _, mo := range p.cfg.Library.FindMaterialized(o.Operator) {
-			if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
-				continue
-			}
-			for _, cand := range p.paretoCandidates(o, mo, dp) {
-				total := cand.pathVec()
-				for idx, out := range o.Outputs {
-					outMeta := mo.OutputSpec(idx)
-					if outMeta == nil {
-						outMeta = metadata.New()
-						outMeta.Set("Engine", mo.Engine())
-					}
-					insert(out, &pEntry{
-						meta:     outMeta.Clone(),
-						records:  cand.outRecords,
-						bytes:    cand.outBytes,
-						v:        total,
-						cand:     cand,
-						outIndex: idx,
-					})
-				}
-			}
+		key := p.pNodeKey(o, dp)
+		res, ok := p.cache.pnodes[key]
+		if ok {
+			stats.cacheHits++
+		} else {
+			stats.cacheMisses++
+			res = p.evalParetoNode(o, dp)
+			p.cache.pnodes[key] = res
+		}
+		// Replay through the normal front merge so prunedFronts counts
+		// exactly as a cold build would.
+		for _, rec := range res.inserts {
+			insert(o.Outputs[rec.out], rec.e)
 		}
 	}
+	p.recordBuildLocked(stats)
 
 	targetNode, _ := g.Node(g.Target)
 	var front []*pEntry
@@ -168,6 +159,48 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 		"prunedFronts": float64(prunedFronts),
 	}})
 	return plans, nil
+}
+
+// evalParetoNode enumerates every available materialization of one operator
+// node cold, fanning the per-materialization candidate enumeration over the
+// worker pool and reducing in library (name) order for determinism.
+func (p *Planner) evalParetoNode(o *workflow.Node, dp map[*workflow.Node]map[string][]*pEntry) *pNodeResult {
+	res := &pNodeResult{}
+	var mos []*matOp
+	for _, mo := range p.cfg.Library.FindMaterialized(o.Operator) {
+		if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
+			continue
+		}
+		mos = append(mos, mo)
+	}
+	lists := make([][]*pCandidate, len(mos))
+	p.runConcurrent(len(mos), func(i int) { lists[i] = p.paretoCandidates(o, mos[i], dp) })
+	for i, mo := range mos {
+		for _, cand := range lists[i] {
+			total := cand.pathVec()
+			for idx := range o.Outputs {
+				outMeta := mo.OutputSpec(idx)
+				if outMeta == nil {
+					outMeta = metadata.New()
+					outMeta.Set("Engine", mo.Engine())
+				}
+				meta := outMeta.Clone()
+				e := &pEntry{
+					meta:     meta,
+					metaKey:  meta.String(),
+					records:  cand.outRecords,
+					bytes:    cand.outBytes,
+					v:        total,
+					cand:     cand,
+					outIndex: idx,
+				}
+				e.sig = pDerivedSig(cand, idx, e.metaKey)
+				p.cache.rowsAlloc++
+				res.inserts = append(res.inserts, pInsertRec{out: idx, e: e})
+			}
+		}
+	}
+	return res
 }
 
 // paretoCandidates enumerates the non-dominated input combinations for one

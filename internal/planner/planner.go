@@ -27,6 +27,7 @@ package planner
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/asap-project/ires/internal/metadata"
@@ -99,11 +100,29 @@ type Config struct {
 	// Now supplies the virtual time stamped on trace events; nil stamps 0
 	// (the planner itself never consumes time on the virtual clock).
 	Now func() time.Duration
+	// Epoch supplies an external invalidation counter folded into the plan
+	// cache's validity check (the platform sums its breaker, availability
+	// and profiler generations); nil reads as 0. See memo.go.
+	Epoch func() uint64
+	// Metrics receives the planner cache hit/miss counters and epoch gauge
+	// (MetricCacheHits/MetricCacheMisses/MetricEpoch); nil discards them.
+	// Cache counters are deliberately not trace-event fields: warm and cold
+	// builds must emit byte-identical traces.
+	Metrics *trace.Registry
+	// Workers bounds the concurrent evaluation of one node's materialized
+	// candidates; 0 picks a small default, negative forces sequential.
+	Workers int
 }
 
 // Planner computes optimal materialized plans for abstract workflows.
+// Table builds are serialized on mu, which also guards the memo cache; the
+// candidate evaluations inside one build fan out over a worker pool.
 type Planner struct {
-	cfg Config
+	cfg     Config
+	workers int
+
+	mu    sync.Mutex
+	cache planCache
 }
 
 // New builds a planner, filling Config defaults.
@@ -139,7 +158,14 @@ func New(cfg Config) (*Planner, error) {
 	if cfg.Now == nil {
 		cfg.Now = func() time.Duration { return 0 }
 	}
-	return &Planner{cfg: cfg}, nil
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = defaultWorkers()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Planner{cfg: cfg, workers: workers}, nil
 }
 
 // emit stamps the current virtual time on ev and hands it to the tracer.
@@ -148,11 +174,15 @@ func (p *Planner) emit(ev trace.Event) {
 }
 
 // dpStats aggregates what one buildTable pass did, for plan.finish events.
+// cacheHits/cacheMisses feed the metrics registry and CacheStats only —
+// never trace-event fields, which must stay byte-identical warm vs cold.
 type dpStats struct {
 	candidatesTried int // (operator, materialization) pairs attempted
 	candidatesKept  int // feasible candidates inserted into the table
 	movesConsidered int // input slots bridged with a move/transform
 	entriesKept     int // tagEntry inserts that created or improved a slot
+	cacheHits       int // operator nodes served from the memo cache
+	cacheMisses     int // operator nodes evaluated cold
 }
 
 func (s *dpStats) fields(pl *Plan) map[string]float64 {
@@ -173,7 +203,11 @@ func (s *dpStats) fields(pl *Plan) map[string]float64 {
 // tagEntry is one dpTable record: the cheapest known way to produce a
 // dataset in a specific tag (location/format).
 type tagEntry struct {
-	meta    *metadata.Tree // dataset constraints tree (Engine/FS/type ...)
+	meta *metadata.Tree // dataset constraints tree (Engine/FS/type ...)
+	// metaKey caches meta.String(): entries are immutable once built, and
+	// cached entries replay through insert on every warm build, so the tag
+	// key must not be re-rendered per build.
+	metaKey string
 	records int64
 	bytes   int64
 
@@ -187,6 +221,8 @@ type tagEntry struct {
 	cand *candidate
 	// outIndex selects which output of the candidate this entry is.
 	outIndex int
+	// sig is the structural digest of the producing subplan (memo.go).
+	sig sig
 }
 
 // inputChoice records how one input slot of a candidate is satisfied.
@@ -287,11 +323,15 @@ func (p *Planner) Plan(g *workflow.Graph) (*Plan, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureCacheValidLocked()
 	p.emit(trace.Event{Type: trace.EvPlanStart, Fields: map[string]float64{"nodes": float64(g.Len())}})
 	dp, stats, err := p.buildTable(g, nil)
 	if err != nil {
 		return nil, err
 	}
+	p.recordBuildLocked(stats)
 	plan, err := p.extract(g, dp, started)
 	if err != nil {
 		return nil, err
@@ -301,12 +341,13 @@ func (p *Planner) Plan(g *workflow.Graph) (*Plan, error) {
 }
 
 // buildTable fills the dpTable. seed pre-populates dataset entries (used by
-// replanning to inject already-materialized intermediates).
+// replanning to inject already-materialized intermediates). Must be called
+// with p.mu held: it reads and populates the memo cache.
 func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[*workflow.Node]map[string]*tagEntry, *dpStats, error) {
 	stats := &dpStats{}
 	dp := make(map[*workflow.Node]map[string]*tagEntry)
 	insert := func(n *workflow.Node, e *tagEntry) {
-		key := e.meta.String()
+		key := e.metaKey
 		m := dp[n]
 		if m == nil {
 			m = make(map[string]*tagEntry)
@@ -325,16 +366,7 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 			continue
 		}
 		if d.Dataset.IsMaterialized() {
-			meta := d.Dataset.Constraints()
-			if meta == nil {
-				meta = metadata.New()
-			}
-			insert(d, &tagEntry{
-				meta:    meta.Clone(),
-				records: d.Dataset.Records(),
-				bytes:   d.Dataset.SizeBytes(),
-				source:  d.Name,
-			})
+			insert(d, p.leafEntryLocked(d))
 		}
 	}
 
@@ -343,43 +375,79 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 		return nil, nil, err
 	}
 	for _, o := range ops {
-		mos := p.cfg.Library.FindMaterialized(o.Operator)
-		for _, mo := range mos {
-			if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
-				continue
-			}
-			stats.candidatesTried++
-			cand := p.tryCandidate(o, mo, dp)
-			if cand == nil {
-				continue
-			}
-			stats.candidatesKept++
-			for _, in := range cand.inputs {
-				if in.moved {
-					stats.movesConsidered++
-				}
-			}
-			total := cand.pathCost(p.cfg.Objective)
-			for idx, out := range o.Outputs {
-				outMeta := mo.OutputSpec(idx)
-				if outMeta == nil {
-					outMeta = metadata.New()
-					outMeta.Set("Engine", mo.Engine())
-				}
-				insert(out, &tagEntry{
-					meta:     outMeta.Clone(),
-					records:  cand.outRecords,
-					bytes:    cand.outBytes,
-					cost:     total.cost,
-					time:     total.time,
-					money:    total.money,
-					cand:     cand,
-					outIndex: idx,
-				})
-			}
+		key := p.nodeKey(o, dp)
+		res, ok := p.cache.nodes[key]
+		if ok {
+			stats.cacheHits++
+		} else {
+			stats.cacheMisses++
+			res = p.evalNode(o, dp)
+			p.cache.nodes[key] = res
+		}
+		// Replaying the recorded inserts through the normal min-merge
+		// reproduces the cold table exactly, entriesKept included (the key
+		// covers the outputs' pre-insert state).
+		stats.candidatesTried += res.tried
+		stats.candidatesKept += res.kept
+		stats.movesConsidered += res.moves
+		for _, rec := range res.inserts {
+			insert(o.Outputs[rec.out], rec.e)
 		}
 	}
 	return dp, stats, nil
+}
+
+// evalNode evaluates every available materialization of one operator node
+// cold, fanning the candidate evaluations over the worker pool and reducing
+// strictly in library (name) order so the recorded insert sequence — and
+// therefore every downstream plan and trace byte — is deterministic.
+func (p *Planner) evalNode(o *workflow.Node, dp map[*workflow.Node]map[string]*tagEntry) *nodeResult {
+	res := &nodeResult{}
+	var mos []*operator.Materialized
+	for _, mo := range p.cfg.Library.FindMaterialized(o.Operator) {
+		if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
+			continue
+		}
+		mos = append(mos, mo)
+	}
+	res.tried = len(mos)
+	cands := make([]*candidate, len(mos))
+	p.runConcurrent(len(mos), func(i int) { cands[i] = p.tryCandidate(o, mos[i], dp) })
+	for _, cand := range cands {
+		if cand == nil {
+			continue
+		}
+		res.kept++
+		for _, in := range cand.inputs {
+			if in.moved {
+				res.moves++
+			}
+		}
+		total := cand.pathCost(p.cfg.Objective)
+		for idx := range o.Outputs {
+			outMeta := cand.mo.OutputSpec(idx)
+			if outMeta == nil {
+				outMeta = metadata.New()
+				outMeta.Set("Engine", cand.mo.Engine())
+			}
+			meta := outMeta.Clone()
+			e := &tagEntry{
+				meta:     meta,
+				metaKey:  meta.String(),
+				records:  cand.outRecords,
+				bytes:    cand.outBytes,
+				cost:     total.cost,
+				time:     total.time,
+				money:    total.money,
+				cand:     cand,
+				outIndex: idx,
+			}
+			e.sig = derivedEntrySig(cand, idx, e.metaKey, total)
+			p.cache.rowsAlloc++
+			res.inserts = append(res.inserts, insertRec{out: idx, e: e})
+		}
+	}
+	return res
 }
 
 type pathTotals struct{ cost, time, money float64 }

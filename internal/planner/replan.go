@@ -31,29 +31,23 @@ func (p *Planner) Replan(g *workflow.Graph, done []MaterializedIntermediate) (*P
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureCacheValidLocked()
 	p.emit(trace.Event{Type: trace.EvPlanStart, Fields: map[string]float64{
 		"nodes": float64(g.Len()), "replan": 1, "seeded": float64(len(done)),
 	}})
-	seed := make(map[string]*tagEntry, len(done))
-	for _, d := range done {
-		if _, ok := g.Node(d.Dataset); !ok {
-			return nil, fmt.Errorf("planner: replan: unknown dataset %q", d.Dataset)
-		}
-		meta := d.Meta
-		if meta == nil {
-			meta = metadata.New()
-		}
-		seed[d.Dataset] = &tagEntry{
-			meta:    meta.Clone(),
-			records: d.Records,
-			bytes:   d.Bytes,
-			source:  d.Dataset,
-		}
+	// The seed entry map is memoized per done-set (memo.go): replanning with
+	// the same surviving intermediates reuses the previous rows outright.
+	seed, err := p.seedForLocked(g, done)
+	if err != nil {
+		return nil, err
 	}
 	dp, stats, err := p.buildTable(g, seed)
 	if err != nil {
 		return nil, err
 	}
+	p.recordBuildLocked(stats)
 	plan, err := p.extract(g, dp, started)
 	if err != nil {
 		return nil, err
@@ -64,11 +58,13 @@ func (p *Planner) Replan(g *workflow.Graph, done []MaterializedIntermediate) (*P
 	return plan, nil
 }
 
-// Describe renders a human-readable summary of the plan.
+// Describe renders a human-readable summary of the plan. The output is a
+// pure function of the plan's steps and estimates — it deliberately omits
+// wall-clock PlanningTime so identical plans describe identically.
 func (pl *Plan) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan for target %s: est time %.1fs, est cost %.1f (objective %.2f), planned in %v\n",
-		pl.Target, pl.EstTimeSec, pl.EstCost, pl.EstObjective, pl.PlanningTime)
+	fmt.Fprintf(&b, "plan for target %s: est time %.1fs, est cost %.1f (objective %.2f)\n",
+		pl.Target, pl.EstTimeSec, pl.EstCost, pl.EstObjective)
 	for _, s := range pl.Steps {
 		fmt.Fprintf(&b, "  %s", s)
 		if len(s.DependsOn) > 0 {

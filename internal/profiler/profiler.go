@@ -6,9 +6,12 @@
 package profiler
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/asap-project/ires/internal/engine"
 	"github.com/asap-project/ires/internal/metrics"
@@ -113,6 +116,37 @@ type OperatorModels struct {
 	// retrained.
 	reselectEvery int
 	sinceReselect int
+
+	// predCache memoizes Estimate results per (target, projected feature
+	// vector): the planner's DP asks for the same configurations many times
+	// per table build. Any mutation of the models, the training buffer or
+	// the feasibility wall clears it, so cached values are always what a
+	// fresh prediction would return.
+	predCache            map[string]predResult
+	predHits, predMisses uint64
+}
+
+// predResult is one memoized prediction (value plus the ok flag, so
+// infeasible configurations are cached too).
+type predResult struct {
+	v  float64
+	ok bool
+}
+
+// maxPredCache bounds the per-operator prediction cache; overflow clears it.
+const maxPredCache = 4096
+
+// invalidatePredLocked drops every memoized prediction. Callers hold om.mu.
+func (om *OperatorModels) invalidatePredLocked() {
+	om.predCache = nil
+}
+
+// PredictionCacheStats reports the cumulative Estimate cache hit/miss
+// counts of this operator's models.
+func (om *OperatorModels) PredictionCacheStats() (hits, misses uint64) {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	return om.predHits, om.predMisses
 }
 
 // Profiler owns the model store: one OperatorModels per materialized
@@ -121,6 +155,10 @@ type Profiler struct {
 	mu    sync.RWMutex
 	env   *engine.Environment
 	store map[string]*OperatorModels
+	// gen counts model-state mutations (profiling, observation, import);
+	// the planner folds it into its cache validity so refits invalidate
+	// memoized plans. Accessed atomically.
+	gen uint64
 
 	// Factories is the model zoo used for selection; defaults to
 	// model.DefaultFactories.
@@ -141,6 +179,38 @@ func New(env *engine.Environment, seed int64) *Profiler {
 		CVFolds:       5,
 		ReselectEvery: 10,
 		Seed:          seed,
+	}
+}
+
+// Gen returns the profiler's model-mutation generation counter.
+func (p *Profiler) Gen() uint64 { return atomic.LoadUint64(&p.gen) }
+
+func (p *Profiler) bumpGen() { atomic.AddUint64(&p.gen, 1) }
+
+// PredictionCacheStats sums the Estimate cache counters across every
+// profiled operator.
+func (p *Profiler) PredictionCacheStats() (hits, misses uint64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, om := range p.store {
+		h, m := om.PredictionCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// ResetPredictionCaches drops every operator's memoized Estimate results
+// (the hit/miss counters keep accumulating). Predictions are unchanged —
+// the generation counter does not move — so this exists for cold-start
+// benchmarking, not invalidation, which is automatic on model updates.
+func (p *Profiler) ResetPredictionCaches() {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, om := range p.store {
+		om.mu.Lock()
+		om.predCache = nil
+		om.mu.Unlock()
 	}
 }
 
@@ -211,6 +281,7 @@ func (p *Profiler) ProfileOffline(opName, engineName, algorithm string, space Sp
 	}
 	sort.Strings(paramNames)
 	om := p.ensure(opName, algorithm, engineName, paramNames)
+	defer p.bumpGen()
 
 	succeeded := 0
 	for _, pt := range space.combinations() {
@@ -243,6 +314,7 @@ func (p *Profiler) Observe(opName string, run *metrics.Run) error {
 		// Reduce features to base + run params happens inside ensure; fall
 		// through to observation.
 	}
+	defer p.bumpGen()
 	if run.Failed {
 		om.observeFailure(run)
 		return nil
@@ -310,6 +382,7 @@ func (om *OperatorModels) extendFeaturesLocked(run *metrics.Run) {
 func (om *OperatorModels) appendRun(run *metrics.Run) {
 	om.mu.Lock()
 	defer om.mu.Unlock()
+	om.invalidatePredLocked()
 	om.extendFeaturesLocked(run)
 	x := make([]float64, len(om.Features))
 	for i, f := range om.Features {
@@ -332,6 +405,7 @@ func (om *OperatorModels) observeFailure(run *metrics.Run) {
 	rec := run.Params["records"]
 	if rec > 0 && (om.minFailRecords == 0 || rec < om.minFailRecords) {
 		om.minFailRecords = rec
+		om.invalidatePredLocked() // the feasibility wall moved
 	}
 }
 
@@ -341,6 +415,7 @@ func (om *OperatorModels) observeFailure(run *metrics.Run) {
 func (om *OperatorModels) retrain(reselect bool) error {
 	om.mu.Lock()
 	defer om.mu.Unlock()
+	om.invalidatePredLocked()
 	for target, y := range om.targets {
 		if len(y) == 0 {
 			continue
@@ -382,6 +457,7 @@ func (om *OperatorModels) retrain(reselect bool) error {
 func (om *OperatorModels) retrainRestoring(chosen map[string]string) error {
 	om.mu.Lock()
 	defer om.mu.Unlock()
+	om.invalidatePredLocked()
 	for target, y := range om.targets {
 		if len(y) == 0 {
 			continue
@@ -417,7 +493,9 @@ func (om *OperatorModels) retrainRestoring(chosen map[string]string) error {
 	return nil
 }
 
-// Estimate predicts one target for a feature map.
+// Estimate predicts one target for a feature map. Results (including
+// infeasible verdicts) are memoized per projected feature vector until the
+// next model mutation.
 func (om *OperatorModels) Estimate(target string, feats map[string]float64) (float64, bool) {
 	om.mu.Lock()
 	defer om.mu.Unlock()
@@ -425,18 +503,44 @@ func (om *OperatorModels) Estimate(target string, feats map[string]float64) (flo
 	if !ok {
 		return 0, false
 	}
-	if !om.feasibleLocked(feats["records"]) {
-		return 0, false
+	key := om.predKeyLocked(target, feats)
+	if r, ok := om.predCache[key]; ok {
+		om.predHits++
+		return r.v, r.ok
 	}
-	x := make([]float64, len(om.Features))
-	for i, f := range om.Features {
-		x[i] = feats[f]
+	om.predMisses++
+	r := predResult{}
+	if om.feasibleLocked(feats["records"]) {
+		x := make([]float64, len(om.Features))
+		for i, f := range om.Features {
+			x[i] = feats[f]
+		}
+		v := m.Predict(x)
+		if v < 0 {
+			v = 0
+		}
+		r = predResult{v: v, ok: true}
 	}
-	v := m.Predict(x)
-	if v < 0 {
-		v = 0
+	if om.predCache == nil || len(om.predCache) >= maxPredCache {
+		om.predCache = make(map[string]predResult)
 	}
-	return v, true
+	om.predCache[key] = r
+	return r.v, r.ok
+}
+
+// predKeyLocked builds the cache key: the target plus the feature map
+// projected onto this operator's feature set (extra keys in feats are
+// ignored by prediction and therefore by the key too).
+func (om *OperatorModels) predKeyLocked(target string, feats map[string]float64) string {
+	key := make([]byte, 0, len(target)+1+8*len(om.Features))
+	key = append(key, target...)
+	key = append(key, 0)
+	var buf [8]byte
+	for _, f := range om.Features {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(feats[f]))
+		key = append(key, buf[:]...)
+	}
+	return string(key)
 }
 
 func (om *OperatorModels) feasibleLocked(records float64) bool {

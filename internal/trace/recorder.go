@@ -12,13 +12,17 @@ const DefaultMaxEvents = 1 << 16
 
 // Recorder is a Tracer that appends events to a bounded in-memory log and
 // aggregates them into a Registry. It is safe for concurrent use.
+//
+// The log retains the latest max events. Internally the buffer is allowed to
+// grow to twice that before it is compacted in one bulk copy, so a long-lived
+// recorder pays amortized O(1) per Emit instead of an O(max) copy per event
+// once the window is full; readers always see exactly the retained window.
 type Recorder struct {
-	mu      sync.Mutex
-	seq     int64
-	events  []Event
-	dropped int64
-	max     int
-	reg     *Registry
+	mu     sync.Mutex
+	seq    int64
+	events []Event
+	max    int
+	reg    *Registry
 }
 
 // NewRecorder builds a recorder holding at most max events (DefaultMaxEvents
@@ -40,6 +44,9 @@ func NewRecorder(max int) *Recorder {
 	reg.Help("ires_containers_live", "currently allocated containers")
 	reg.Help("ires_node_crashes_total", "cluster node crashes")
 	reg.Help("ires_plans_total", "planner invocations, by kind")
+	reg.Help("ires_planner_cache_hits_total", "planner DP memo hits (operator nodes served from cache)")
+	reg.Help("ires_planner_cache_misses_total", "planner DP memo misses (operator nodes evaluated cold)")
+	reg.Help("ires_planner_epoch", "planner cache epoch (invalidation flushes from breaker/library/profiler/availability changes)")
 	reg.Help("ires_vtime_seconds", "current virtual time of the simulation")
 	reg.Help("ires_runs_submitted_total", "workflow runs submitted to the scheduler")
 	reg.Help("ires_runs_admitted_total", "workflow runs admitted (granted a node lease)")
@@ -54,13 +61,20 @@ func (r *Recorder) Emit(ev Event) {
 	r.seq++
 	ev.Seq = r.seq
 	r.events = append(r.events, ev)
-	if len(r.events) > r.max {
-		over := len(r.events) - r.max
-		r.events = append(r.events[:0:0], r.events[over:]...)
-		r.dropped += int64(over)
+	if len(r.events) > 2*r.max {
+		r.events = append(r.events[:0:0], r.events[len(r.events)-r.max:]...)
 	}
 	r.mu.Unlock()
 	r.aggregate(ev)
+}
+
+// retainedLocked returns the current retention window (the latest max
+// events) without copying; the caller holds r.mu.
+func (r *Recorder) retainedLocked() []Event {
+	if len(r.events) > r.max {
+		return r.events[len(r.events)-r.max:]
+	}
+	return r.events
 }
 
 // aggregate maintains the counter/gauge registry from the event stream.
@@ -153,7 +167,7 @@ func (r *Recorder) Seq() int64 {
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	return append([]Event(nil), r.retainedLocked()...)
 }
 
 // Since returns the retained events with Seq > seq — the capture primitive
@@ -161,10 +175,11 @@ func (r *Recorder) Events() []Event {
 func (r *Recorder) Since(seq int64) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	retained := r.retainedLocked()
 	// Events are seq-ordered; binary search would be overkill at this size.
-	for i, ev := range r.events {
+	for i, ev := range retained {
 		if ev.Seq > seq {
-			return append([]Event(nil), r.events[i:]...)
+			return append([]Event(nil), retained[i:]...)
 		}
 	}
 	return nil
@@ -177,7 +192,7 @@ func (r *Recorder) ForRun(runID string) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Event
-	for _, ev := range r.events {
+	for _, ev := range r.retainedLocked() {
 		if ev.RunID == runID {
 			ev.Seq = int64(len(out) + 1)
 			out = append(out, ev)
@@ -190,7 +205,10 @@ func (r *Recorder) ForRun(runID string) []Event {
 func (r *Recorder) Dropped() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.dropped
+	if d := r.seq - int64(r.max); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // WriteJSONL writes events as JSON lines (one event per line).

@@ -273,6 +273,8 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Resources:       p.chooseResources,
 		Tracer:          p.tracer,
 		Now:             p.Clock.Now,
+		Epoch:           p.plannerEpoch,
+		Metrics:         p.recorder.Registry(),
 	})
 	if err != nil {
 		return nil, err
@@ -386,6 +388,32 @@ func (p *Platform) provisionPolicy() provision.Policy {
 // when its service is ON and the circuit breaker has not blacklisted it.
 func (p *Platform) engineUsable(name string) bool {
 	return p.Env.Available(name) && p.breaker.Allows(name)
+}
+
+// plannerEpoch is the planner's cache-invalidation hook: the sum of every
+// generation counter whose movement can change planning decisions —
+// environment mutations (availability, infrastructure, registrations),
+// circuit-breaker transitions, and profiler refits. Each summand is
+// monotonic, so the sum is too.
+func (p *Platform) plannerEpoch() uint64 {
+	return p.Env.Gen() + p.breaker.Gen() + p.Profiler.Gen()
+}
+
+// PlannerCacheStats exposes the planner's memoization counters (see
+// planner.CacheStats).
+func (p *Platform) PlannerCacheStats() planner.CacheStats {
+	return p.planner.CacheStats()
+}
+
+// ResetPlannerCache drops every memoization layer the planner leans on —
+// the DP memo, the profiler's prediction cache and the library's match
+// index — forcing the next Plan/Replan/ParetoPlans to run fully cold.
+// Benchmarks use it to measure cold-start planning; normal invalidation is
+// automatic.
+func (p *Platform) ResetPlannerCache() {
+	p.planner.FlushCache()
+	p.Profiler.ResetPredictionCaches()
+	p.Library.ResetMatchIndex()
 }
 
 // speculate picks the next-best backup for a straggling step: any
