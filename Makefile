@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt shuffle ci bench bench-smoke bench-planner
+.PHONY: all build test race vet fmt shuffle ci bench bench-smoke bench-planner bench-sched
 
 all: build
 
@@ -34,8 +34,15 @@ bench:
 # bench-smoke runs a few small experiments end-to-end (planning, execution,
 # fault recovery, scheduler contention) as a fast sanity pass for the stack,
 # then the tracked planner benchmarks with their acceptance gate.
-bench-smoke: bench-planner
+bench-smoke: bench-planner bench-sched
 	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22,SCHED
+
+# bench-sched runs the tracked scheduling benchmark and gate: the Deadline
+# (EDF) policy must meet a deadline FIFO misses on the contention workload by
+# preempting and resuming the long run, with fixed-seed byte-identical
+# per-run traces under both policies. Writes BENCH_SCHED.json.
+bench-sched:
+	$(GO) run ./cmd/bench-sched -out BENCH_SCHED.json
 
 # bench-planner runs the tracked planner benchmark suite (cold plan, warm
 # replan, warm Pareto) and rewrites the BENCH_PLANNER.json baseline; it

@@ -95,6 +95,7 @@ func main() {
 	timed("FIG20-22", func() { show(experiments.FaultTolerance(*seed)) })
 	timed("FAULTSWEEP", func() { show(experiments.FaultSweep(*seed)) })
 	timed("SCHED", func() { show(experiments.SchedContention(*seed)) })
+	timed("SCHEDDL", func() { show(experiments.SchedDeadline(*seed)) })
 	timed("MQ-F4", func() { show(experiments.MusqleOptTime(*seed, reps)) })
 	timed("MQ-F5", func() { show(experiments.MusqleEngineScaling(*seed, reps)) })
 	timed("MQ-EXEC", func() {

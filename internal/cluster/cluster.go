@@ -265,24 +265,61 @@ func (c *Cluster) HealthyNodes() []*Node {
 	return out
 }
 
-// Reservation is an exclusive lease on a set of whole nodes, the admission
-// currency of the multi-workflow scheduler: a run's executor allocates its
-// containers only inside its reservation, so admitted runs can never starve
-// each other of capacity (and the sum of reservations can never exceed the
-// cluster, node-granularity enforced structurally).
+// Reservation is an exclusive, elastic lease on a set of whole nodes — the
+// admission currency of the multi-workflow scheduler. A run's executor
+// allocates its containers only inside its reservation, so admitted runs can
+// never starve each other of capacity (and the sum of reservations can never
+// exceed the cluster, node-granularity enforced structurally). The lease is
+// elastic: GrowReservation adds nodes while the run executes,
+// ShrinkReservation returns idle nodes to the pool (shrink-at-operator-
+// boundary: only nodes with no live containers of the lease may leave), and
+// RevokeReservation ends the lease entirely (preemption/voluntary release).
 type Reservation struct {
+	c     *Cluster
 	id    int
-	nodes []string // stable order
+	nodes []string // stable order; mutated only under c.mu
+	// released marks the lease revoked; all accessors and elastic ops on a
+	// released lease fail or return empty. Guarded by c.mu.
+	released bool
 }
 
 // ID returns the reservation's cluster-unique id.
 func (r *Reservation) ID() int { return r.id }
 
-// Nodes returns the reserved node names in stable order.
-func (r *Reservation) Nodes() []string { return append([]string(nil), r.nodes...) }
+// Nodes returns the reserved node names in stable order. It takes the
+// cluster lock: the node set of an elastic lease changes under Grow/Shrink,
+// so an unlocked read could observe a half-applied resize.
+func (r *Reservation) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	return append([]string(nil), r.nodes...)
+}
 
-// Size returns the number of reserved nodes.
-func (r *Reservation) Size() int { return len(r.nodes) }
+// Size returns the number of reserved nodes (0 once revoked).
+func (r *Reservation) Size() int {
+	if r == nil {
+		return 0
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if r.released {
+		return 0
+	}
+	return len(r.nodes)
+}
+
+// Released reports whether the lease has been revoked.
+func (r *Reservation) Released() bool {
+	if r == nil {
+		return true
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	return r.released
+}
 
 // Reserve leases n whole healthy, unreserved nodes (first-fit in stable
 // node order). It returns ErrInsufficientResources when fewer than n such
@@ -307,7 +344,7 @@ func (c *Cluster) Reserve(n int) (*Reservation, error) {
 		return nil, fmt.Errorf("%w: want %d unreserved nodes, have %d", ErrInsufficientResources, n, len(picked))
 	}
 	c.nextResID++
-	res := &Reservation{id: c.nextResID, nodes: picked}
+	res := &Reservation{c: c, id: c.nextResID, nodes: picked}
 	for _, name := range picked {
 		c.nodes[name].reservedBy = res.id
 	}
@@ -315,14 +352,152 @@ func (c *Cluster) Reserve(n int) (*Reservation, error) {
 	return res, nil
 }
 
+// GrowReservation extends a live lease by n more whole healthy unreserved
+// nodes (first-fit in stable node order, like Reserve). The grow is atomic:
+// on ErrInsufficientResources the lease is unchanged. It returns the names
+// of the added nodes.
+func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
+	if r == nil {
+		return nil, errors.New("cluster: grow of nil reservation")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: invalid grow size %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.released {
+		return nil, errors.New("cluster: grow of released reservation")
+	}
+	var picked []string
+	for _, name := range c.order {
+		node := c.nodes[name]
+		if node.healthy && node.reservedBy == 0 {
+			picked = append(picked, name)
+			if len(picked) == n {
+				break
+			}
+		}
+	}
+	if len(picked) < n {
+		return nil, fmt.Errorf("%w: want %d unreserved nodes, have %d", ErrInsufficientResources, n, len(picked))
+	}
+	for _, name := range picked {
+		c.nodes[name].reservedBy = r.id
+	}
+	// Rebuild the lease's node list in stable cluster order so Grow keeps
+	// the same ordering discipline Reserve established.
+	r.nodes = r.nodes[:0]
+	for _, name := range c.order {
+		if c.nodes[name].reservedBy == r.id {
+			r.nodes = append(r.nodes, name)
+		}
+	}
+	return picked, nil
+}
+
+// ShrinkReservation releases leased nodes back to the pool until the lease
+// holds target nodes, but only nodes hosting no live container of this lease
+// may leave — the structural form of shrink-at-operator-boundary semantics:
+// gang containers are freed between plan steps, so a shrink issued at a step
+// boundary always finds its nodes idle, while a shrink racing running work
+// simply keeps the busy nodes. Idle nodes are released from the end of the
+// stable node order. It returns the names of the released nodes (possibly
+// fewer than requested when busy nodes pin the lease above target).
+func (c *Cluster) ShrinkReservation(r *Reservation, target int) ([]string, error) {
+	if r == nil {
+		return nil, errors.New("cluster: shrink of nil reservation")
+	}
+	if target < 1 {
+		return nil, fmt.Errorf("cluster: invalid shrink target %d", target)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.released {
+		return nil, errors.New("cluster: shrink of released reservation")
+	}
+	busy := make(map[string]bool)
+	for _, ctr := range c.live {
+		if ctr.resID == r.id {
+			busy[ctr.NodeName] = true
+		}
+	}
+	var removed []string
+	for i := len(r.nodes) - 1; i >= 0 && len(r.nodes)-len(removed) > target; i-- {
+		name := r.nodes[i]
+		if busy[name] {
+			continue
+		}
+		removed = append(removed, name)
+	}
+	if len(removed) == 0 {
+		return nil, nil
+	}
+	drop := make(map[string]bool, len(removed))
+	for _, name := range removed {
+		drop[name] = true
+		if n, ok := c.nodes[name]; ok && n.reservedBy == r.id {
+			n.reservedBy = 0
+		}
+	}
+	kept := r.nodes[:0]
+	for _, name := range r.nodes {
+		if !drop[name] {
+			kept = append(kept, name)
+		}
+	}
+	r.nodes = kept
+	return removed, nil
+}
+
+// RevokeReservation ends a lease: every node returns to the unreserved pool
+// and any containers still allocated under the lease are force-released (the
+// count is returned — a cooperative preemption that drained at an operator
+// boundary revokes with zero). Revoking twice is a safe no-op.
+func (c *Cluster) RevokeReservation(r *Reservation) int {
+	if r == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.released {
+		return 0
+	}
+	dropped := 0
+	for id, ctr := range c.live {
+		if ctr.resID != r.id {
+			continue
+		}
+		ctr.released = true
+		delete(c.live, id)
+		if n, ok := c.nodes[ctr.NodeName]; ok {
+			n.usedCores -= ctr.Cores
+			n.usedMemMB -= ctr.MemMB
+		}
+		dropped++
+	}
+	c.releaseReservationLocked(r)
+	return dropped
+}
+
 // ReleaseReservation returns the leased nodes to the unreserved pool.
-// Releasing twice is a safe no-op.
+// Releasing twice is a safe no-op (idempotent: the released flag and the
+// reservation-table entry are cleared together under one critical section,
+// so double-release in suspend paths cannot free another lease's nodes).
 func (c *Cluster) ReleaseReservation(r *Reservation) {
 	if r == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if r.released {
+		return
+	}
+	c.releaseReservationLocked(r)
+}
+
+// releaseReservationLocked clears the lease under c.mu.
+func (c *Cluster) releaseReservationLocked(r *Reservation) {
+	r.released = true
 	if _, ok := c.reservations[r.id]; !ok {
 		return
 	}
@@ -533,8 +708,19 @@ func (c *Cluster) CheckInvariants() error {
 	// never exceed the cluster, and every reserved node must point back.
 	reserved := 0
 	for id, res := range c.reservations {
+		if res.released {
+			return fmt.Errorf("cluster: released reservation %d still in the reservation table", id)
+		}
+		if len(res.nodes) == 0 {
+			return fmt.Errorf("cluster: live reservation %d holds no nodes (shrink below 1?)", id)
+		}
 		reserved += len(res.nodes)
+		seen := make(map[string]bool, len(res.nodes))
 		for _, rn := range res.nodes {
+			if seen[rn] {
+				return fmt.Errorf("cluster: reservation %d lists node %s twice", id, rn)
+			}
+			seen[rn] = true
 			n, ok := c.nodes[rn]
 			if !ok {
 				return fmt.Errorf("cluster: reservation %d lists unknown node %s", id, rn)
@@ -542,6 +728,18 @@ func (c *Cluster) CheckInvariants() error {
 			if n.reservedBy != id {
 				return fmt.Errorf("cluster: reservation %d lists node %s held by %d", id, rn, n.reservedBy)
 			}
+		}
+		// The back-pointer count must match the lease's node list exactly —
+		// a grow/shrink that half-applied would break this symmetry.
+		backRefs := 0
+		for _, name := range c.order {
+			if c.nodes[name].reservedBy == id {
+				backRefs++
+			}
+		}
+		if backRefs != len(res.nodes) {
+			return fmt.Errorf("cluster: reservation %d holds %d nodes but %d nodes point back",
+				id, len(res.nodes), backRefs)
 		}
 	}
 	if reserved > len(c.nodes) {

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/asap-project/ires/internal/vtime"
+)
+
+// Elastic lease mechanics: grow extends first-fit in stable order, shrink
+// frees only idle nodes, revoke force-releases stragglers, and every
+// operation is invariant-preserving.
+func TestGrowShrinkRevoke(t *testing.T) {
+	c := New(vtime.NewClock(), 8, 4, 8192)
+	r, err := c.Reserve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := c.GrowReservation(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 3 || r.Size() != 5 {
+		t.Fatalf("grow added %v, size %d; want 3 added, size 5", added, r.Size())
+	}
+	// Grow past capacity is atomic: nothing changes.
+	if _, err := c.GrowReservation(r, 4); !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("overgrow err = %v", err)
+	}
+	if r.Size() != 5 {
+		t.Fatalf("failed grow mutated the lease: size %d", r.Size())
+	}
+
+	// Pin one node with a live container: shrink must route around it.
+	ctrs, err := c.AllocateIn(r, 1, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busyNode := ctrs[0].NodeName
+	removed, err := c.ShrinkReservation(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range removed {
+		if name == busyNode {
+			t.Fatalf("shrink released busy node %s", busyNode)
+		}
+	}
+	if r.Size() != 1 {
+		t.Fatalf("size after shrink = %d, want 1 (only the busy node pinned)", r.Size())
+	}
+	if got := r.Nodes(); len(got) != 1 || got[0] != busyNode {
+		t.Fatalf("lease kept %v, want just the busy node %s", got, busyNode)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Revoke force-releases the remaining container and frees the node.
+	if dropped := c.RevokeReservation(r); dropped != 1 {
+		t.Fatalf("revoke dropped %d containers, want 1", dropped)
+	}
+	if !r.Released() || r.Size() != 0 {
+		t.Fatalf("lease not fully revoked: released=%v size=%d", r.Released(), r.Size())
+	}
+	if got := c.UnreservedHealthy(); got != 8 {
+		t.Fatalf("unreserved after revoke = %d, want 8", got)
+	}
+	// Idempotent terminal ops.
+	if dropped := c.RevokeReservation(r); dropped != 0 {
+		t.Fatalf("second revoke dropped %d", dropped)
+	}
+	c.ReleaseReservation(r)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Elastic ops on a dead lease fail cleanly.
+	if _, err := c.GrowReservation(r, 1); err == nil {
+		t.Fatal("grow of released lease succeeded")
+	}
+	if _, err := c.ShrinkReservation(r, 1); err == nil {
+		t.Fatal("shrink of released lease succeeded")
+	}
+}
+
+// A shrink that finds every above-target node busy keeps them all.
+func TestShrinkKeepsBusyNodes(t *testing.T) {
+	c := New(vtime.NewClock(), 4, 2, 4096)
+	r, err := c.Reserve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One container per leased node: everything is pinned.
+	if _, err := c.AllocateIn(r, 3, 1, 512); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := c.ShrinkReservation(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 || r.Size() != 3 {
+		t.Fatalf("shrink of fully busy lease removed %v (size %d)", removed, r.Size())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a randomized storm of reserve/grow/shrink/revoke/allocate/free
+// operations (fixed seed) preserves the cluster invariants after every
+// single step, and total accounting returns to zero once everything is
+// released.
+func TestElasticStormInvariants(t *testing.T) {
+	const nodes = 12
+	rng := rand.New(rand.NewSource(7))
+	c := New(vtime.NewClock(), nodes, 4, 8192)
+
+	type holding struct {
+		res  *Reservation
+		ctrs []*Container
+	}
+	var held []*holding
+
+	check := func(step int, op string) {
+		t.Helper()
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("step %d (%s): %v", step, op, err)
+		}
+	}
+
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(6); op {
+		case 0: // reserve
+			n := 1 + rng.Intn(4)
+			if r, err := c.Reserve(n); err == nil {
+				held = append(held, &holding{res: r})
+			}
+			check(step, "reserve")
+		case 1: // grow
+			if len(held) == 0 {
+				continue
+			}
+			h := held[rng.Intn(len(held))]
+			_, _ = c.GrowReservation(h.res, 1+rng.Intn(3))
+			check(step, "grow")
+		case 2: // shrink
+			if len(held) == 0 {
+				continue
+			}
+			h := held[rng.Intn(len(held))]
+			_, _ = c.ShrinkReservation(h.res, 1+rng.Intn(3))
+			check(step, "shrink")
+		case 3: // allocate containers inside a lease
+			if len(held) == 0 {
+				continue
+			}
+			h := held[rng.Intn(len(held))]
+			if h.res.Released() {
+				continue
+			}
+			if ctrs, err := c.AllocateIn(h.res, 1+rng.Intn(2), 1, 512); err == nil {
+				h.ctrs = append(h.ctrs, ctrs...)
+			}
+			check(step, "allocate")
+		case 4: // free containers
+			if len(held) == 0 {
+				continue
+			}
+			h := held[rng.Intn(len(held))]
+			c.ReleaseAll(h.ctrs)
+			h.ctrs = nil
+			check(step, "free")
+		case 5: // revoke or release
+			if len(held) == 0 {
+				continue
+			}
+			i := rng.Intn(len(held))
+			h := held[i]
+			if rng.Intn(2) == 0 {
+				c.RevokeReservation(h.res) // force-drops its containers
+			} else {
+				c.ReleaseAll(h.ctrs)
+				c.ReleaseReservation(h.res)
+			}
+			held = append(held[:i], held[i+1:]...)
+			check(step, "revoke/release")
+		}
+	}
+
+	for _, h := range held {
+		c.RevokeReservation(h.res)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ReservedNodes(); got != 0 {
+		t.Fatalf("%d nodes still reserved after the storm", got)
+	}
+	if got := c.LiveContainers(); got != 0 {
+		t.Fatalf("%d containers still live after the storm", got)
+	}
+	if got := c.UnreservedHealthy(); got != nodes {
+		t.Fatalf("unreserved = %d, want %d", got, nodes)
+	}
+}

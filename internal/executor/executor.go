@@ -54,6 +54,13 @@ var ErrContainersLost = errors.New("executor: containers lost to node failure")
 // returning it.
 var ErrCanceled = errors.New("executor: run canceled")
 
+// ErrSuspended indicates the run was cooperatively preempted: the executor
+// stopped at the next completed-operator boundary, drained every in-flight
+// attempt (releasing its containers) and reported the materialized
+// intermediates in Result.Intermediates so a later Resume can replan from
+// the done set without re-executing completed work.
+var ErrSuspended = errors.New("executor: run suspended")
+
 // Replanner produces a new plan for the remaining workflow given the
 // intermediates that already exist. The core platform wires this to the
 // planner with engine availability checked live, so failed engines are
@@ -175,6 +182,11 @@ type Executor struct {
 	// Canceled, when non-nil, is polled at decision points; returning true
 	// aborts the run with ErrCanceled after draining in-flight work.
 	Canceled func() bool
+	// Suspend, when non-nil, is the cooperative-preemption hook: polled at
+	// the same decision points as Canceled, returning true makes the run
+	// stop at the next completed-operator boundary, drain in-flight
+	// attempts, and return ErrSuspended with Result.Intermediates set.
+	Suspend func() bool
 
 	healthDirty atomic.Bool
 }
@@ -192,6 +204,12 @@ func (e *Executor) advanceTo(target time.Duration) {
 // canceled reports whether the run handle asked this execution to stop.
 func (e *Executor) canceled() bool {
 	return e.Canceled != nil && e.Canceled()
+}
+
+// suspendRequested reports whether the scheduler asked this execution to
+// yield its lease at the next operator boundary.
+func (e *Executor) suspendRequested() bool {
+	return e.Suspend != nil && e.Suspend()
 }
 
 // emit stamps the current virtual time on ev and hands it to the tracer.
@@ -247,12 +265,39 @@ type Result struct {
 	FinalRecords int64
 	FinalBytes   int64
 	StepLog      []StepExec
+
+	// Intermediates lists the materialized intermediate datasets at the
+	// moment the run stopped. Populated on ErrSuspended so the scheduler
+	// can later Resume from the done set (replan-from-done-set) without
+	// re-executing any completed operator.
+	Intermediates []planner.MaterializedIntermediate
 }
 
 // Execute enforces the plan for the workflow. On step failure it retries per
 // the RetryPolicy, then asks the Replanner for a plan over the remaining
 // work and continues, reusing materialized intermediates.
 func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, error) {
+	return e.run(g, plan, nil)
+}
+
+// Resume continues a previously suspended run: the Replanner produces a plan
+// over the remaining workflow given the already-materialized intermediates
+// (the done set captured at suspension), so completed operators are seeded at
+// zero cost and never re-executed.
+func (e *Executor) Resume(g *workflow.Graph, done []planner.MaterializedIntermediate) (*Result, error) {
+	if e.Replanner == nil {
+		return nil, errors.New("executor: Resume requires a Replanner")
+	}
+	plan, err := e.Replanner.Replan(g, done)
+	if err != nil {
+		return nil, fmt.Errorf("executor: resume replan failed: %w", err)
+	}
+	return e.run(g, plan, done)
+}
+
+// run is the shared body of Execute and Resume; done seeds the materialized
+// intermediates of a resumed run.
+func (e *Executor) run(g *workflow.Graph, plan *planner.Plan, done []planner.MaterializedIntermediate) (*Result, error) {
 	if e.Env == nil || e.Cluster == nil || e.Clock == nil {
 		return nil, fmt.Errorf("executor: Env, Cluster and Clock are required")
 	}
@@ -280,6 +325,11 @@ func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, erro
 			}
 		}
 	}
+	// A resumed run starts with its previously materialized intermediates
+	// in place, exactly as if the producing steps had just completed here.
+	for _, mi := range done {
+		datasets[mi.Dataset] = &dataset{records: mi.Records, bytes: mi.Bytes, meta: mi.Meta}
+	}
 
 	current := plan
 	for {
@@ -287,6 +337,11 @@ func (e *Executor) Execute(g *workflow.Graph, plan *planner.Plan) (*Result, erro
 			return res, ErrCanceled
 		}
 		failed, err := e.runPlan(g, current, datasets, res)
+		if errors.Is(err, ErrSuspended) {
+			res.Intermediates = intermediates(g, datasets)
+			res.Makespan = e.Clock.Now() - start
+			return res, ErrSuspended
+		}
 		if err != nil {
 			return res, err
 		}
@@ -413,9 +468,14 @@ func (e *Executor) runPlan(g *workflow.Graph, plan *planner.Plan, datasets map[s
 	var stallSince time.Duration
 
 	canceled := false
+	suspended := false
 	for st.completed < len(plan.Steps) && st.failure == nil {
 		if e.canceled() {
 			canceled = true
+			break
+		}
+		if e.suspendRequested() {
+			suspended = true
 			break
 		}
 		startedAny, err := st.startReady()
@@ -455,11 +515,17 @@ func (e *Executor) runPlan(g *workflow.Graph, plan *planner.Plan, datasets map[s
 
 	// Let in-flight steps finish so their intermediates survive the
 	// failure (the paper's executor keeps successfully produced results).
+	// The same drain implements the operator-boundary half of cooperative
+	// preemption: a suspend request never kills running attempts, it stops
+	// the run at the next point where every launched gang has completed.
 	for len(st.inFlight) > 0 {
 		st.advanceOnce()
 	}
 	if canceled {
 		return nil, ErrCanceled
+	}
+	if suspended {
+		return nil, ErrSuspended
 	}
 	return st.failure, nil
 }

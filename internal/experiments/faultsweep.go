@@ -123,12 +123,17 @@ func FaultSweepRows(seed int64) ([]FaultSweepRow, error) {
 			}
 			if res != nil {
 				row.ExecSec = res.Makespan.Seconds()
-				row.Replans = res.Replans
-				row.Retries = res.Retries
-				row.SpecLaunches = res.SpeculativeLaunches
-				row.SpecWins = res.SpeculativeWins
-				row.CtrsLost = res.ContainersLost
 			}
+			// Recovery counters come from the metrics registry (fed by the
+			// trace stream) rather than the executor's result struct: each
+			// cell runs on a fresh platform, so the totals are the cell's —
+			// and they stay populated even when the execution fails partway.
+			reg := p.Metrics()
+			row.Replans = int(reg.Value("ires_replans_total", nil))
+			row.Retries = int(reg.Value("ires_retries_total", nil))
+			row.SpecLaunches = int(reg.Value("ires_speculative_launches_total", nil))
+			row.SpecWins = int(reg.Value("ires_speculative_wins_total", nil))
+			row.CtrsLost = int(reg.Sum("ires_containers_lost_total"))
 			rows = append(rows, row)
 		}
 	}

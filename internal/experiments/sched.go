@@ -103,12 +103,15 @@ func runSchedBurst(seed int64, label string, adm ires.AdmissionPolicy) (schedRes
 			res.batchSec = s.FinishedSec
 		}
 		res.meanSpan += s.MakespanSec
-		res.meanWait += s.StartedSec - s.SubmittedSec
 		res.makespans = append(res.makespans, s.MakespanSec)
 	}
-	n := float64(len(snaps))
-	res.meanSpan /= n
-	res.meanWait /= n
+	res.meanSpan /= float64(len(snaps))
+	// Queue waits come from the metrics registry — the scheduler observes
+	// every admission into ires_sched_queue_wait_vseconds, so the table and
+	// the /metrics endpoint can never drift apart.
+	if count, sum := p.Metrics().HistogramTotals("ires_sched_queue_wait_vseconds"); count > 0 {
+		res.meanWait = sum / count
+	}
 	res.peak = peakOverlap(snaps)
 	return res, nil
 }

@@ -1,0 +1,401 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RunState is the policy-visible view of one run. All times are virtual
+// seconds since simulation start.
+type RunState struct {
+	ID       string
+	Workflow string
+	Tenant   string
+	Status   Status
+
+	SubmittedSec float64
+	StartedSec   float64
+	// DeadlineSec is the absolute virtual-time deadline (0 = none).
+	DeadlineSec float64
+	// LeasedNodes is the current lease size (0 while queued/suspended).
+	LeasedNodes int
+
+	// EstTimeSec/EstCost are the planner's estimates for the whole run
+	// (0 when no Estimate hook is wired or the policy did not ask for one).
+	EstTimeSec float64
+	EstCost    float64
+	// RanSec is the virtual time the run has spent actually executing
+	// (suspension windows excluded).
+	RanSec float64
+	// Preemptions counts how many times the run has been suspended.
+	Preemptions int
+	// Preempting marks an active run whose suspension has been requested
+	// but has not yet reached an operator boundary; its nodes are not free
+	// yet and it must not be preempted again.
+	Preempting bool
+}
+
+// State is the scheduler state handed to Policy.Decide. Slices are in
+// deterministic order: Queued and Suspended in submission order, Active in
+// admission order.
+type State struct {
+	NowSec     float64
+	TotalNodes int
+	FreeNodes  int
+	Queued     []RunState
+	Active     []RunState
+	Suspended  []RunState
+}
+
+// Action is one scheduling decision returned by Policy.Decide. The scheduler
+// applies actions in order; an action that no longer applies (run finished,
+// nodes vanished) is skipped, never an error.
+type Action interface{ isAction() }
+
+// Admit grants a queued run a lease of Nodes whole nodes and starts it.
+type Admit struct {
+	Run   string
+	Nodes int
+}
+
+// Resume re-admits a suspended run with a fresh lease of Nodes whole nodes;
+// it replans from its done set and continues.
+type Resume struct {
+	Run   string
+	Nodes int
+}
+
+// Preempt asks an active run to suspend: the executor stops at the next
+// completed-operator boundary, the lease is revoked, and the run parks until
+// a later Resume.
+type Preempt struct {
+	Run string
+}
+
+// Resize grows or shrinks an active run's lease to Nodes (shrink releases
+// only nodes idle at the operator boundary; see cluster.ShrinkReservation).
+type Resize struct {
+	Run   string
+	Nodes int
+}
+
+// Reject refuses a queued run outright; it finishes as failed with Reason.
+type Reject struct {
+	Run    string
+	Reason string
+}
+
+func (Admit) isAction()   {}
+func (Resume) isAction()  {}
+func (Preempt) isAction() {}
+func (Resize) isAction()  {}
+func (Reject) isAction()  {}
+
+// Policy decides scheduling: given the full run state it returns the actions
+// to apply — admissions, resumes, lease resizes, preemptions, rejections.
+// Decide must be a pure function of its input (it runs under the scheduler
+// lock and is re-invoked after every applied batch until it quiesces).
+type Policy interface {
+	Name() string
+	Decide(st State) []Action
+}
+
+// Estimator is the optional marker for policies that need planner estimates
+// (EstTimeSec/EstCost on RunState): the scheduler invokes its Estimate hook
+// at submission only for such policies, so estimate-free policies keep their
+// exact trace behaviour.
+type Estimator interface {
+	NeedsEstimates() bool
+}
+
+// quotaDecide adapts the legacy quota shape to Decide, replicating the old
+// admission loop exactly — head-of-queue order, quota <= 0 holds, and the
+// progress clamp (an idle cluster shrinks an oversized quota to the free
+// pool instead of waiting forever) — so FIFO/FairShare traces are identical
+// to the pre-lease-core scheduler.
+func quotaDecide(quota func(total, free, active, queued int) int, st State) []Action {
+	var actions []Action
+	free := st.FreeNodes
+	active := len(st.Active) + len(st.Suspended)
+	queued := append([]RunState(nil), st.Suspended...)
+	queued = append(queued, st.Queued...)
+	for len(queued) > 0 {
+		head := queued[0]
+		q := quota(st.TotalNodes, free, active, len(queued))
+		if q <= 0 {
+			break
+		}
+		if q > free {
+			if active > 0 || free == 0 {
+				break
+			}
+			q = free
+		}
+		if head.Status == StatusSuspended {
+			actions = append(actions, Resume{Run: head.ID, Nodes: q})
+		} else {
+			actions = append(actions, Admit{Run: head.ID, Nodes: q})
+		}
+		free -= q
+		active++
+		queued = queued[1:]
+	}
+	return actions
+}
+
+// FIFO admits one run at a time and leases it every node: strict submission
+// order, zero inter-run interference, serialized makespans.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Quota returns the node lease size for the next admission given the
+// cluster's total node count, the currently unreserved healthy nodes, and
+// the number of active and queued runs. Returning <= 0 holds admission.
+// (Legacy policy shape, kept as the basis of the Decide adapter.)
+func (FIFO) Quota(totalNodes, freeNodes, active, queued int) int {
+	if active > 0 {
+		return 0
+	}
+	return totalNodes
+}
+
+// Decide implements Policy via the quota adapter.
+func (f FIFO) Decide(st State) []Action { return quotaDecide(f.Quota, st) }
+
+// FairShare admits up to MaxConcurrent runs, each leasing an equal slice of
+// the cluster. Contended workloads overlap instead of serializing, trading
+// per-run speed for throughput.
+type FairShare struct {
+	// MaxConcurrent bounds simultaneously admitted runs (min 1).
+	MaxConcurrent int
+}
+
+// Name implements Policy.
+func (f FairShare) Name() string { return fmt.Sprintf("fair-share(%d)", f.slots()) }
+
+func (f FairShare) slots() int {
+	if f.MaxConcurrent < 1 {
+		return 1
+	}
+	return f.MaxConcurrent
+}
+
+// Quota implements the legacy quota shape (see FIFO.Quota).
+func (f FairShare) Quota(totalNodes, freeNodes, active, queued int) int {
+	k := f.slots()
+	if active >= k {
+		return 0
+	}
+	share := totalNodes / k
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// Decide implements Policy via the quota adapter.
+func (f FairShare) Decide(st State) []Action { return quotaDecide(f.Quota, st) }
+
+// deadlineOf returns the EDF sort key: a run without a deadline sorts last.
+func deadlineOf(r RunState) float64 {
+	if r.DeadlineSec <= 0 {
+		return math.Inf(1)
+	}
+	return r.DeadlineSec
+}
+
+// edfLess orders runs earliest-deadline-first, breaking ties by submission
+// time then ID so the order is total and deterministic.
+func edfLess(a, b RunState) bool {
+	da, db := deadlineOf(a), deadlineOf(b)
+	if da != db {
+		return da < db
+	}
+	if a.SubmittedSec != b.SubmittedSec {
+		return a.SubmittedSec < b.SubmittedSec
+	}
+	return a.ID < b.ID
+}
+
+// remainingSec estimates how much execution time a run still needs.
+func remainingSec(r RunState) float64 {
+	rem := r.EstTimeSec - r.RanSec
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Deadline schedules earliest-deadline-first using planner time estimates:
+// waiting runs (queued or suspended) are served in EDF order, each granted
+// the whole free pool; when the cluster is full and an earlier-deadline run
+// waits behind a later-deadline one, the victim is preempted — but only if
+// the estimates say it still meets its own deadline after yielding (runs
+// without deadlines are always preemptible). A sole active run with no one
+// waiting absorbs freed nodes by growing its lease.
+type Deadline struct {
+	// MaxPreemptions bounds how many times one run may be suspended
+	// (default 1); past it the run keeps its lease to completion.
+	MaxPreemptions int
+}
+
+// Name implements Policy.
+func (Deadline) Name() string { return "deadline" }
+
+// NeedsEstimates implements Estimator: EDF preemption reasons about
+// remaining-time estimates.
+func (Deadline) NeedsEstimates() bool { return true }
+
+func (d Deadline) maxPreemptions() int {
+	if d.MaxPreemptions < 1 {
+		return 1
+	}
+	return d.MaxPreemptions
+}
+
+// Decide implements Policy.
+func (d Deadline) Decide(st State) []Action {
+	waiting := append([]RunState(nil), st.Queued...)
+	waiting = append(waiting, st.Suspended...)
+	sort.SliceStable(waiting, func(i, j int) bool { return edfLess(waiting[i], waiting[j]) })
+
+	var actions []Action
+	if len(waiting) == 0 {
+		// Nothing waiting: the sole active run absorbs any freed capacity.
+		if st.FreeNodes > 0 && len(st.Active) == 1 && !st.Active[0].Preempting {
+			actions = append(actions, Resize{Run: st.Active[0].ID, Nodes: st.Active[0].LeasedNodes + st.FreeNodes})
+		}
+		return actions
+	}
+
+	head := waiting[0]
+	if st.FreeNodes > 0 {
+		// Serve the most urgent waiting run with the whole free pool.
+		if head.Status == StatusSuspended {
+			return []Action{Resume{Run: head.ID, Nodes: st.FreeNodes}}
+		}
+		return []Action{Admit{Run: head.ID, Nodes: st.FreeNodes}}
+	}
+
+	// Cluster full: preempt the latest-deadline active run if the most
+	// urgent waiter is EDF-ahead of it and the victim would still meet its
+	// own deadline after being suspended and later resumed behind the
+	// waiter. The check is estimate-based: now + remaining(waiter) +
+	// remaining(victim) must stay within the victim's deadline.
+	var victim *RunState
+	for i := range st.Active {
+		a := &st.Active[i]
+		if a.Preempting || a.Preemptions >= d.maxPreemptions() {
+			continue
+		}
+		if victim == nil || edfLess(*victim, *a) {
+			victim = a
+		}
+	}
+	if victim == nil || !edfLess(head, *victim) {
+		return nil
+	}
+	if victim.DeadlineSec > 0 {
+		projected := st.NowSec + remainingSec(head) + remainingSec(*victim)
+		if projected > victim.DeadlineSec {
+			return nil
+		}
+	}
+	return []Action{Preempt{Run: victim.ID}}
+}
+
+// CostQuota enforces per-tenant budgets on concurrently committed modeled
+// cost: a queued run is admitted (fair-share-style node slices, up to
+// MaxConcurrent runs) only while the summed cost estimates of its tenant's
+// active and suspended runs plus its own stay within the tenant's budget;
+// otherwise it queues until commitments drain. A run whose own estimate can
+// never fit the budget is rejected outright, keeping the queue live.
+type CostQuota struct {
+	// Budgets maps tenant -> cost budget; tenants not listed fall back to
+	// DefaultBudget (0 = unlimited).
+	Budgets       map[string]float64
+	DefaultBudget float64
+	// MaxConcurrent bounds simultaneously admitted runs (default 2).
+	MaxConcurrent int
+}
+
+// Name implements Policy.
+func (CostQuota) Name() string { return "cost-quota" }
+
+// NeedsEstimates implements Estimator: budgets are checked against modeled
+// cost.
+func (CostQuota) NeedsEstimates() bool { return true }
+
+func (c CostQuota) slots() int {
+	if c.MaxConcurrent < 1 {
+		return 2
+	}
+	return c.MaxConcurrent
+}
+
+// budget returns the tenant's budget (0 = unlimited).
+func (c CostQuota) budget(tenant string) float64 {
+	if b, ok := c.Budgets[tenant]; ok {
+		return b
+	}
+	return c.DefaultBudget
+}
+
+// Decide implements Policy.
+func (c CostQuota) Decide(st State) []Action {
+	committed := make(map[string]float64)
+	for _, a := range st.Active {
+		committed[a.Tenant] += a.EstCost
+	}
+	for _, a := range st.Suspended {
+		committed[a.Tenant] += a.EstCost
+	}
+	slots := c.slots()
+	share := st.TotalNodes / slots
+	if share < 1 {
+		share = 1
+	}
+	free := st.FreeNodes
+	activeN := len(st.Active)
+
+	var actions []Action
+	// Suspended runs hold budget already — resume them first so their
+	// commitments convert back into progress.
+	waiting := append([]RunState(nil), st.Suspended...)
+	waiting = append(waiting, st.Queued...)
+	for _, w := range waiting {
+		b := c.budget(w.Tenant)
+		if w.Status != StatusSuspended && b > 0 && w.EstCost > b {
+			actions = append(actions, Reject{
+				Run:    w.ID,
+				Reason: fmt.Sprintf("estimated cost %.1f exceeds tenant %q budget %.1f", w.EstCost, w.Tenant, b),
+			})
+			continue
+		}
+		if activeN >= slots {
+			continue
+		}
+		if w.Status != StatusSuspended && b > 0 && committed[w.Tenant]+w.EstCost > b {
+			continue // hold until the tenant's commitments drain
+		}
+		n := share
+		if n > free {
+			if activeN > 0 || free == 0 {
+				continue
+			}
+			n = free
+		}
+		if w.Status == StatusSuspended {
+			actions = append(actions, Resume{Run: w.ID, Nodes: n})
+		} else {
+			actions = append(actions, Admit{Run: w.ID, Nodes: n})
+			committed[w.Tenant] += w.EstCost
+		}
+		free -= n
+		activeN++
+	}
+	return actions
+}

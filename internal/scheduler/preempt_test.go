@@ -1,0 +1,361 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asap-project/ires/internal/cluster"
+	"github.com/asap-project/ires/internal/executor"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/vtime"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// susRecord collects, per run, which operator steps executed and when — the
+// cross-segment evidence that preemption never re-executes completed work.
+type susRecord struct {
+	mu    sync.Mutex
+	steps map[string][]int // runID -> executed step indices, in order
+	spans map[string][]span
+}
+
+func newSusRecord() *susRecord {
+	return &susRecord{steps: make(map[string][]int), spans: make(map[string][]span)}
+}
+
+// susExec is a preemptible stub: it simulates steps sequential operator
+// steps of stepDur each, polling the cancel and suspend probes at every step
+// boundary like the real executor, and supports Resume by skipping the steps
+// named in the done set.
+type susExec struct {
+	clock   *vtime.Clock
+	ctx     ExecContext
+	steps   int
+	stepDur time.Duration
+	rec     *susRecord
+}
+
+func susDone(n int) []planner.MaterializedIntermediate {
+	out := make([]planner.MaterializedIntermediate, n)
+	for i := range out {
+		out[i] = planner.MaterializedIntermediate{Dataset: fmt.Sprintf("step-%d", i), Records: 1}
+	}
+	return out
+}
+
+func (e *susExec) run(start int) (*executor.Result, error) {
+	begin := e.clock.Now()
+	for i := start; i < e.steps; i++ {
+		if e.ctx.Canceled() {
+			return nil, executor.ErrCanceled
+		}
+		if e.ctx.Suspend() {
+			return &executor.Result{
+				Makespan:      e.clock.Now() - begin,
+				Intermediates: susDone(i),
+			}, executor.ErrSuspended
+		}
+		e.ctx.Party.WaitUntil(e.clock.Now() + e.stepDur)
+		e.rec.mu.Lock()
+		e.rec.steps[e.ctx.RunID] = append(e.rec.steps[e.ctx.RunID], i)
+		e.rec.mu.Unlock()
+	}
+	end := e.clock.Now()
+	e.rec.mu.Lock()
+	e.rec.spans[e.ctx.RunID] = append(e.rec.spans[e.ctx.RunID], span{
+		runID: e.ctx.RunID, nodes: e.ctx.Lease.Size(), start: begin, end: end,
+	})
+	e.rec.mu.Unlock()
+	return &executor.Result{Makespan: end - begin, Intermediates: susDone(e.steps)}, nil
+}
+
+func (e *susExec) Execute(g *workflow.Graph, plan *planner.Plan) (*executor.Result, error) {
+	return e.run(0)
+}
+
+func (e *susExec) Resume(g *workflow.Graph, done []planner.MaterializedIntermediate) (*executor.Result, error) {
+	return e.run(len(done))
+}
+
+// susRig wires a scheduler over preemptible stubs; steps/stepDur are keyed
+// by run ID (fallback 4 x 10s). estimates (optional) feeds Config.Estimate
+// keyed by graph target.
+type susRig struct {
+	clock *vtime.Clock
+	clu   *cluster.Cluster
+	sched *Scheduler
+	rec   *susRecord
+}
+
+type susSpec struct {
+	steps   int
+	stepDur time.Duration
+}
+
+func newSusRig(t *testing.T, nodes int, policy Policy, specs map[string]susSpec, estimates map[string][2]float64) *susRig {
+	t.Helper()
+	rig := &susRig{clock: vtime.NewClock(), rec: newSusRecord()}
+	rig.clu = cluster.New(rig.clock, nodes, 8, 16384)
+	cfg := Config{
+		Clock:   rig.clock,
+		Cluster: rig.clu,
+		Policy:  policy,
+		Plan: func(g *workflow.Graph) (*planner.Plan, error) {
+			return &planner.Plan{Target: g.Target}, nil
+		},
+		NewExecutor: func(ctx ExecContext) Exec {
+			spec, ok := specs[ctx.RunID]
+			if !ok {
+				spec = susSpec{steps: 4, stepDur: 10 * time.Second}
+			}
+			return &susExec{clock: rig.clock, ctx: ctx, steps: spec.steps, stepDur: spec.stepDur, rec: rig.rec}
+		},
+	}
+	if estimates != nil {
+		cfg.Estimate = func(g *workflow.Graph) (float64, float64, error) {
+			est, ok := estimates[g.Target]
+			if !ok {
+				return 0, 0, fmt.Errorf("no estimate for %s", g.Target)
+			}
+			return est[0], est[1], nil
+		}
+	}
+	var err error
+	rig.sched, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+// A tight-deadline late arrival preempts the deadline-less run holding the
+// whole cluster; the victim suspends at an operator boundary, the urgent run
+// meets its deadline, and the victim resumes from its done set without
+// re-executing a single completed step.
+func TestDeadlinePreemptsAndResumes(t *testing.T) {
+	rig := newSusRig(t, 4, Deadline{}, map[string]susSpec{
+		"run-001": {steps: 6, stepDur: 10 * time.Second}, // 60s total
+		"run-002": {steps: 2, stepDur: 10 * time.Second}, // 20s total
+	}, map[string][2]float64{"long": {60, 0}, "urgent": {20, 0}})
+
+	long := rig.sched.Submit(graph("long"))
+	var urgent *Run
+	rig.clock.Schedule(10*time.Second, func(time.Duration) {
+		urgent = rig.sched.SubmitWith(graph("urgent"), SubmitOptions{Deadline: 40 * time.Second})
+	})
+	rig.sched.Drain()
+
+	if _, _, err := long.Wait(); err != nil {
+		t.Fatalf("preempted run failed: %v", err)
+	}
+	if _, _, err := urgent.Wait(); err != nil {
+		t.Fatalf("urgent run failed: %v", err)
+	}
+	ust := urgent.Status()
+	if ust.FinishedSec > 40 {
+		t.Fatalf("urgent run finished at %.0fs, past its 40s deadline", ust.FinishedSec)
+	}
+	lst := long.Status()
+	if lst.Preemptions != 1 {
+		t.Fatalf("long run preemptions = %d, want 1", lst.Preemptions)
+	}
+	if lst.SuspendedSec != 20 {
+		t.Fatalf("long run suspended for %.0fs, want 20", lst.SuspendedSec)
+	}
+	// Zero re-execution: the long run's six steps executed exactly once
+	// across its two segments, in order.
+	rig.rec.mu.Lock()
+	steps := append([]int(nil), rig.rec.steps["run-001"]...)
+	rig.rec.mu.Unlock()
+	if len(steps) != 6 {
+		t.Fatalf("long run executed %d steps, want 6 (got %v)", len(steps), steps)
+	}
+	for i, s := range steps {
+		if s != i {
+			t.Fatalf("long run re-executed or skipped steps: %v", steps)
+		}
+	}
+	// Total work is conserved: 60s + 20s on a cluster always fully leased
+	// to someone = 80s of virtual time.
+	if now := rig.clock.Now(); now != 80*time.Second {
+		t.Fatalf("final virtual time = %v, want 80s", now)
+	}
+	if got := rig.clu.ReservedNodes(); got != 0 {
+		t.Fatalf("%d nodes still reserved after drain", got)
+	}
+	if err := rig.clu.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without preemption (FIFO) the same contention makes the urgent run miss
+// its deadline — the scenario the Deadline policy exists for.
+func TestFIFOMissesDeadlineDeadlineMeets(t *testing.T) {
+	finish := func(policy Policy) float64 {
+		rig := newSusRig(t, 4, policy, map[string]susSpec{
+			"run-001": {steps: 6, stepDur: 10 * time.Second},
+			"run-002": {steps: 2, stepDur: 10 * time.Second},
+		}, map[string][2]float64{"long": {60, 0}, "urgent": {20, 0}})
+		rig.sched.Submit(graph("long"))
+		var urgent *Run
+		rig.clock.Schedule(10*time.Second, func(time.Duration) {
+			urgent = rig.sched.SubmitWith(graph("urgent"), SubmitOptions{Deadline: 40 * time.Second})
+		})
+		rig.sched.Drain()
+		return urgent.Status().FinishedSec
+	}
+	if fifoFinish := finish(FIFO{}); fifoFinish <= 40 {
+		t.Fatalf("FIFO met the deadline (%.0fs) — contention scenario is too weak", fifoFinish)
+	}
+	if edfFinish := finish(Deadline{}); edfFinish > 40 {
+		t.Fatalf("Deadline policy missed the deadline (%.0fs)", edfFinish)
+	}
+}
+
+// A victim whose own deadline the estimates say it would miss is not
+// preempted, even for an earlier-deadline waiter.
+func TestDeadlineRefusesUnsafePreemption(t *testing.T) {
+	// Victim: 40s of work, deadline 50s. Suspending it for the waiter's 20s
+	// would land it at ~70s > 50s, so the policy must hold the waiter.
+	rig := newSusRig(t, 4, Deadline{}, map[string]susSpec{
+		"run-001": {steps: 4, stepDur: 10 * time.Second},
+		"run-002": {steps: 2, stepDur: 10 * time.Second},
+	}, map[string][2]float64{"victim": {40, 0}, "waiter": {20, 0}})
+	victim := rig.sched.SubmitWith(graph("victim"), SubmitOptions{Deadline: 50 * time.Second})
+	var waiter *Run
+	rig.clock.Schedule(10*time.Second, func(time.Duration) {
+		waiter = rig.sched.SubmitWith(graph("waiter"), SubmitOptions{Deadline: 35 * time.Second})
+	})
+	rig.sched.Drain()
+	if st := victim.Status(); st.Preemptions != 0 {
+		t.Fatalf("victim preempted %d times; the safety check should have refused", st.Preemptions)
+	}
+	if st := victim.Status(); st.FinishedSec > 50 {
+		t.Fatalf("victim missed its deadline anyway: %.0fs", st.FinishedSec)
+	}
+	if st := waiter.Status(); st.Status != "succeeded" {
+		t.Fatalf("waiter = %s, want succeeded after victim finishes", st.Status)
+	}
+}
+
+// Canceling a suspended run finalizes it without resuming; the rest of the
+// system drains clean.
+func TestCancelSuspended(t *testing.T) {
+	rig := newSusRig(t, 4, Deadline{}, map[string]susSpec{
+		"run-001": {steps: 6, stepDur: 10 * time.Second},
+		"run-002": {steps: 2, stepDur: 10 * time.Second},
+	}, map[string][2]float64{"long": {60, 0}, "urgent": {20, 0}})
+	long := rig.sched.Submit(graph("long"))
+	rig.clock.Schedule(10*time.Second, func(time.Duration) {
+		rig.sched.SubmitWith(graph("urgent"), SubmitOptions{Deadline: 40 * time.Second})
+	})
+	// By 25s the long run is suspended (it yields at 10s or 20s) and the
+	// urgent one is mid-flight; cancel the suspended victim.
+	rig.clock.Schedule(25*time.Second, func(time.Duration) {
+		if long.Status().Status == "suspended" {
+			long.Cancel()
+		}
+	})
+	rig.sched.Drain()
+	if _, _, err := long.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled suspended run: err = %v", err)
+	}
+	if st := long.Status(); st.Status != "canceled" {
+		t.Fatalf("status = %s, want canceled", st.Status)
+	}
+	if got := rig.sched.SuspendedRuns(); got != 0 {
+		t.Fatalf("SuspendedRuns after drain = %d", got)
+	}
+	if got := rig.clu.ReservedNodes(); got != 0 {
+		t.Fatalf("%d nodes still reserved after drain", got)
+	}
+	if err := rig.clu.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CostQuota holds runs that would push their tenant past its budget and
+// rejects runs that can never fit, while within-budget tenants proceed.
+func TestCostQuotaBudget(t *testing.T) {
+	est := map[string][2]float64{
+		"a1": {10, 6}, "a2": {10, 6}, "a3": {10, 6}, // tenant acme, budget 10
+		"big":  {10, 25}, // can never fit acme's budget
+		"free": {10, 9},  // unbudgeted tenant
+	}
+	rig := newSusRig(t, 4, CostQuota{Budgets: map[string]float64{"acme": 10}}, nil, est)
+	submit := func(name, tenant string) *Run {
+		return rig.sched.SubmitWith(graph(name), SubmitOptions{Tenant: tenant})
+	}
+	a1 := submit("a1", "acme")
+	a2 := submit("a2", "acme")
+	a3 := submit("a3", "acme")
+	big := submit("big", "acme")
+	other := submit("free", "other")
+	rig.sched.Drain()
+
+	if _, _, err := big.Wait(); !errors.Is(err, ErrRejected) {
+		t.Fatalf("over-budget run: err = %v, want ErrRejected", err)
+	}
+	for _, r := range []*Run{a1, a2, a3, other} {
+		if st := r.Status(); st.Status != "succeeded" {
+			t.Fatalf("%s = %s, want succeeded", st.ID, st.Status)
+		}
+	}
+	// Budget 10 vs 6-cost runs: acme's runs must serialize (no two
+	// concurrently committed), while the unbudgeted tenant overlaps them.
+	snaps := map[string]Snapshot{}
+	for _, r := range []*Run{a1, a2, a3} {
+		st := r.Status()
+		snaps[st.ID] = st
+	}
+	for id, a := range snaps {
+		for jd, b := range snaps {
+			if id >= jd {
+				continue
+			}
+			if a.StartedSec < b.FinishedSec && b.StartedSec < a.FinishedSec {
+				t.Fatalf("acme runs %s and %s overlapped despite the budget", id, jd)
+			}
+		}
+	}
+	if st := other.Status(); st.StartedSec >= snaps["run-001"].FinishedSec {
+		t.Fatalf("unbudgeted tenant waited for acme (started %.0fs)", st.StartedSec)
+	}
+	if err := rig.clu.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Preemption decisions are a pure function of the virtual-time schedule:
+// repeated executions produce identical step timelines.
+func TestPreemptionDeterminism(t *testing.T) {
+	timeline := func() string {
+		rig := newSusRig(t, 4, Deadline{}, map[string]susSpec{
+			"run-001": {steps: 6, stepDur: 10 * time.Second},
+			"run-002": {steps: 2, stepDur: 10 * time.Second},
+			"run-003": {steps: 3, stepDur: 5 * time.Second},
+		}, map[string][2]float64{"long": {60, 0}, "urgent": {20, 0}, "mid": {15, 0}})
+		rig.sched.Submit(graph("long"))
+		rig.clock.Schedule(10*time.Second, func(time.Duration) {
+			rig.sched.SubmitWith(graph("urgent"), SubmitOptions{Deadline: 40 * time.Second})
+		})
+		rig.clock.Schedule(12*time.Second, func(time.Duration) {
+			rig.sched.SubmitWith(graph("mid"), SubmitOptions{Deadline: 120 * time.Second})
+		})
+		rig.sched.Drain()
+		out := fmt.Sprintf("end=%v;", rig.clock.Now())
+		for _, st := range rig.sched.Runs() {
+			out += fmt.Sprintf("%s:%s[%0.f-%.0f,p%d];", st.ID, st.Status, st.StartedSec, st.FinishedSec, st.Preemptions)
+		}
+		return out
+	}
+	want := timeline()
+	for i := 0; i < 5; i++ {
+		if got := timeline(); got != want {
+			t.Fatalf("iteration %d: timeline %q, want %q", i, got, want)
+		}
+	}
+}

@@ -5,15 +5,25 @@
 //
 // The design splits arbitration in two:
 //
-//   - Admission: a pluggable Policy decides when a queued run may start and
-//     how many whole nodes it leases (cluster.Reservation). Node-granular
-//     leases make oversubscription structurally impossible and keep admitted
-//     runs from starving each other of containers.
+//   - Scheduling: a pluggable Policy observes the full run state (queued,
+//     active, suspended) and returns Actions — admit, resume, resize,
+//     preempt, reject. Admitted runs hold an elastic node lease
+//     (cluster.Reservation) that the policy can grow, shrink, or revoke;
+//     node-granular leases make oversubscription structurally impossible and
+//     keep admitted runs from starving each other of containers.
 //   - Cooperation: every admitted run executes on its own goroutine but
 //     blocks on virtual time through a vtime.Party, so at most one run
 //     executes at any instant and the interleaving is a pure function of the
 //     virtual-time schedule. Fixed seed in, byte-identical traces out — even
 //     under the race detector.
+//
+// Preemption is cooperative: a Preempt action raises the run's suspend flag;
+// the executor stops at the next completed-operator boundary, drains its
+// in-flight gangs, and returns the materialized intermediates. The scheduler
+// revokes the lease, parks the run (its goroutine leaves the cooperative
+// clock entirely), and a later Resume action replans from the banked done
+// set — so no simulated work is silently lost and zero completed operators
+// re-execute.
 package scheduler
 
 import (
@@ -34,12 +44,23 @@ import (
 // ErrCanceled indicates the run was canceled before or during execution.
 var ErrCanceled = errors.New("scheduler: run canceled")
 
+// ErrRejected indicates the admission policy refused the run outright (e.g.
+// its cost estimate can never fit the tenant's budget).
+var ErrRejected = errors.New("scheduler: run rejected by admission policy")
+
 // Status is the lifecycle state of a submitted run.
 type Status int
 
 const (
 	StatusQueued Status = iota
 	StatusRunning
+	// StatusSuspended marks a preempted run: its lease is revoked and its
+	// goroutine is parked off the cooperative clock, holding the done set
+	// for a later resume.
+	StatusSuspended
+	// StatusResuming marks a suspended run that has been granted a fresh
+	// lease but has not yet re-entered execution.
+	StatusResuming
 	StatusSucceeded
 	StatusFailed
 	StatusCanceled
@@ -52,6 +73,10 @@ func (s Status) String() string {
 		return "queued"
 	case StatusRunning:
 		return "running"
+	case StatusSuspended:
+		return "suspended"
+	case StatusResuming:
+		return "resuming"
 	case StatusSucceeded:
 		return "succeeded"
 	case StatusFailed:
@@ -70,31 +95,47 @@ type Snapshot struct {
 	ID       string `json:"id"`
 	Workflow string `json:"workflow,omitempty"`
 	Status   string `json:"status"`
-	// LeasedNodes is the node quota granted at admission (0 while queued).
+	// Tenant is the budget account the run is charged to (CostQuota).
+	Tenant string `json:"tenant,omitempty"`
+	// LeasedNodes is the current node lease size (0 while queued or
+	// suspended).
 	LeasedNodes int `json:"leasedNodes,omitempty"`
 	// Virtual-time marks, in seconds since simulation start. FinishedSec is
 	// meaningful only for terminal runs.
 	SubmittedSec float64 `json:"submittedSec"`
 	StartedSec   float64 `json:"startedSec,omitempty"`
 	FinishedSec  float64 `json:"finishedSec,omitempty"`
+	// DeadlineSec is the absolute virtual-time deadline (0 = none).
+	DeadlineSec float64 `json:"deadlineSec,omitempty"`
 	// MakespanSec is the run's execution duration (terminal runs only).
 	MakespanSec float64 `json:"makespanSec,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Preemptions counts how many times the run has been suspended;
+	// SuspendedSec is the total virtual time spent suspended.
+	Preemptions  int     `json:"preemptions,omitempty"`
+	SuspendedSec float64 `json:"suspendedSec,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // Run is the handle of one submitted workflow.
 type Run struct {
 	id       string
 	workflow string
+	tenant   string
+	deadline time.Duration // absolute vtime; 0 = none
 	g        *workflow.Graph
 	sched    *Scheduler
 
 	canceled atomic.Bool
+	// suspend is the cooperative-preemption flag: raised by a Preempt
+	// action, polled by the executor, cleared when the suspension lands.
+	suspend  atomic.Bool
 	done     chan struct{}
+	resumeCh chan struct{} // buffered(1); signaled on resume grant or cancel-while-suspended
 
 	mu          sync.Mutex
 	status      Status
 	lease       *cluster.Reservation
+	leasedNodes int // current lease size; survives finish (last size), zeroed on suspend
 	party       *vtime.Party
 	plan        *planner.Plan
 	result      *executor.Result
@@ -102,6 +143,18 @@ type Run struct {
 	submittedAt time.Duration
 	startedAt   time.Duration
 	finishedAt  time.Duration
+
+	estTime float64 // planner estimate, seconds (0 = none)
+	estCost float64
+
+	// Suspension bookkeeping (guarded by mu).
+	doneSet        []planner.MaterializedIntermediate
+	preemptions    int
+	suspendedAt    time.Duration
+	suspendedTotal time.Duration
+	running        bool          // currently charged as executing
+	runningSince   time.Duration // start of the current execution stretch
+	ranFor         time.Duration // accumulated execution time (suspensions excluded)
 }
 
 // ID returns the scheduler-unique run id (also stamped on trace events).
@@ -120,20 +173,27 @@ func (r *Run) Wait() (*planner.Plan, *executor.Result, error) {
 
 // Status returns a point-in-time snapshot of the run.
 func (r *Run) Status() Snapshot {
+	now := r.sched.clock.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	snap := Snapshot{
 		ID:           r.id,
 		Workflow:     r.workflow,
+		Tenant:       r.tenant,
 		Status:       r.status.String(),
 		SubmittedSec: r.submittedAt.Seconds(),
+		DeadlineSec:  r.deadline.Seconds(),
+		Preemptions:  r.preemptions,
 	}
-	if r.lease != nil {
-		snap.LeasedNodes = r.lease.Size()
-	}
+	snap.LeasedNodes = r.leasedNodes
 	if r.status >= StatusRunning {
 		snap.StartedSec = r.startedAt.Seconds()
 	}
+	suspended := r.suspendedTotal
+	if r.status == StatusSuspended {
+		suspended += now - r.suspendedAt
+	}
+	snap.SuspendedSec = suspended.Seconds()
 	if r.status.Terminal() {
 		snap.FinishedSec = r.finishedAt.Seconds()
 		snap.MakespanSec = (r.finishedAt - r.startedAt).Seconds()
@@ -149,72 +209,38 @@ func (r *Run) Done() <-chan struct{} { return r.done }
 
 // Cancel requests cancellation: a queued run is removed from the queue
 // immediately, a running one stops at its next decision point (in-flight
-// attempts drain first so no containers leak). Cancel is asynchronous; use
-// Wait to observe the terminal state.
+// attempts drain first so no containers leak), and a suspended one is woken
+// to finalize. Cancel is asynchronous; use Wait to observe the terminal
+// state.
 func (r *Run) Cancel() {
 	r.canceled.Store(true)
 	r.sched.dropIfQueued(r)
+	r.sched.wakeIfSuspended(r)
 	// A running party notices the flag at its next decision point; kick in
 	// case every party is parked and the clock needs a push.
 	r.sched.clock.Kick()
 }
 
-// Policy decides admission: when a queued run may start and how many whole
-// nodes it leases. Implementations must be pure functions of their inputs —
-// admission happens inside the scheduler lock.
-type Policy interface {
-	Name() string
-	// Quota returns the node lease size for the next admission given the
-	// cluster's total node count, the currently unreserved healthy nodes,
-	// and the number of active and queued runs. Returning <= 0 holds
-	// admission until the state changes.
-	Quota(totalNodes, freeNodes, active, queued int) int
+// doneSnapshot returns the banked done set of a suspended run.
+func (r *Run) doneSnapshot() []planner.MaterializedIntermediate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]planner.MaterializedIntermediate(nil), r.doneSet...)
 }
 
-// FIFO admits one run at a time and leases it every node: strict submission
-// order, zero inter-run interference, serialized makespans.
-type FIFO struct{}
-
-// Name implements Policy.
-func (FIFO) Name() string { return "fifo" }
-
-// Quota implements Policy.
-func (FIFO) Quota(totalNodes, freeNodes, active, queued int) int {
-	if active > 0 {
-		return 0
-	}
-	return totalNodes
-}
-
-// FairShare admits up to MaxConcurrent runs, each leasing an equal slice of
-// the cluster. Contended workloads overlap instead of serializing, trading
-// per-run speed for throughput.
-type FairShare struct {
-	// MaxConcurrent bounds simultaneously admitted runs (min 1).
-	MaxConcurrent int
-}
-
-// Name implements Policy.
-func (f FairShare) Name() string { return fmt.Sprintf("fair-share(%d)", f.slots()) }
-
-func (f FairShare) slots() int {
-	if f.MaxConcurrent < 1 {
-		return 1
-	}
-	return f.MaxConcurrent
-}
-
-// Quota implements Policy.
-func (f FairShare) Quota(totalNodes, freeNodes, active, queued int) int {
-	k := f.slots()
-	if active >= k {
-		return 0
-	}
-	share := totalNodes / k
-	if share < 1 {
-		share = 1
-	}
-	return share
+// ExecContext carries the per-segment execution bindings the scheduler hands
+// to NewExecutor: the lease and cooperative party of the current segment plus
+// the cancellation and cooperative-suspension probes.
+type ExecContext struct {
+	RunID string
+	Lease *cluster.Reservation
+	Party *vtime.Party
+	// Canceled aborts the run at the next decision point.
+	Canceled func() bool
+	// Suspend asks the executor to stop at the next completed-operator
+	// boundary and return executor.ErrSuspended with the materialized
+	// intermediates.
+	Suspend func() bool
 }
 
 // Exec runs one planned workflow; *executor.Executor satisfies it.
@@ -222,39 +248,66 @@ type Exec interface {
 	Execute(g *workflow.Graph, plan *planner.Plan) (*executor.Result, error)
 }
 
+// ResumableExec is the optional capability needed for preemption: resuming a
+// suspended run replans from the banked done set. *executor.Executor
+// satisfies it.
+type ResumableExec interface {
+	Exec
+	Resume(g *workflow.Graph, done []planner.MaterializedIntermediate) (*executor.Result, error)
+}
+
 // Config wires a Scheduler.
 type Config struct {
 	Clock   *vtime.Clock
 	Cluster *cluster.Cluster
-	// Policy is the admission policy (default FIFO).
+	// Policy is the scheduling policy (default FIFO).
 	Policy Policy
 	// Plan produces the materialized plan for an admitted run. It is called
 	// inside the run's party, so concurrent planning is serialized and
 	// deterministic.
 	Plan func(g *workflow.Graph) (*planner.Plan, error)
-	// NewExecutor builds the per-run executor. The scheduler hands it the
-	// run's lease and cooperative party plus a cancellation probe; the
-	// implementation must confine the executor to them.
-	NewExecutor func(runID string, lease *cluster.Reservation, party *vtime.Party, canceled func() bool) Exec
+	// NewExecutor builds the per-segment executor. The scheduler hands it
+	// the segment's lease and cooperative party plus the cancellation and
+	// suspension probes; the implementation must confine the executor to
+	// them. A fresh executor is built for every resume segment.
+	NewExecutor func(ctx ExecContext) Exec
+	// Estimate, when non-nil, predicts a workflow's execution time (virtual
+	// seconds) and modeled cost. It is consulted at submission — and only
+	// when the policy implements Estimator and asks for estimates — to fill
+	// RunState.EstTimeSec/EstCost for deadline/budget decisions.
+	Estimate func(g *workflow.Graph) (timeSec, costUnits float64, err error)
 	// Tracer receives run lifecycle events; nil discards them.
 	Tracer trace.Tracer
 }
 
-// Scheduler is the multi-workflow submission queue + admission controller.
+// SubmitOptions carries the scheduling metadata of one submission.
+type SubmitOptions struct {
+	// Name labels the run in status listings (default: the graph target).
+	Name string
+	// Tenant is the budget account for CostQuota-style policies.
+	Tenant string
+	// Deadline is the absolute virtual-time deadline for Deadline-style
+	// policies (0 = none).
+	Deadline time.Duration
+}
+
+// Scheduler is the multi-workflow submission queue + scheduling core.
 // It is safe for concurrent use.
 type Scheduler struct {
-	clock   *vtime.Clock
-	cluster *cluster.Cluster
-	policy  Policy
-	plan    func(g *workflow.Graph) (*planner.Plan, error)
-	newExec func(runID string, lease *cluster.Reservation, party *vtime.Party, canceled func() bool) Exec
-	tracer  trace.Tracer
+	clock    *vtime.Clock
+	cluster  *cluster.Cluster
+	policy   Policy
+	plan     func(g *workflow.Graph) (*planner.Plan, error)
+	newExec  func(ctx ExecContext) Exec
+	estimate func(g *workflow.Graph) (float64, float64, error)
+	tracer   trace.Tracer
 
-	mu     sync.Mutex
-	nextID int
-	queue  []*Run
-	active map[string]*Run
-	all    []*Run // submission order
+	mu        sync.Mutex
+	nextID    int
+	queue     []*Run
+	active    map[string]*Run
+	suspended map[string]*Run
+	all       []*Run // submission order
 }
 
 // New builds a scheduler; Clock, Cluster, Plan and NewExecutor are required.
@@ -271,51 +324,87 @@ func New(cfg Config) (*Scheduler, error) {
 		tracer = trace.Nop()
 	}
 	return &Scheduler{
-		clock:   cfg.Clock,
-		cluster: cfg.Cluster,
-		policy:  policy,
-		plan:    cfg.Plan,
-		newExec: cfg.NewExecutor,
-		tracer:  tracer,
-		active:  make(map[string]*Run),
+		clock:     cfg.Clock,
+		cluster:   cfg.Cluster,
+		policy:    policy,
+		plan:      cfg.Plan,
+		newExec:   cfg.NewExecutor,
+		estimate:  cfg.Estimate,
+		tracer:    tracer,
+		active:    make(map[string]*Run),
+		suspended: make(map[string]*Run),
 	}, nil
 }
 
-// Policy returns the active admission policy.
+// Policy returns the active scheduling policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
-// Submit enqueues a workflow and returns its run handle. Admission is
+// Submit enqueues a workflow and returns its run handle. Scheduling is
 // attempted immediately, but no admitted run executes until the cooperative
 // clock is kicked (Run.Wait, Drain or Start) — so a batch of Submit calls is
 // deterministic regardless of goroutine scheduling.
 func (s *Scheduler) Submit(g *workflow.Graph) *Run {
-	return s.SubmitNamed(g.Target, g)
+	return s.SubmitWith(g, SubmitOptions{})
 }
 
 // SubmitNamed is Submit with an explicit workflow label for status listings.
 func (s *Scheduler) SubmitNamed(name string, g *workflow.Graph) *Run {
+	return s.SubmitWith(g, SubmitOptions{Name: name})
+}
+
+// SubmitWith is Submit with full scheduling metadata (label, tenant,
+// deadline).
+func (s *Scheduler) SubmitWith(g *workflow.Graph, opts SubmitOptions) *Run {
+	name := opts.Name
+	if name == "" {
+		name = g.Target
+	}
+	// Estimates are produced before enqueueing (planning may take real
+	// time) and only for policies that ask, so estimate-free policies keep
+	// their exact event streams.
+	var estTime, estCost float64
+	if s.estimate != nil {
+		if e, ok := s.policy.(Estimator); ok && e.NeedsEstimates() {
+			if t, c, err := s.estimate(g); err == nil {
+				estTime, estCost = t, c
+			}
+		}
+	}
+
 	s.mu.Lock()
 	s.nextID++
 	r := &Run{
 		id:          fmt.Sprintf("run-%03d", s.nextID),
 		workflow:    name,
+		tenant:      opts.Tenant,
+		deadline:    opts.Deadline,
 		g:           g,
 		sched:       s,
 		done:        make(chan struct{}),
+		resumeCh:    make(chan struct{}, 1),
 		status:      StatusQueued,
 		submittedAt: s.clock.Now(),
+		estTime:     estTime,
+		estCost:     estCost,
 	}
 	s.queue = append(s.queue, r)
 	s.all = append(s.all, r)
 	depth := len(s.queue)
 	s.mu.Unlock()
 
+	fields := map[string]float64{"queueDepth": float64(depth)}
+	if opts.Deadline > 0 {
+		fields["deadlineSec"] = opts.Deadline.Seconds()
+	}
+	if estTime > 0 {
+		fields["estTimeSec"] = estTime
+	}
 	s.tracer.Emit(trace.Event{
 		Type: trace.EvRunSubmit, RunID: r.id, Operator: name,
-		Fields: map[string]float64{"queueDepth": float64(depth)},
+		Fields: fields,
 	}.At(r.submittedAt))
 
-	s.admit()
+	s.schedule()
 	return r
 }
 
@@ -323,13 +412,17 @@ func (s *Scheduler) SubmitNamed(name string, g *workflow.Graph) *Run {
 func (s *Scheduler) Start() { s.clock.Kick() }
 
 // Drain waits until every submitted run (including ones submitted while
-// draining) reaches a terminal state.
+// draining) reaches a terminal state. Suspended runs count as pending: the
+// policy (or the progress safety net) resumes them as capacity frees.
 func (s *Scheduler) Drain() {
 	for {
 		s.mu.Lock()
-		pending := make([]*Run, 0, len(s.queue)+len(s.active))
+		pending := make([]*Run, 0, len(s.queue)+len(s.active)+len(s.suspended))
 		pending = append(pending, s.queue...)
 		for _, r := range s.active {
+			pending = append(pending, r)
+		}
+		for _, r := range s.suspended {
 			pending = append(pending, r)
 		}
 		s.mu.Unlock()
@@ -381,59 +474,323 @@ func (s *Scheduler) ActiveRuns() int {
 	return len(s.active)
 }
 
-// admit runs the admission loop under the scheduler lock.
-func (s *Scheduler) admit() {
-	type admitted struct {
-		r     *Run
-		nodes int
-	}
-	var started []admitted
+// SuspendedRuns reports the number of preempted runs awaiting resume.
+func (s *Scheduler) SuspendedRuns() int {
 	s.mu.Lock()
-	for len(s.queue) > 0 {
-		head := s.queue[0]
-		if head.canceled.Load() {
-			s.queue = s.queue[1:]
-			s.finalizeCanceled(head)
+	defer s.mu.Unlock()
+	return len(s.suspended)
+}
+
+// runStateLocked builds the policy-visible view of one run; s.mu held.
+func (s *Scheduler) runStateLocked(r *Run, now time.Duration) RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := RunState{
+		ID:           r.id,
+		Workflow:     r.workflow,
+		Tenant:       r.tenant,
+		Status:       r.status,
+		SubmittedSec: r.submittedAt.Seconds(),
+		DeadlineSec:  r.deadline.Seconds(),
+		EstTimeSec:   r.estTime,
+		EstCost:      r.estCost,
+		Preemptions:  r.preemptions,
+		Preempting:   r.suspend.Load(),
+	}
+	if r.status >= StatusRunning {
+		rs.StartedSec = r.startedAt.Seconds()
+	}
+	rs.LeasedNodes = r.leasedNodes
+	ran := r.ranFor
+	if r.running {
+		ran += now - r.runningSince
+	}
+	rs.RanSec = ran.Seconds()
+	return rs
+}
+
+// stateLocked assembles the full policy input; s.mu held. Queued is in
+// submission order; Active and Suspended follow the global submission order
+// too, keeping Decide's input deterministic.
+func (s *Scheduler) stateLocked(now time.Duration) State {
+	st := State{
+		NowSec:     now.Seconds(),
+		TotalNodes: len(s.cluster.Nodes()),
+		FreeNodes:  s.cluster.UnreservedHealthy(),
+	}
+	for _, r := range s.queue {
+		st.Queued = append(st.Queued, s.runStateLocked(r, now))
+	}
+	for _, r := range s.all {
+		if _, ok := s.active[r.id]; ok {
+			st.Active = append(st.Active, s.runStateLocked(r, now))
+		} else if _, ok := s.suspended[r.id]; ok {
+			st.Suspended = append(st.Suspended, s.runStateLocked(r, now))
+		}
+	}
+	return st
+}
+
+// queuedLocked finds a run in the queue by id; s.mu held.
+func (s *Scheduler) queuedLocked(id string) *Run {
+	for _, r := range s.queue {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// removeQueuedLocked drops a run from the queue; s.mu held.
+func (s *Scheduler) removeQueuedLocked(r *Run) {
+	for i, q := range s.queue {
+		if q == r {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// schedule runs Decide/apply rounds until the policy quiesces (a round
+// applies no action). It is called at every scheduling boundary: submission,
+// run finish, suspension landing, cancellation.
+func (s *Scheduler) schedule() {
+	for s.scheduleOnce() {
+	}
+}
+
+// grantLocked gives a run a fresh lease and a party seat; s.mu held.
+func (s *Scheduler) grantLocked(r *Run, lease *cluster.Reservation, status Status, now time.Duration) {
+	r.mu.Lock()
+	r.status = status
+	r.lease = lease
+	r.leasedNodes = lease.Size()
+	r.party = s.clock.Join()
+	r.running = true
+	r.runningSince = now
+	r.mu.Unlock()
+	s.active[r.id] = r
+}
+
+// scheduleOnce performs one Decide/apply round and reports whether any
+// action applied.
+func (s *Scheduler) scheduleOnce() bool {
+	var started []*Run
+	progress := false
+
+	s.mu.Lock()
+	now := s.clock.Now()
+
+	// Scrub cancellations first: canceled queued runs finalize, canceled
+	// suspended runs are woken to finalize themselves.
+	for _, r := range s.all {
+		if !r.canceled.Load() {
 			continue
 		}
-		total := len(s.cluster.Nodes())
-		free := s.cluster.UnreservedHealthy()
-		quota := s.policy.Quota(total, free, len(s.active), len(s.queue))
-		if quota <= 0 {
-			break
-		}
-		if quota > free {
-			// Progress guarantee: with nothing running, waiting for more
-			// free nodes would wait forever — shrink to what exists.
-			if len(s.active) > 0 || free == 0 {
-				break
+		if q := s.queuedLocked(r.id); q != nil {
+			s.removeQueuedLocked(q)
+			s.finalizeCanceled(q)
+		} else if _, ok := s.suspended[r.id]; ok {
+			delete(s.suspended, r.id)
+			select {
+			case r.resumeCh <- struct{}{}:
+			default:
 			}
-			quota = free
 		}
-		lease, err := s.cluster.Reserve(quota)
-		if err != nil {
-			break
+	}
+
+	st := s.stateLocked(now)
+	actions := s.policy.Decide(st)
+	for _, a := range actions {
+		switch a := a.(type) {
+		case Admit:
+			r := s.queuedLocked(a.Run)
+			if r == nil || a.Nodes < 1 || r.canceled.Load() {
+				continue
+			}
+			lease, err := s.cluster.Reserve(a.Nodes)
+			if err != nil {
+				continue
+			}
+			s.removeQueuedLocked(r)
+			s.grantLocked(r, lease, StatusRunning, now)
+			r.mu.Lock()
+			r.startedAt = now
+			wait := now - r.submittedAt
+			r.mu.Unlock()
+			s.tracer.Emit(trace.Event{
+				Type: trace.EvLeaseGrant, RunID: r.id,
+				Fields: map[string]float64{"nodes": float64(lease.Size())},
+			}.At(now))
+			s.tracer.Emit(trace.Event{
+				Type: trace.EvRunAdmit, RunID: r.id, Operator: r.workflow,
+				Fields: map[string]float64{"nodes": float64(lease.Size()), "waitSec": wait.Seconds()},
+			}.At(now))
+			started = append(started, r)
+			progress = true
+
+		case Resume:
+			r := s.suspended[a.Run]
+			if r == nil || a.Nodes < 1 || r.canceled.Load() {
+				continue
+			}
+			lease, err := s.cluster.Reserve(a.Nodes)
+			if err != nil {
+				continue
+			}
+			delete(s.suspended, r.id)
+			s.grantLocked(r, lease, StatusResuming, now)
+			r.mu.Lock()
+			slept := now - r.suspendedAt
+			r.suspendedTotal += slept
+			r.mu.Unlock()
+			s.tracer.Emit(trace.Event{
+				Type: trace.EvLeaseGrant, RunID: r.id,
+				Fields: map[string]float64{"nodes": float64(lease.Size())},
+			}.At(now))
+			s.tracer.Emit(trace.Event{
+				Type: trace.EvRunResume, RunID: r.id, Operator: r.workflow,
+				Fields: map[string]float64{"nodes": float64(lease.Size()), "suspendedSec": slept.Seconds()},
+			}.At(now))
+			r.resumeCh <- struct{}{}
+			progress = true
+
+		case Preempt:
+			r := s.active[a.Run]
+			if r == nil {
+				continue
+			}
+			if r.suspend.Swap(true) {
+				continue // already pending
+			}
+			progress = true
+
+		case Resize:
+			r := s.active[a.Run]
+			if r == nil || a.Nodes < 1 {
+				continue
+			}
+			r.mu.Lock()
+			lease := r.lease
+			r.mu.Unlock()
+			if lease == nil {
+				continue
+			}
+			cur := lease.Size()
+			if a.Nodes > cur {
+				added, err := s.cluster.GrowReservation(lease, a.Nodes-cur)
+				if err != nil || len(added) == 0 {
+					continue
+				}
+				r.mu.Lock()
+				r.leasedNodes = lease.Size()
+				r.mu.Unlock()
+				s.tracer.Emit(trace.Event{
+					Type: trace.EvLeaseGrow, RunID: r.id,
+					Fields: map[string]float64{"nodes": float64(len(added)), "total": float64(lease.Size())},
+				}.At(now))
+				progress = true
+			} else if a.Nodes < cur {
+				removed, err := s.cluster.ShrinkReservation(lease, a.Nodes)
+				if err != nil || len(removed) == 0 {
+					continue
+				}
+				r.mu.Lock()
+				r.leasedNodes = lease.Size()
+				r.mu.Unlock()
+				s.tracer.Emit(trace.Event{
+					Type: trace.EvLeaseShrink, RunID: r.id,
+					Fields: map[string]float64{"nodes": float64(len(removed)), "total": float64(lease.Size())},
+				}.At(now))
+				progress = true
+			}
+
+		case Reject:
+			r := s.queuedLocked(a.Run)
+			if r == nil {
+				continue
+			}
+			s.removeQueuedLocked(r)
+			r.mu.Lock()
+			r.status = StatusFailed
+			r.err = fmt.Errorf("%w: %s", ErrRejected, a.Reason)
+			r.finishedAt = now
+			r.startedAt = now
+			r.mu.Unlock()
+			s.tracer.Emit(trace.Event{
+				Type: trace.EvRunReject, RunID: r.id, Operator: r.workflow,
+				Error: a.Reason,
+			}.At(now))
+			close(r.done)
+			progress = true
 		}
-		s.queue = s.queue[1:]
-		now := s.clock.Now()
-		head.mu.Lock()
-		head.status = StatusRunning
-		head.lease = lease
-		head.party = s.clock.Join()
-		head.startedAt = now
-		head.mu.Unlock()
-		s.active[head.id] = head
-		started = append(started, admitted{r: head, nodes: lease.Size()})
+	}
+
+	// Progress safety net: a policy that yields no applicable action while
+	// the cluster sits idle would deadlock Drain. Force the earliest
+	// waiting run (suspended preferred over queued at equal submission
+	// time: it holds completed work) onto the free pool.
+	if !progress && len(s.active) == 0 {
+		free := s.cluster.UnreservedHealthy()
+		var pick *Run
+		if len(s.queue) > 0 {
+			pick = s.queue[0]
+		}
+		for _, r := range s.all {
+			if _, ok := s.suspended[r.id]; !ok {
+				continue
+			}
+			if pick == nil || r.submittedAt <= pick.submittedAt {
+				pick = r
+				break // s.all is submission-ordered; first suspended wins
+			}
+		}
+		if pick != nil && free > 0 && !pick.canceled.Load() {
+			if lease, err := s.cluster.Reserve(free); err == nil {
+				if _, ok := s.suspended[pick.id]; ok {
+					delete(s.suspended, pick.id)
+					s.grantLocked(pick, lease, StatusResuming, now)
+					pick.mu.Lock()
+					slept := now - pick.suspendedAt
+					pick.suspendedTotal += slept
+					pick.mu.Unlock()
+					s.tracer.Emit(trace.Event{
+						Type: trace.EvLeaseGrant, RunID: pick.id,
+						Fields: map[string]float64{"nodes": float64(lease.Size())},
+					}.At(now))
+					s.tracer.Emit(trace.Event{
+						Type: trace.EvRunResume, RunID: pick.id, Operator: pick.workflow,
+						Fields: map[string]float64{"nodes": float64(lease.Size()), "suspendedSec": slept.Seconds()},
+					}.At(now))
+					pick.resumeCh <- struct{}{}
+					progress = true
+				} else {
+					s.removeQueuedLocked(pick)
+					s.grantLocked(pick, lease, StatusRunning, now)
+					pick.mu.Lock()
+					pick.startedAt = now
+					wait := now - pick.submittedAt
+					pick.mu.Unlock()
+					s.tracer.Emit(trace.Event{
+						Type: trace.EvLeaseGrant, RunID: pick.id,
+						Fields: map[string]float64{"nodes": float64(lease.Size())},
+					}.At(now))
+					s.tracer.Emit(trace.Event{
+						Type: trace.EvRunAdmit, RunID: pick.id, Operator: pick.workflow,
+						Fields: map[string]float64{"nodes": float64(lease.Size()), "waitSec": wait.Seconds()},
+					}.At(now))
+					started = append(started, pick)
+					progress = true
+				}
+			}
+		}
 	}
 	s.mu.Unlock()
 
-	for _, a := range started {
-		s.tracer.Emit(trace.Event{
-			Type: trace.EvRunAdmit, RunID: a.r.id, Operator: a.r.workflow,
-			Fields: map[string]float64{"nodes": float64(a.nodes)},
-		}.At(a.r.startedAt))
-		go s.runParty(a.r)
+	for _, r := range started {
+		go s.runParty(r)
 	}
+	return progress
 }
 
 // finalizeCanceled finishes a run that was canceled while still queued.
@@ -464,9 +821,168 @@ func (s *Scheduler) dropIfQueued(r *Run) {
 	}
 }
 
+// wakeIfSuspended wakes a canceled suspended run so its parked goroutine can
+// finalize.
+func (s *Scheduler) wakeIfSuspended(r *Run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.suspended[r.id]; ok {
+		delete(s.suspended, r.id)
+		select {
+		case r.resumeCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// mergeResults folds the per-segment results of a preempted-and-resumed run
+// into one: counters add up, logs concatenate, and the final dataset comes
+// from the last segment. Makespan is the summed execution time (suspension
+// windows excluded — the wall-clock span lives in the run's Snapshot).
+func mergeResults(segs []*executor.Result) *executor.Result {
+	if len(segs) == 0 {
+		return nil
+	}
+	if len(segs) == 1 {
+		return segs[0]
+	}
+	out := &executor.Result{}
+	for _, r := range segs {
+		out.Makespan += r.Makespan
+		out.TotalCostUnits += r.TotalCostUnits
+		out.Runs = append(out.Runs, r.Runs...)
+		out.Replans += r.Replans
+		out.ReplanTime += r.ReplanTime
+		out.Retries += r.Retries
+		out.SpeculativeLaunches += r.SpeculativeLaunches
+		out.SpeculativeWins += r.SpeculativeWins
+		out.ContainersLost += r.ContainersLost
+		out.StepLog = append(out.StepLog, r.StepLog...)
+	}
+	last := segs[len(segs)-1]
+	out.FinalRecords = last.FinalRecords
+	out.FinalBytes = last.FinalBytes
+	out.Intermediates = last.Intermediates
+	return out
+}
+
+// executeSegments drives a run through its execution segments: the first
+// executes the plan from scratch; each suspension banks the done set, parks,
+// and the following segment resumes via replan-from-done-set on a fresh
+// lease and party.
+func (s *Scheduler) executeSegments(r *Run, plan *planner.Plan) (*executor.Result, error) {
+	var segs []*executor.Result
+	resumed := false
+	for {
+		r.mu.Lock()
+		lease, party := r.lease, r.party
+		r.mu.Unlock()
+		exec := s.newExec(ExecContext{
+			RunID:    r.id,
+			Lease:    lease,
+			Party:    party,
+			Canceled: r.canceled.Load,
+			Suspend:  r.suspend.Load,
+		})
+		var (
+			res *executor.Result
+			err error
+		)
+		if !resumed {
+			res, err = exec.Execute(r.g, plan)
+		} else {
+			rex, ok := exec.(ResumableExec)
+			if !ok {
+				return mergeResults(segs), fmt.Errorf("scheduler: executor for %s cannot resume", r.id)
+			}
+			res, err = rex.Resume(r.g, r.doneSnapshot())
+		}
+		if res != nil {
+			segs = append(segs, res)
+		}
+		if !errors.Is(err, executor.ErrSuspended) {
+			return mergeResults(segs), err
+		}
+		if res != nil {
+			r.mu.Lock()
+			r.doneSet = res.Intermediates
+			r.mu.Unlock()
+		}
+		if !s.parkSuspended(r) {
+			return mergeResults(segs), ErrCanceled
+		}
+		resumed = true
+	}
+}
+
+// parkSuspended lands a suspension: revoke the lease, move the run to the
+// suspended set, leave the cooperative clock, and park until a Resume grant
+// (returns true) or cancellation (returns false). The caller's goroutine is
+// the running party on entry; on a true return it is the running party of a
+// fresh seat.
+func (s *Scheduler) parkSuspended(r *Run) bool {
+	r.suspend.Store(false)
+	now := s.clock.Now()
+
+	s.mu.Lock()
+	r.mu.Lock()
+	lease := r.lease
+	oldParty := r.party
+	r.lease = nil
+	r.leasedNodes = 0
+	r.party = nil
+	r.status = StatusSuspended
+	r.preemptions++
+	r.suspendedAt = now
+	if r.running {
+		r.ranFor += now - r.runningSince
+		r.running = false
+	}
+	r.mu.Unlock()
+	nodes := 0
+	if lease != nil {
+		nodes = lease.Size()
+	}
+	dropped := s.cluster.RevokeReservation(lease)
+	delete(s.active, r.id)
+	s.suspended[r.id] = r
+	s.tracer.Emit(trace.Event{
+		Type: trace.EvRunSuspend, RunID: r.id, Operator: r.workflow,
+		Fields: map[string]float64{"nodes": float64(nodes), "droppedContainers": float64(dropped)},
+	}.At(now))
+	s.tracer.Emit(trace.Event{
+		Type: trace.EvLeaseRevoke, RunID: r.id,
+		Fields: map[string]float64{"nodes": float64(nodes)},
+	}.At(now))
+	s.mu.Unlock()
+
+	// Hand the freed capacity to the policy before leaving the clock: the
+	// preemptor (or any waiting run) joins as a party first, so the party
+	// count never drains to zero mid-preemption.
+	s.schedule()
+	oldParty.Leave()
+
+	<-r.resumeCh
+	// A wake without a re-granted party means cancellation; with one, the
+	// run proceeds (the executor observes the cancel flag at its next
+	// decision point if both raced in).
+	r.mu.Lock()
+	party := r.party
+	r.mu.Unlock()
+	if party == nil {
+		return false
+	}
+	party.Await()
+	r.mu.Lock()
+	r.status = StatusRunning
+	r.mu.Unlock()
+	return true
+}
+
 // runParty is the per-run goroutine: it awaits its dispatch turn, plans,
-// executes confined to the lease, and finishes — admitting successors
-// before leaving the cooperative clock.
+// executes confined to the (elastic) lease — possibly across several
+// suspend/resume segments — and finishes, scheduling successors before
+// leaving the cooperative clock.
 func (s *Scheduler) runParty(r *Run) {
 	r.party.Await()
 
@@ -481,8 +997,7 @@ func (s *Scheduler) runParty(r *Run) {
 	default:
 		plan, err = s.plan(r.g)
 		if err == nil {
-			exec := s.newExec(r.id, r.lease, r.party, r.canceled.Load)
-			res, err = exec.Execute(r.g, plan)
+			res, err = s.executeSegments(r, plan)
 			if errors.Is(err, executor.ErrCanceled) {
 				err = ErrCanceled
 			}
@@ -503,8 +1018,15 @@ func (s *Scheduler) runParty(r *Run) {
 	r.result = res
 	r.err = err
 	r.finishedAt = now
+	if r.running {
+		r.ranFor += now - r.runningSince
+		r.running = false
+	}
 	started := r.startedAt
 	lease := r.lease
+	party := r.party
+	r.lease = nil
+	r.party = nil
 	r.mu.Unlock()
 
 	ev := trace.Event{
@@ -519,14 +1041,25 @@ func (s *Scheduler) runParty(r *Run) {
 	s.tracer.Emit(ev.At(now))
 
 	s.mu.Lock()
-	s.cluster.ReleaseReservation(lease)
+	if lease != nil {
+		nodes := lease.Size()
+		s.cluster.ReleaseReservation(lease)
+		s.tracer.Emit(trace.Event{
+			Type: trace.EvLeaseRevoke, RunID: r.id,
+			Fields: map[string]float64{"nodes": float64(nodes)},
+		}.At(now))
+	}
 	delete(s.active, r.id)
+	delete(s.suspended, r.id)
 	s.mu.Unlock()
 
-	// Admit successors before leaving: the party count never touches zero
-	// mid-drain, so the cooperative clock keeps flowing from run to run.
-	s.admit()
+	// Schedule successors before leaving: the party count never touches
+	// zero mid-drain, so the cooperative clock keeps flowing from run to
+	// run.
+	s.schedule()
 
 	close(r.done)
-	r.party.Leave()
+	if party != nil {
+		party.Leave()
+	}
 }

@@ -75,16 +75,16 @@ func newRig(t *testing.T, nodes int, policy Policy, durs map[string]time.Duratio
 		Plan: func(g *workflow.Graph) (*planner.Plan, error) {
 			return &planner.Plan{Target: g.Target}, nil
 		},
-		NewExecutor: func(runID string, lease *cluster.Reservation, party *vtime.Party, canceled func() bool) Exec {
+		NewExecutor: func(ctx ExecContext) Exec {
 			rig.mu.Lock()
-			dur := rig.durs[runID]
+			dur := rig.durs[ctx.RunID]
 			rig.mu.Unlock()
 			if dur == 0 {
 				dur = 10 * time.Second
 			}
 			return &stubExec{
-				clock: rig.clock, party: party, lease: lease, canceled: canceled,
-				runID: runID, dur: dur, steps: 4,
+				clock: rig.clock, party: ctx.Party, lease: ctx.Lease, canceled: ctx.Canceled,
+				runID: ctx.RunID, dur: dur, steps: 4,
 				mu: &rig.mu, spans: &rig.spans,
 			}
 		},

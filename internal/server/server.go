@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -373,13 +374,25 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, dto)
 	case r.Method == http.MethodPost && action == "submit":
 		// Asynchronous execution: enqueue and return the run handle
-		// immediately; poll GET /api/runs/{id} for progress.
+		// immediately; poll GET /api/runs/{id} for progress. Optional query
+		// parameters feed the scheduling policies: ?tenant= charges the run
+		// to a budget account (CostQuota), ?deadlineSec= sets an absolute
+		// virtual-time deadline (Deadline/EDF).
 		_, g, err := s.graphOf(name)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		run := s.platform.SubmitNamed(name, g)
+		opts := ires.SubmitOptions{Name: name, Tenant: r.URL.Query().Get("tenant")}
+		if raw := r.URL.Query().Get("deadlineSec"); raw != "" {
+			sec, err := strconv.ParseFloat(raw, 64)
+			if err != nil || sec < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid deadlineSec %q", raw))
+				return
+			}
+			opts.Deadline = time.Duration(sec * float64(time.Second))
+		}
+		run := s.platform.SubmitWith(g, opts)
 		s.platform.Start()
 		writeJSON(w, http.StatusAccepted, run.Status())
 	case r.Method == http.MethodGet && action == "trace":

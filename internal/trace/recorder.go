@@ -51,6 +51,19 @@ func NewRecorder(max int) *Recorder {
 	reg.Help("ires_runs_submitted_total", "workflow runs submitted to the scheduler")
 	reg.Help("ires_runs_admitted_total", "workflow runs admitted (granted a node lease)")
 	reg.Help("ires_runs_finished_total", "workflow runs reaching a terminal state, by status")
+	reg.Help("ires_runs_suspended_total", "runs preempted (lease revoked at an operator boundary)")
+	reg.Help("ires_runs_resumed_total", "preempted runs re-admitted and replanned from their done set")
+	reg.Help("ires_runs_rejected_total", "runs rejected outright by the admission policy")
+	reg.Help("ires_lease_grants_total", "node leases granted at admission/resume")
+	reg.Help("ires_lease_grows_total", "elastic lease grow operations")
+	reg.Help("ires_lease_shrinks_total", "elastic lease shrink operations")
+	reg.Help("ires_lease_revokes_total", "lease revocations (voluntary release or preemption)")
+	reg.Help("ires_attempt_duration_vseconds", "operator attempt durations in virtual seconds, by engine")
+	reg.Help("ires_sched_queue_wait_vseconds", "virtual seconds runs spent queued before admission")
+	reg.Help("ires_sched_suspension_vseconds", "virtual seconds preempted runs spent suspended before resuming")
+	reg.DeclareHistogram("ires_attempt_duration_vseconds", DefBuckets)
+	reg.DeclareHistogram("ires_sched_queue_wait_vseconds", DefBuckets)
+	reg.DeclareHistogram("ires_sched_suspension_vseconds", DefBuckets)
 	return &Recorder{max: max, reg: reg}
 }
 
@@ -93,6 +106,7 @@ func (r *Recorder) aggregate(ev Event) {
 		}
 	case EvAttemptFinish:
 		reg.Inc("ires_attempt_successes_total", engine, 1)
+		reg.Observe("ires_attempt_duration_vseconds", engine, ev.Fields["durSec"])
 		if ev.Speculative {
 			reg.Inc("ires_speculative_wins_total", nil, 1)
 		}
@@ -134,6 +148,23 @@ func (r *Recorder) aggregate(ev Event) {
 		reg.Inc("ires_runs_submitted_total", nil, 1)
 	case EvRunAdmit:
 		reg.Inc("ires_runs_admitted_total", nil, 1)
+		reg.Observe("ires_sched_queue_wait_vseconds", nil, ev.Fields["waitSec"])
+	case EvRunSuspend:
+		reg.Inc("ires_runs_suspended_total", nil, 1)
+	case EvRunResume:
+		reg.Inc("ires_runs_resumed_total", nil, 1)
+		reg.Observe("ires_sched_suspension_vseconds", nil, ev.Fields["suspendedSec"])
+	case EvRunReject:
+		reg.Inc("ires_runs_rejected_total", nil, 1)
+		reg.Inc("ires_runs_finished_total", map[string]string{"status": "rejected"}, 1)
+	case EvLeaseGrant:
+		reg.Inc("ires_lease_grants_total", nil, 1)
+	case EvLeaseGrow:
+		reg.Inc("ires_lease_grows_total", nil, 1)
+	case EvLeaseShrink:
+		reg.Inc("ires_lease_shrinks_total", nil, 1)
+	case EvLeaseRevoke:
+		reg.Inc("ires_lease_revokes_total", nil, 1)
 	case EvRunFinish:
 		status := "succeeded"
 		if ev.Error != "" {

@@ -57,11 +57,28 @@ const (
 	EvFaultOutage    EventType = "fault.outage"
 
 	// Multi-workflow scheduler lifecycle: submission into the queue,
-	// admission (with the granted node quota in Fields), terminal states.
-	EvRunSubmit EventType = "run.submit"
-	EvRunAdmit  EventType = "run.admit"
-	EvRunFinish EventType = "run.finish"
-	EvRunCancel EventType = "run.cancel"
+	// admission (with the granted node quota and queue wait in Fields),
+	// terminal states, and the preemption arc — run.suspend when a policy
+	// revokes a running lease at an operator boundary, run.resume when the
+	// run is re-admitted and replans from its done set (suspendedSec in
+	// Fields), run.reject when a policy refuses a run outright.
+	EvRunSubmit  EventType = "run.submit"
+	EvRunAdmit   EventType = "run.admit"
+	EvRunFinish  EventType = "run.finish"
+	EvRunCancel  EventType = "run.cancel"
+	EvRunSuspend EventType = "run.suspend"
+	EvRunResume  EventType = "run.resume"
+	EvRunReject  EventType = "run.reject"
+
+	// Elastic lease lifecycle: grant at admission, grow/shrink while the
+	// lease is live (node deltas in Fields), revoke on release. Emitted by
+	// the scheduler (which knows the owning run), not the cluster, so the
+	// events carry RunIDs and the cluster never calls tracers under its
+	// own lock.
+	EvLeaseGrant  EventType = "lease.grant"
+	EvLeaseGrow   EventType = "lease.grow"
+	EvLeaseShrink EventType = "lease.shrink"
+	EvLeaseRevoke EventType = "lease.revoke"
 )
 
 // Event is one structured trace record. Only deterministic, virtual-time

@@ -97,9 +97,13 @@ type (
 	Run = scheduler.Run
 	// RunSnapshot is a point-in-time view of a submitted run.
 	RunSnapshot = scheduler.Snapshot
-	// AdmissionPolicy decides when queued runs start and how many nodes
-	// they lease (see FIFO and FairShare).
+	// AdmissionPolicy decides when queued runs start, how many nodes they
+	// lease, and whether active runs are resized or preempted (see FIFO,
+	// FairShare, Deadline and CostQuota).
 	AdmissionPolicy = scheduler.Policy
+	// SubmitOptions carries the scheduling metadata of one submission
+	// (label, tenant, deadline).
+	SubmitOptions = scheduler.SubmitOptions
 )
 
 // FIFO returns the admission policy that runs one workflow at a time with
@@ -110,6 +114,25 @@ func FIFO() AdmissionPolicy { return scheduler.FIFO{} }
 // workflows at once, each leasing an equal slice of the cluster's nodes.
 func FairShare(maxConcurrent int) AdmissionPolicy {
 	return scheduler.FairShare{MaxConcurrent: maxConcurrent}
+}
+
+// Deadline returns the earliest-deadline-first policy: waiting runs are
+// ordered by their absolute deadlines (submit with SubmitWith and a
+// Deadline), and a waiting run with a tighter deadline may preempt an active
+// one — cooperatively, at the victim's next completed-operator boundary —
+// when the planner's time estimates say the victim can still meet its own
+// deadline after the suspension. The suspended run resumes later via
+// replan-from-done-set, so none of its completed operators re-execute.
+func Deadline() AdmissionPolicy { return scheduler.Deadline{} }
+
+// CostQuota returns the per-tenant budget policy: each tenant's concurrently
+// committed modeled cost (sum of planner cost estimates over its active and
+// suspended runs) must stay within its budget; runs that would exceed it
+// queue until earlier runs finish, and runs whose estimate can never fit the
+// budget are rejected outright. Unlisted tenants get defaultBudget (0 or
+// negative = unlimited).
+func CostQuota(budgets map[string]float64, defaultBudget float64) AdmissionPolicy {
+	return scheduler.CostQuota{Budgets: budgets, DefaultBudget: defaultBudget}
 }
 
 // Typed execution failures (see the executor package).
@@ -126,6 +149,9 @@ var (
 	ErrFaultInjected = faults.ErrInjected
 	// ErrRunCanceled marks a run stopped through its handle's Cancel.
 	ErrRunCanceled = scheduler.ErrCanceled
+	// ErrRunRejected marks a run refused outright by the admission policy
+	// (e.g. its cost estimate can never fit the tenant's budget).
+	ErrRunRejected = scheduler.ErrRejected
 )
 
 // Engine names of the default deployment.
@@ -308,6 +334,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Policy:      opts.Admission,
 		Plan:        func(g *workflow.Graph) (*planner.Plan, error) { return p.planner.Plan(g) },
 		NewExecutor: p.newRunExecutor,
+		Estimate:    p.estimateRun,
 		Tracer:      p.tracer,
 	})
 	if err != nil {
@@ -318,11 +345,23 @@ func NewPlatform(opts Options) (*Platform, error) {
 	return p, nil
 }
 
-// newRunExecutor builds the executor of one admitted run: same wiring as the
-// solo executor, but confined to the run's node lease, cooperating on the
-// shared clock through the run's party, and stamping the run id on every
-// trace event.
-func (p *Platform) newRunExecutor(runID string, lease *cluster.Reservation, party *vtime.Party, canceled func() bool) scheduler.Exec {
+// estimateRun is the scheduler's estimate hook: a dry planning pass yields
+// the workflow's modeled execution time and cost, feeding deadline/budget
+// policies. Only invoked when the active policy asks for estimates.
+func (p *Platform) estimateRun(g *workflow.Graph) (float64, float64, error) {
+	plan, err := p.planner.Plan(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	return plan.EstTimeSec, plan.EstCost, nil
+}
+
+// newRunExecutor builds the executor of one run segment: same wiring as the
+// solo executor, but confined to the segment's node lease, cooperating on
+// the shared clock through the segment's party, honouring the scheduler's
+// cancellation and cooperative-suspension probes, and stamping the run id on
+// every trace event.
+func (p *Platform) newRunExecutor(ctx scheduler.ExecContext) scheduler.Exec {
 	p.mu.Lock()
 	var inj executor.Injector
 	if p.faults != nil {
@@ -347,10 +386,11 @@ func (p *Platform) newRunExecutor(runID string, lease *cluster.Reservation, part
 		Faults:            inj,
 		Breaker:           p.breaker,
 		Monitor:           p.Monitor,
-		Tracer:            trace.WithRun(p.tracer, runID),
-		Party:             party,
-		Lease:             lease,
-		Canceled:          canceled,
+		Tracer:            trace.WithRun(p.tracer, ctx.RunID),
+		Party:             ctx.Party,
+		Lease:             ctx.Lease,
+		Canceled:          ctx.Canceled,
+		Suspend:           ctx.Suspend,
 	}
 }
 
@@ -650,6 +690,13 @@ func (p *Platform) Submit(g *Workflow) *Run {
 // SubmitNamed is Submit with an explicit workflow label for run listings.
 func (p *Platform) SubmitNamed(name string, g *Workflow) *Run {
 	return p.sched.SubmitNamed(name, g)
+}
+
+// SubmitWith is Submit with full scheduling metadata: a label, the tenant
+// whose budget the run is charged to (CostQuota), and an absolute
+// virtual-time deadline (Deadline).
+func (p *Platform) SubmitWith(g *Workflow, opts SubmitOptions) *Run {
+	return p.sched.SubmitWith(g, opts)
 }
 
 // Start kicks the scheduler so admitted runs begin executing without
