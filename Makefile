@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt shuffle ci bench bench-smoke bench-planner bench-sched
+.PHONY: all build test race vet fmt staticcheck shuffle ci bench bench-smoke bench-planner bench-sched bench-ckpt
 
 all: build
 
@@ -19,6 +19,12 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# staticcheck runs honnef.co/go/tools if the binary is on PATH (CI installs
+# the pinned version; offline dev boxes without it skip with a notice).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; fi
+
 # shuffle re-runs the suite twice in randomized order to flush out
 # inter-test ordering dependencies and leaked global state.
 shuffle:
@@ -26,7 +32,7 @@ shuffle:
 
 # ci is the gate a PR must pass: formatting, static analysis, and the full
 # test suite under the race detector plus a shuffled double pass.
-ci: fmt vet race shuffle
+ci: fmt vet staticcheck race shuffle
 
 bench:
 	$(GO) run ./cmd/ires-bench
@@ -34,7 +40,7 @@ bench:
 # bench-smoke runs a few small experiments end-to-end (planning, execution,
 # fault recovery, scheduler contention) as a fast sanity pass for the stack,
 # then the tracked planner benchmarks with their acceptance gate.
-bench-smoke: bench-planner bench-sched
+bench-smoke: bench-planner bench-sched bench-ckpt
 	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22,SCHED
 
 # bench-sched runs the tracked scheduling benchmark and gate: the Deadline
@@ -43,6 +49,15 @@ bench-smoke: bench-planner bench-sched
 # per-run traces under both policies. Writes BENCH_SCHED.json.
 bench-sched:
 	$(GO) run ./cmd/bench-sched -out BENCH_SCHED.json
+
+# bench-ckpt runs the tracked sub-operator checkpointing benchmark and gate:
+# Deadline-policy preemption latency must be bounded by one checkpoint
+# interval (unbounded without checkpoints), and checkpointed mid-operator
+# crash recovery must re-execute strictly fewer virtual-seconds than
+# operator-granular recovery, with fixed-seed byte-identical traces in every
+# scenario. Writes BENCH_CKPT.json.
+bench-ckpt:
+	$(GO) run ./cmd/bench-ckpt -out BENCH_CKPT.json
 
 # bench-planner runs the tracked planner benchmark suite (cold plan, warm
 # replan, warm Pareto) and rewrites the BENCH_PLANNER.json baseline; it

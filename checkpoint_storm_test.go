@@ -1,0 +1,273 @@
+package ires
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/model"
+	"github.com/asap-project/ires/internal/trace"
+)
+
+// registerStormOps registers iterative pagerank and kmeans on both Spark
+// and Hama with identical iteration counts, so an engine outage mid-run can
+// switch engines while the replacement attempt resumes the algorithm's
+// banked checkpoints (keys are engine-agnostic).
+func registerStormOps(t *testing.T, p *Platform) {
+	t.Helper()
+	p.Profiler.Factories = []model.Factory{
+		func() model.Model { return model.NewLinear() },
+		func() model.Model { return model.NewKNN(2) },
+	}
+	space := ProfileSpace{
+		Records:        []int64{1_000, 10_000, 100_000},
+		BytesPerRecord: 1_000,
+		Params:         map[string][]float64{"iterations": {30}},
+		Resources: []engine.Resources{
+			{Nodes: 8, CoresPerN: 2, MemMBPerN: 3456},
+			{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456},
+		},
+	}
+	for _, algo := range []string{engine.AlgPagerank, engine.AlgKMeans} {
+		for _, eng := range []string{EngineSpark, EngineHama} {
+			name := "storm_" + algo + "_" + eng
+			desc := "Constraints.Engine=" + eng +
+				"\nConstraints.OpSpecification.Algorithm.name=" + algo +
+				"\nConstraints.Input0.Engine.FS=HDFS" +
+				"\nConstraints.Output0.Engine.FS=HDFS" +
+				"\nConstraints.Output0.type=SequenceFile" +
+				"\nOptimization.param.iterations=30\n"
+			if err := p.RegisterOperator(name, desc); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.ProfileOperator(name, space); err != nil {
+				t.Fatalf("profiling %s: %v", name, err)
+			}
+		}
+	}
+}
+
+// ckptStormBatch runs one checkpoint storm: three long iterative chains
+// under the Deadline policy with durable checkpointing, battered by a
+// pseudorandom (seed-derived) schedule of urgent deadlined submissions
+// (preemptions), node crashes with delayed repairs, and an engine outage.
+// Cluster invariants are checked after every injected event. Returns the
+// per-run JSONL traces and parsed events in submission order plus the run
+// snapshots.
+func ckptStormBatch(t *testing.T, seed int64) ([][]byte, [][]trace.Event, []RunSnapshot) {
+	t.Helper()
+	p, err := NewPlatform(Options{
+		Seed:       seed,
+		Admission:  Deadline(),
+		Retry:      RetryPolicy{MaxAttempts: 6, BaseBackoff: 2 * time.Second},
+		Checkpoint: CheckpointPolicy{Enabled: true, MinIntervalSec: 4, Durable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerStormOps(t, p)
+
+	// Invariant failures inside clock callbacks are collected and reported
+	// after Drain (callbacks may run off the test goroutine).
+	var (
+		invMu   sync.Mutex
+		invErrs []string
+	)
+	check := func(when string) {
+		if err := p.Cluster.CheckInvariants(); err != nil {
+			invMu.Lock()
+			invErrs = append(invErrs, fmt.Sprintf("%s: %v", when, err))
+			invMu.Unlock()
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	secs := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+
+	var runs []*Run
+	algos := [3][2]string{
+		{engine.AlgPagerank, engine.AlgKMeans},
+		{engine.AlgKMeans, engine.AlgPagerank},
+		{engine.AlgPagerank, engine.AlgPagerank},
+	}
+	records := [3]int64{150_000, 120_000, 180_000}
+	for i := 0; i < 3; i++ {
+		wf := chainWorkflow(t, p, algos[i][0], algos[i][1], records[i])
+		runs = append(runs, p.SubmitNamed(fmt.Sprintf("storm-long-%d", i), wf))
+	}
+
+	// Two urgent deadlined arrivals force preempt requests at arbitrary
+	// positions relative to checkpoint boundaries.
+	urgentCh := make(chan *Run, 2)
+	for i := 0; i < 2; i++ {
+		at := secs(20 + rng.Float64()*100)
+		deadline := at + secs(150+rng.Float64()*150)
+		name := fmt.Sprintf("storm-urgent-%d", i)
+		p.Clock.Schedule(at, func(time.Duration) {
+			urgentCh <- p.SubmitWith(singleAlgoWorkflow(t, p, engine.AlgKMeans, 15_000),
+				SubmitOptions{Name: name, Deadline: deadline})
+			check(name + " submitted")
+		})
+	}
+
+	// Two node crashes with delayed repairs: live gangs die mid-operator,
+	// and with durable checkpoints no banked progress dies with them.
+	for _, node := range []string{"node2", "node9"} {
+		node := node
+		at := 15 + rng.Float64()*120
+		if err := p.FailNode(node, secs(at)); err != nil {
+			t.Fatal(err)
+		}
+		p.Clock.Schedule(secs(at)+time.Millisecond, func(time.Duration) {
+			check(node + " crashed")
+		})
+		p.Clock.Schedule(secs(at+20+rng.Float64()*20), func(time.Duration) {
+			_ = p.RestoreNode(node)
+			check(node + " restored")
+		})
+	}
+
+	// One engine outage window: attempts on Spark fail non-retryably, the
+	// replans switch to Hama, and same-algorithm checkpoints carry over.
+	outageAt := 25 + rng.Float64()*80
+	p.Clock.Schedule(secs(outageAt), func(time.Duration) {
+		p.SetEngineAvailable(EngineSpark, false)
+		check("Spark outage")
+	})
+	p.Clock.Schedule(secs(outageAt+25), func(time.Duration) {
+		p.SetEngineAvailable(EngineSpark, true)
+		check("Spark repaired")
+	})
+
+	p.Drain()
+	runs = append(runs, <-urgentCh, <-urgentCh)
+
+	invMu.Lock()
+	defer invMu.Unlock()
+	for _, msg := range invErrs {
+		t.Errorf("invariant violated after %s", msg)
+	}
+
+	var (
+		logs   [][]byte
+		events [][]trace.Event
+		snaps  []RunSnapshot
+	)
+	for _, r := range runs {
+		if _, _, err := r.Wait(); err != nil {
+			t.Fatalf("%s: %v", r.ID(), err)
+		}
+		evs := p.TraceForRun(r.ID())
+		var b bytes.Buffer
+		if err := trace.WriteJSONL(&b, evs); err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, b.Bytes())
+		events = append(events, evs)
+		snaps = append(snaps, r.Status())
+	}
+	if got := p.Cluster.ReservedNodes(); got != 0 {
+		t.Fatalf("%d nodes still reserved after drain", got)
+	}
+	if err := p.Cluster.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return logs, events, snaps
+}
+
+// assertCheckpointConsistency walks one run's trace and enforces the
+// checkpoint contract under durable mode: writes per workflow operator are
+// strictly monotonic, every restore seeds exactly the maximum units banked
+// so far (zero re-executed checkpointed iterations — the attempt restarts
+// past everything durably completed), and nothing is ever reported lost.
+func assertCheckpointConsistency(t *testing.T, runID string, events []trace.Event) (writes, restores int) {
+	t.Helper()
+	opNode := func(step string) string {
+		if i := strings.IndexByte(step, '/'); i >= 0 {
+			return step[:i]
+		}
+		return step
+	}
+	maxWrite := map[string]int{}
+	for _, ev := range events {
+		switch ev.Type {
+		case trace.EvCheckpointWrite:
+			writes++
+			n := opNode(ev.Step)
+			u := int(ev.Fields["units"])
+			if u <= maxWrite[n] {
+				t.Errorf("%s: non-monotonic checkpoint write for %s: %d after %d", runID, n, u, maxWrite[n])
+			}
+			maxWrite[n] = u
+		case trace.EvCheckpointRestore:
+			restores++
+			n := opNode(ev.Step)
+			u := int(ev.Fields["units"])
+			if u != maxWrite[n] {
+				t.Errorf("%s: restore of %s seeded %d units, banked max is %d — checkpointed iterations re-executed",
+					runID, n, u, maxWrite[n])
+			}
+		case trace.EvCheckpointLost:
+			t.Errorf("%s: durable checkpoint reported lost: %s", runID, ev.Step)
+		}
+	}
+	return writes, restores
+}
+
+// TestCheckpointStorm interleaves preemptions, node crashes and an engine
+// outage with checkpoint boundaries across several seeds, asserting cluster
+// invariants after every event, the no-re-executed-checkpointed-iterations
+// contract, and byte-identical fixed-seed traces.
+func TestCheckpointStorm(t *testing.T) {
+	for _, seed := range []int64{91, 97, 93} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first, events, snaps := ckptStormBatch(t, seed)
+			totalWrites, totalRestores, preempted := 0, 0, 0
+			for i, s := range snaps {
+				preempted += s.Preemptions
+				w, r := assertCheckpointConsistency(t, s.ID, events[i])
+				totalWrites += w
+				totalRestores += r
+			}
+			if totalWrites == 0 {
+				t.Fatal("storm banked no checkpoints — scenario no longer exercises the layer")
+			}
+			if totalRestores == 0 {
+				t.Fatal("storm never restored a checkpoint — faults no longer hit running operators")
+			}
+			if preempted == 0 {
+				t.Fatal("no run was preempted — urgent arrivals no longer force preemption")
+			}
+
+			second, _, _ := ckptStormBatch(t, seed)
+			for i := range first {
+				if !bytes.Equal(first[i], second[i]) {
+					t.Fatalf("run %d (%s): traces differ between two same-seed executions", i, snaps[i].Workflow)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointStormDeterministicAcrossGOMAXPROCS pins the storm timeline
+// against scheduler parallelism: GOMAXPROCS=1 must reproduce the same
+// per-run bytes.
+func TestCheckpointStormDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const seed = 91
+	first, _, snaps := ckptStormBatch(t, seed)
+	prev := runtime.GOMAXPROCS(1)
+	second, _, _ := ckptStormBatch(t, seed)
+	runtime.GOMAXPROCS(prev)
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Fatalf("run %d (%s): traces differ under GOMAXPROCS=1", i, snaps[i].Workflow)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command bench-ckpt runs the tracked sub-operator checkpointing benchmark.
+// Two fixed-seed scenarios: (1) the Deadline policy preempts a long
+// iterative operator mid-run — with checkpointing the attempt yields at the
+// next checkpoint boundary, bounding the suspension latency by one
+// checkpoint interval, where operator-granular preemption waits out the
+// whole remaining operator; (2) a node crash lands between checkpoint
+// boundaries — checkpointed recovery restores the banked iterations and
+// re-executes strictly fewer virtual-seconds than restarting the operator.
+// Both scenarios must produce byte-identical traces across two executions.
+// Measurements are written to BENCH_CKPT.json.
+//
+// Usage:
+//
+//	bench-ckpt [-seed N] [-out FILE] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asap-project/ires/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "seed for the simulated environment")
+	out := flag.String("out", "BENCH_CKPT.json", "output file (empty: stdout only)")
+	check := flag.Bool("check", true, "fail unless preempt latency is bounded by one checkpoint interval, crash recovery re-executes strictly less than operator-granular, and traces are deterministic")
+	flag.Parse()
+
+	bench, err := experiments.RunCkptBench(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-ckpt:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("latency: urgent at t=%.0fs, checkpoint interval %.2fs\n", bench.SubmitSec, bench.IntervalSec)
+	for _, o := range []experiments.CkptLatencyOutcome{bench.LatencyCkpt, bench.LatencyGran} {
+		fmt.Printf("  %-18s preempt latency %7.2fs  urgent finish %7.1fs  yields=%d  writes=%-3d re-executed=%d  deterministic=%v\n",
+			o.Mode, o.PreemptLatencySec, o.UrgentFinishSec, o.Yields, o.Writes, o.ReExecutedOps, o.Deterministic)
+	}
+	fmt.Printf("recovery: node0 crashes at t=%.1fs\n", bench.CrashAtSec)
+	for _, o := range []experiments.CkptRecoveryOutcome{bench.RecoveryCkpt, bench.RecoveryGran} {
+		fmt.Printf("  %-18s clean %7.1fs  crashed %7.1fs  recomputed %6.1fs  restores=%d  restored units=%-3d deterministic=%v\n",
+			o.Mode, o.CleanExecSec, o.CrashedExecSec, o.RecomputedSec, o.Restores, o.RestoredUnits, o.Deterministic)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-ckpt:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bench); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bench-ckpt:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-ckpt:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *check {
+		if err := bench.Gate(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-ckpt:", err)
+			os.Exit(1)
+		}
+	}
+}

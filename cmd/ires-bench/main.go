@@ -96,6 +96,7 @@ func main() {
 	timed("FAULTSWEEP", func() { show(experiments.FaultSweep(*seed)) })
 	timed("SCHED", func() { show(experiments.SchedContention(*seed)) })
 	timed("SCHEDDL", func() { show(experiments.SchedDeadline(*seed)) })
+	timed("CKPT", func() { show(experiments.CkptReport(*seed)) })
 	timed("MQ-F4", func() { show(experiments.MusqleOptTime(*seed, reps)) })
 	timed("MQ-F5", func() { show(experiments.MusqleEngineScaling(*seed, reps)) })
 	timed("MQ-EXEC", func() {

@@ -86,6 +86,10 @@ type Cluster struct {
 	nextResID    int
 	reservations map[int]*Reservation // outstanding node leases by ID
 
+	// checkpoints stores sub-operator checkpoint progress by key (see
+	// checkpoint.go); non-durable entries die with their replica nodes.
+	checkpoints map[string]*ckptEntry
+
 	// healthScript is the customizable per-node health probe; the default
 	// returns the node's current flag (set via SetNodeHealth, the failure
 	// injection hook).
@@ -127,6 +131,7 @@ func New(clock *vtime.Clock, count, coresPerNode, memMBPerNode int) *Cluster {
 		clock:        clock,
 		live:         make(map[int]*Container),
 		reservations: make(map[int]*Reservation),
+		checkpoints:  make(map[string]*ckptEntry),
 	}
 	for i := 0; i < count; i++ {
 		name := fmt.Sprintf("node%d", i)
@@ -217,11 +222,15 @@ func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 		n.usedMemMB -= ctr.MemMB
 		lost++
 	}
+	lostCkpts := c.dropCheckpointReplicasLocked(name)
 	c.mu.Unlock()
 	c.emit(trace.Event{
 		Type: trace.EvNodeCrash, Node: name,
 		Fields: map[string]float64{"containersLost": float64(lost)},
 	})
+	for _, key := range lostCkpts {
+		c.emit(trace.Event{Type: trace.EvCheckpointLost, Step: key, Node: name})
+	}
 	return lost
 }
 
@@ -761,6 +770,25 @@ func (c *Cluster) CheckInvariants() error {
 		if n.reservedBy != ctr.resID {
 			return fmt.Errorf("cluster: container %d allocated under reservation %d but node %s is held by %d",
 				id, ctr.resID, ctr.NodeName, n.reservedBy)
+		}
+	}
+	// Checkpoint entries must hold consistent progress, and non-durable ones
+	// must have at least one replica on a known node (entries losing their
+	// last replica are deleted in the same critical section as the crash).
+	for key, e := range c.checkpoints {
+		if e.units <= 0 || e.total <= 0 || e.units > e.total {
+			return fmt.Errorf("cluster: checkpoint %q has inconsistent progress %d/%d", key, e.units, e.total)
+		}
+		if e.durable {
+			continue
+		}
+		if len(e.nodes) == 0 {
+			return fmt.Errorf("cluster: non-durable checkpoint %q has no replicas", key)
+		}
+		for _, n := range e.nodes {
+			if _, ok := c.nodes[n]; !ok {
+				return fmt.Errorf("cluster: checkpoint %q replicated on unknown node %s", key, n)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,114 @@
+package engine
+
+import "math"
+
+// CheckpointSpec describes the checkpointable structure of one run: how many
+// natural boundaries the algorithm exposes and what a checkpoint write (and a
+// later restore) costs in virtual time. Iterative algorithms (those with an
+// IterParam, e.g. PageRank, k-means) checkpoint at iteration boundaries;
+// single-pass scan/join-shaped operators checkpoint at partition boundaries,
+// one partition per parallel task slot. The costs follow the same modeled
+// shape as TransferSec: a fixed barrier/commit overhead plus state volume
+// over the checkpoint bandwidth, divided across the parallel writers.
+type CheckpointSpec struct {
+	// Unit is "iteration" for fixpoint algorithms, "partition" otherwise.
+	Unit string
+	// Units is the number of checkpointable work units in the run (the
+	// iteration count, or the partition count).
+	Units int
+	// WriteSec is the virtual-time cost of writing one checkpoint.
+	WriteSec float64
+	// RestoreSec is the virtual-time cost of seeding an attempt from a
+	// stored checkpoint.
+	RestoreSec float64
+}
+
+// checkpointFixedSec is the per-checkpoint barrier/commit overhead: the cost
+// of quiescing the computation and committing the snapshot marker, paid even
+// for tiny state.
+const checkpointFixedSec = 0.25
+
+// CheckpointSpec computes the checkpointable structure of algorithm on
+// engineName for the given input and resources. The second return is false
+// when the run is not usefully checkpointable: unknown engine/algorithm, or
+// fewer than two work units (a single unit has no interior boundary).
+func (e *Environment) CheckpointSpec(engineName, algorithm string, in Input, res Resources) (CheckpointSpec, bool) {
+	e.mu.RLock()
+	p, okE := e.engines[engineName]
+	w, okW := e.workloads[algorithm]
+	infra := e.infra
+	e.mu.RUnlock()
+	if !okE || !okW {
+		return CheckpointSpec{}, false
+	}
+
+	n := float64(in.Records)
+	if n < 1 {
+		n = 1
+	}
+
+	var spec CheckpointSpec
+	var stateBytes float64 // bytes persisted per checkpoint
+	if w.IterParam != "" {
+		// Iteration boundaries: the state is the full in-memory working set
+		// (ranks, centroids + assignments, ...), snapshotted each boundary.
+		spec.Unit = "iteration"
+		iters := in.Param(w.IterParam, w.DefaultIters)
+		if iters < 1 {
+			iters = 1
+		}
+		spec.Units = int(iters)
+		stateBytes = n * w.MemBytesPerRecord
+		if stateBytes <= 0 {
+			stateBytes = float64(in.Bytes)
+		}
+	} else {
+		// Partition boundaries: one partition per parallel task slot; each
+		// checkpoint persists that partition's share of the output.
+		spec.Unit = "partition"
+		parts := res.TotalCores()
+		if p.Centralized {
+			parts = res.CoresPerN
+		}
+		if parts < 2 {
+			parts = 2
+		}
+		if parts > 32 {
+			parts = 32
+		}
+		spec.Units = parts
+		out := float64(in.Bytes) * w.OutputFactor
+		if out <= 0 {
+			out = float64(in.Bytes)
+		}
+		stateBytes = out / float64(spec.Units)
+	}
+	if spec.Units < 2 {
+		return CheckpointSpec{}, false
+	}
+
+	rate := infra.CheckpointMBps
+	if rate <= 0 {
+		rate = infra.NetworkMBps
+	}
+	if rate <= 0 {
+		rate = 100
+	}
+	writers := res.Nodes
+	if p.Centralized || writers < 1 {
+		writers = 1
+	}
+	if stateBytes < 0 {
+		stateBytes = 0
+	}
+	transfer := stateBytes / (rate * 1e6 * float64(writers))
+	spec.WriteSec = checkpointFixedSec + transfer
+	// Restore re-reads the snapshot into the fresh attempt's memory; the
+	// fixed part covers locating and opening it.
+	spec.RestoreSec = checkpointFixedSec + transfer
+	// Guard against degenerate math (e.g. absurd record counts in tests).
+	if math.IsNaN(spec.WriteSec) || math.IsInf(spec.WriteSec, 0) {
+		return CheckpointSpec{}, false
+	}
+	return spec, true
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// ckptEnv builds a minimal environment with one distributed and one
+// centralized engine plus an iterative and a single-pass workload, so the
+// checkpoint-spec shape can be asserted without the full calibration set.
+func ckptEnv(infra Infrastructure) *Environment {
+	e := NewEnvironment(infra, 1)
+	e.Register(Profile{Name: "dist", RateUnitsPS: 1e6, MemOverhead: 1})
+	e.Register(Profile{Name: "central", Centralized: true, RateUnitsPS: 1e6, MemOverhead: 1})
+	e.RegisterWorkload(Workload{
+		Algorithm: "iter", UnitsPerRecord: 1,
+		IterParam: "iterations", DefaultIters: 8, MemBytesPerRecord: 100,
+	})
+	e.RegisterWorkload(Workload{
+		Algorithm: "scan", UnitsPerRecord: 1, OutputFactor: 0.5,
+	})
+	return e
+}
+
+func defaultCkptInfra() Infrastructure {
+	return Infrastructure{DiskFactor: 1, NetworkMBps: 100, TransferFixed: 1.5, CheckpointMBps: 200}
+}
+
+func TestCheckpointSpecUnknownEngineOrAlgorithm(t *testing.T) {
+	e := ckptEnv(defaultCkptInfra())
+	in := Input{Records: 1000, Bytes: 1_000_000}
+	if _, ok := e.CheckpointSpec("nope", "iter", in, StandardCluster); ok {
+		t.Error("unknown engine reported checkpointable")
+	}
+	if _, ok := e.CheckpointSpec("dist", "nope", in, StandardCluster); ok {
+		t.Error("unknown algorithm reported checkpointable")
+	}
+}
+
+func TestCheckpointSpecIterative(t *testing.T) {
+	e := ckptEnv(defaultCkptInfra())
+	in := Input{Records: 1_000_000, Bytes: 40_000_000, Params: map[string]float64{"iterations": 40}}
+	res := Resources{Nodes: 16, CoresPerN: 2, MemMBPerN: 3456}
+	spec, ok := e.CheckpointSpec("dist", "iter", in, res)
+	if !ok {
+		t.Fatal("iterative run not checkpointable")
+	}
+	if spec.Unit != "iteration" || spec.Units != 40 {
+		t.Fatalf("got %s x%d, want iteration x40", spec.Unit, spec.Units)
+	}
+	// State is records * MemBytesPerRecord, written by all 16 nodes at the
+	// checkpoint bandwidth, plus the fixed barrier cost.
+	state := 1_000_000 * 100.0
+	want := 0.25 + state/(200*1e6*16)
+	if math.Abs(spec.WriteSec-want) > 1e-9 {
+		t.Errorf("WriteSec = %v, want %v", spec.WriteSec, want)
+	}
+	if spec.RestoreSec != spec.WriteSec {
+		t.Errorf("RestoreSec = %v, want same as WriteSec %v", spec.RestoreSec, spec.WriteSec)
+	}
+}
+
+func TestCheckpointSpecIterativeDefaults(t *testing.T) {
+	e := ckptEnv(defaultCkptInfra())
+	// No iterations param: DefaultIters (8) applies.
+	spec, ok := e.CheckpointSpec("dist", "iter", Input{Records: 1000, Bytes: 40_000}, StandardCluster)
+	if !ok || spec.Units != 8 {
+		t.Fatalf("got ok=%v units=%d, want 8 default iterations", ok, spec.Units)
+	}
+	// A single iteration has no interior boundary: not checkpointable.
+	one := Input{Records: 1000, Bytes: 40_000, Params: map[string]float64{"iterations": 1}}
+	if _, ok := e.CheckpointSpec("dist", "iter", one, StandardCluster); ok {
+		t.Error("single-iteration run reported checkpointable")
+	}
+}
+
+func TestCheckpointSpecPartitions(t *testing.T) {
+	e := ckptEnv(defaultCkptInfra())
+	in := Input{Records: 1000, Bytes: 1_000_000}
+
+	// Distributed: one partition per core.
+	spec, ok := e.CheckpointSpec("dist", "scan", in, Resources{Nodes: 8, CoresPerN: 2, MemMBPerN: 3456})
+	if !ok || spec.Unit != "partition" || spec.Units != 16 {
+		t.Fatalf("distributed scan: ok=%v %s x%d, want partition x16", ok, spec.Unit, spec.Units)
+	}
+
+	// Partition count clamps to 32 on very wide clusters...
+	spec, ok = e.CheckpointSpec("dist", "scan", in, Resources{Nodes: 64, CoresPerN: 2, MemMBPerN: 3456})
+	if !ok || spec.Units != 32 {
+		t.Fatalf("wide scan: ok=%v x%d, want clamp to 32", ok, spec.Units)
+	}
+
+	// ...and up to 2 on a single-core slice (an interior boundary always
+	// exists for a splittable scan).
+	spec, ok = e.CheckpointSpec("central", "scan", in, Resources{Nodes: 4, CoresPerN: 1, MemMBPerN: 3456})
+	if !ok || spec.Units != 2 {
+		t.Fatalf("single-core scan: ok=%v x%d, want clamp to 2", ok, spec.Units)
+	}
+
+	// Centralized engines partition by one node's cores and write from a
+	// single node regardless of provisioned nodes.
+	res := Resources{Nodes: 4, CoresPerN: 4, MemMBPerN: 3456}
+	spec, ok = e.CheckpointSpec("central", "scan", in, res)
+	if !ok || spec.Units != 4 {
+		t.Fatalf("centralized scan: ok=%v x%d, want CoresPerN=4 partitions", ok, spec.Units)
+	}
+	state := float64(in.Bytes) * 0.5 / 4 // output share of one partition
+	want := 0.25 + state/(200*1e6*1)     // single writer
+	if math.Abs(spec.WriteSec-want) > 1e-9 {
+		t.Errorf("centralized WriteSec = %v, want %v", spec.WriteSec, want)
+	}
+}
+
+func TestCheckpointSpecBandwidthFallback(t *testing.T) {
+	in := Input{Records: 1_000_000, Bytes: 40_000_000, Params: map[string]float64{"iterations": 10}}
+	res := Resources{Nodes: 1, CoresPerN: 2, MemMBPerN: 3456}
+	state := 1_000_000 * 100.0
+
+	// CheckpointMBps unset: falls back to NetworkMBps.
+	e := ckptEnv(Infrastructure{DiskFactor: 1, NetworkMBps: 50, TransferFixed: 1.5})
+	spec, ok := e.CheckpointSpec("dist", "iter", in, res)
+	if !ok {
+		t.Fatal("not checkpointable")
+	}
+	want := 0.25 + state/(50*1e6)
+	if math.Abs(spec.WriteSec-want) > 1e-9 {
+		t.Errorf("network fallback WriteSec = %v, want %v", spec.WriteSec, want)
+	}
+
+	// Both unset: the 100 MB/s floor applies.
+	e = ckptEnv(Infrastructure{DiskFactor: 1})
+	spec, ok = e.CheckpointSpec("dist", "iter", in, res)
+	if !ok {
+		t.Fatal("not checkpointable")
+	}
+	want = 0.25 + state/(100*1e6)
+	if math.Abs(spec.WriteSec-want) > 1e-9 {
+		t.Errorf("floor fallback WriteSec = %v, want %v", spec.WriteSec, want)
+	}
+}

@@ -155,11 +155,16 @@ type Infrastructure struct {
 	DiskFactor    float64
 	NetworkMBps   float64 // inter-engine transfer bandwidth
 	TransferFixed float64 // fixed seconds per data movement (session setup)
+	// CheckpointMBps is the aggregate bandwidth available for writing
+	// sub-operator checkpoints to durable storage; zero or negative falls
+	// back to NetworkMBps (so infrastructures built before the field existed
+	// keep a sane checkpoint cost).
+	CheckpointMBps float64
 }
 
 // DefaultInfrastructure returns the baseline HDD infrastructure.
 func DefaultInfrastructure() Infrastructure {
-	return Infrastructure{DiskFactor: 1.0, NetworkMBps: 100, TransferFixed: 1.5}
+	return Infrastructure{DiskFactor: 1.0, NetworkMBps: 100, TransferFixed: 1.5, CheckpointMBps: 200}
 }
 
 // Environment is the deployed multi-engine cloud: the engine registry,

@@ -186,7 +186,17 @@ type Executor struct {
 	// the same decision points as Canceled, returning true makes the run
 	// stop at the next completed-operator boundary, drain in-flight
 	// attempts, and return ErrSuspended with Result.Intermediates set.
+	// With checkpointing enabled the drain is boundary-aware: attempts
+	// yield at their next checkpoint boundary instead (see CheckpointPolicy).
 	Suspend func() bool
+
+	// Checkpoint enables sub-operator checkpointing (see CheckpointPolicy);
+	// the zero value disables it.
+	Checkpoint CheckpointPolicy
+	// CkptScope namespaces checkpoint keys in the shared cluster store —
+	// the scheduler sets it to the run id so concurrent runs (and a run's
+	// resumed segments, which share the id) see only their own progress.
+	CkptScope string
 
 	healthDirty atomic.Bool
 }
@@ -271,6 +281,18 @@ type Result struct {
 	// can later Resume from the done set (replan-from-done-set) without
 	// re-executing any completed operator.
 	Intermediates []planner.MaterializedIntermediate
+
+	// Sub-operator checkpointing counters: writes banked, attempts seeded
+	// from a stored checkpoint, total units skipped by those restores, and
+	// attempts that yielded cooperatively at a checkpoint boundary.
+	CheckpointWrites   int
+	CheckpointRestores int
+	RestoredUnits      int
+	AttemptYields      int
+	// Partials reports the checkpointed progress of incomplete operators at
+	// suspension — the sub-operator counterpart of Intermediates, seeded
+	// into the resumed segment's attempts through the shared cluster store.
+	Partials []planner.PartialOperator
 }
 
 // Execute enforces the plan for the workflow. On step failure it retries per
@@ -339,6 +361,7 @@ func (e *Executor) run(g *workflow.Graph, plan *planner.Plan, done []planner.Mat
 		failed, err := e.runPlan(g, current, datasets, res)
 		if errors.Is(err, ErrSuspended) {
 			res.Intermediates = intermediates(g, datasets)
+			res.Partials = e.partialProgress(current)
 			res.Makespan = e.Clock.Now() - start
 			return res, ErrSuspended
 		}
@@ -415,6 +438,16 @@ type attemptRun struct {
 	run         *metrics.Run
 	speculative bool
 	attempt     int
+
+	// Checkpoint schedule (empty when the attempt is not checkpointable):
+	// pending write marks in time order, the total/seeded/banked unit
+	// counts, the per-write cost, and the store key.
+	marks      []ckptMark
+	totalUnits int
+	baseUnits  int
+	banked     int
+	writeSec   float64
+	ckptKey    string
 }
 
 // flight is the in-flight state of one plan step: the primary attempt plus
@@ -720,12 +753,17 @@ func (st *planRun) launch(s *planner.Step, opName, engineName, algorithm string,
 			run.Params["faultStretch"] = f
 		}
 	}
+	// Checkpoint schedule: seed banked progress from the store, place write
+	// marks, fold restore/write overheads into the run's modeled duration
+	// (so predictedSec, cost and speculation deadlines all see the real
+	// span). nil when checkpointing is off or the run isn't checkpointable.
+	ck := st.planCheckpoints(s, engineName, algorithm, in, eRes, run)
 	e.emit(trace.Event{
 		Type: trace.EvAttemptStart, Step: s.Name, Operator: opName, Engine: engineName,
 		Attempt: attempt, Speculative: speculative,
 		Fields: map[string]float64{"predictedSec": run.ExecTimeSec, "inRecords": float64(inRecords)},
 	})
-	return &attemptRun{
+	c := &attemptRun{
 		opName:      opName,
 		engineName:  engineName,
 		start:       now,
@@ -734,7 +772,29 @@ func (st *planRun) launch(s *planner.Step, opName, engineName, algorithm string,
 		run:         run,
 		speculative: speculative,
 		attempt:     attempt,
-	}, nil, nil
+	}
+	if ck != nil {
+		c.marks = ck.marks
+		c.totalUnits = ck.totalUnits
+		c.baseUnits = ck.baseUnits
+		c.banked = ck.baseUnits
+		c.writeSec = ck.writeSec
+		c.ckptKey = ck.key
+		if ck.baseUnits > 0 {
+			st.res.CheckpointRestores++
+			st.res.RestoredUnits += ck.baseUnits
+			e.emit(trace.Event{
+				Type: trace.EvCheckpointRestore, Step: s.Name, Operator: opName, Engine: engineName,
+				Attempt: attempt, Speculative: speculative,
+				Fields: map[string]float64{
+					"units":      float64(ck.baseUnits),
+					"totalUnits": float64(ck.totalUnits),
+					"restoreSec": ck.restoreSec,
+				},
+			})
+		}
+	}
+	return c, nil, nil
 }
 
 // retryable classifies attempt errors: deterministic engine verdicts (OOM,
@@ -806,23 +866,45 @@ func (st *planRun) failAttempt(s *planner.Step, engineName string, err error, c 
 	}
 }
 
-// nextStop picks the next decision point: the earliest attempt completion
-// or armed straggler deadline.
-func (st *planRun) nextStop() (time.Duration, bool) {
+// Decision-point kinds, ordered by tie-break priority at equal times:
+// completions first (they free resources and may clear checkpoints), then
+// checkpoint marks, then straggler deadlines. The ordering makes nextStop a
+// pure function of the flight set, independent of map iteration order.
+const (
+	stopCompletion = iota
+	stopMark
+	stopDeadline
+)
+
+// nextStop picks the next decision point: the earliest attempt completion,
+// checkpoint-write mark, or armed straggler deadline.
+func (st *planRun) nextStop() (time.Duration, int) {
 	var best time.Duration
-	deadline := false
+	kind := stopCompletion
 	found := false
+	better := func(t time.Duration, k int) bool {
+		if !found {
+			return true
+		}
+		if t != best {
+			return t < best
+		}
+		return k < kind
+	}
 	for _, f := range st.inFlight {
 		for _, c := range f.copies {
-			if !found || c.end < best {
-				best, deadline, found = c.end, false, true
+			if better(c.end, stopCompletion) {
+				best, kind, found = c.end, stopCompletion, true
+			}
+			if len(c.marks) > 0 && better(c.marks[0].at, stopMark) {
+				best, kind, found = c.marks[0].at, stopMark, true
 			}
 		}
-		if f.deadline > 0 && !f.specTried && st.failure == nil && f.deadline < best {
-			best, deadline = f.deadline, true
+		if f.deadline > 0 && !f.specTried && st.failure == nil && better(f.deadline, stopDeadline) {
+			best, kind, found = f.deadline, stopDeadline, true
 		}
 	}
-	return best, deadline
+	return best, kind
 }
 
 // advanceClockTo moves virtual time to target, stepping through scheduled
@@ -847,7 +929,7 @@ func (st *planRun) advanceClockTo(target time.Duration) {
 // container-loss sweep, a straggler deadline (speculation) or an attempt
 // completion.
 func (st *planRun) advanceOnce() {
-	target, isDeadline := st.nextStop()
+	target, kind := st.nextStop()
 	for {
 		evAt, ok := st.e.Clock.NextEventAt()
 		if !ok || evAt >= target {
@@ -864,11 +946,14 @@ func (st *planRun) advanceOnce() {
 	if st.sweepLost(false) {
 		return
 	}
-	if isDeadline {
+	switch kind {
+	case stopDeadline:
 		st.fireDeadlines(target)
-		return
+	case stopMark:
+		st.fireMarks(target)
+	default:
+		st.completeDue(target)
 	}
-	st.completeDue(target)
 }
 
 // sweepLost scans in-flight attempts for containers invalidated by node
@@ -1050,11 +1135,17 @@ func (st *planRun) completeDue(now time.Duration) {
 	if e.Breaker != nil && s.Kind == planner.StepOperator {
 		e.Breaker.RecordSuccess(w.engineName)
 	}
+	if w.ckptKey != "" {
+		// The operator is done; its checkpoints are garbage.
+		e.Cluster.ClearCheckpoint(w.ckptKey)
+	}
 	if s.Kind == planner.StepOperator {
 		// The Observer fires for every completed operator step — including
 		// during the post-failure drain — so model refinement never skips
-		// runs without an output dataset.
-		if e.Observer != nil {
+		// runs without an output dataset. Attempts seeded from a checkpoint
+		// are excluded: their duration covers only the remaining units and
+		// would poison the full-operator performance models.
+		if e.Observer != nil && w.baseUnits == 0 {
 			e.Observer(w.opName, w.run)
 		}
 		if s.OutDataset != "" {

@@ -191,6 +191,22 @@ func FaultSweep(seed int64) (*Report, error) {
 	} else {
 		r.Note("WARNING: full policy failed to complete at some rate on this seed")
 	}
+
+	// Sub-operator recovery comparison: the same mid-operator node crash
+	// handled operator-granular (restart the operator) vs checkpointed
+	// (resume from the last banked iteration boundary).
+	ckptOut, granOut, crashAtSec, err := RunCkptRecovery(seed)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint recovery comparison: %w", err)
+	}
+	r.Tables = append(r.Tables, ckptRecoveryTable(ckptOut, granOut, crashAtSec))
+	if ckptOut.RecomputedSec < granOut.RecomputedSec {
+		r.Note("checkpointed recovery re-executed %.1f virtual-seconds vs %.1f operator-granular on the same crash (restored %d of %d iterations)",
+			ckptOut.RecomputedSec, granOut.RecomputedSec, ckptOut.RestoredUnits, ckptBenchIters)
+	} else {
+		r.Note("WARNING: checkpointed recovery re-executed %.1f virtual-seconds, not less than operator-granular %.1f",
+			ckptOut.RecomputedSec, granOut.RecomputedSec)
+	}
 	return r, nil
 }
 

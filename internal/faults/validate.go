@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ValidationError reports an out-of-range or nonsensical field in a fault
+// Config, naming the offending field so API callers (and the HTTP layer)
+// can surface a precise message instead of silently arming a schedule that
+// injects nothing — or everything.
+type ValidationError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("faults: invalid %s: %s", e.Field, e.Reason)
+}
+
+// validProb reports whether p is a probability in [0,1].
+func validProb(p float64) bool {
+	return !math.IsNaN(p) && p >= 0 && p <= 1
+}
+
+// validateTransient checks one transient process under a field prefix.
+func validateTransient(field string, t Transient) error {
+	if !validProb(t.FailProb) {
+		return &ValidationError{Field: field + ".FailProb", Reason: fmt.Sprintf("%v is not a probability in [0,1]", t.FailProb)}
+	}
+	if math.IsNaN(t.MTBFSec) || t.MTBFSec < 0 {
+		return &ValidationError{Field: field + ".MTBFSec", Reason: fmt.Sprintf("%v is negative", t.MTBFSec)}
+	}
+	return nil
+}
+
+// Validate checks every field of the schedule before it is armed:
+// probabilities in [0,1], non-negative times, straggler factor >= 1 (or 0,
+// meaning "use the default"), and timed faults naming their target. It
+// returns a *ValidationError naming the first bad field.
+func (c Config) Validate() error {
+	if err := validateTransient("Default", c.Default); err != nil {
+		return err
+	}
+	engines := make([]string, 0, len(c.PerEngine))
+	for name := range c.PerEngine {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	for _, name := range engines {
+		if name == "" {
+			return &ValidationError{Field: "PerEngine", Reason: "empty engine name"}
+		}
+		if err := validateTransient("PerEngine["+name+"]", c.PerEngine[name]); err != nil {
+			return err
+		}
+	}
+	for i, o := range c.Outages {
+		if o.Engine == "" {
+			return &ValidationError{Field: fmt.Sprintf("Outages[%d].Engine", i), Reason: "empty engine name"}
+		}
+		if o.At < 0 {
+			return &ValidationError{Field: fmt.Sprintf("Outages[%d].AtSec", i), Reason: fmt.Sprintf("%v is negative", o.At.Seconds())}
+		}
+	}
+	for i, nc := range c.NodeCrashes {
+		if nc.Node == "" {
+			return &ValidationError{Field: fmt.Sprintf("NodeCrashes[%d].Node", i), Reason: "empty node name"}
+		}
+		if nc.At < 0 {
+			return &ValidationError{Field: fmt.Sprintf("NodeCrashes[%d].AtSec", i), Reason: fmt.Sprintf("%v is negative", nc.At.Seconds())}
+		}
+	}
+	if !validProb(c.Straggler.Prob) {
+		return &ValidationError{Field: "Straggler.Prob", Reason: fmt.Sprintf("%v is not a probability in [0,1]", c.Straggler.Prob)}
+	}
+	if f := c.Straggler.Factor; f != 0 && (math.IsNaN(f) || f < 1) {
+		return &ValidationError{Field: "Straggler.Factor", Reason: fmt.Sprintf("%v is below 1 (0 means default)", f)}
+	}
+	return nil
+}
+
+// PlaceMidInterval places a fault relative to checkpoint boundaries: it
+// returns start + k full checkpoint intervals + frac of the next one, so a
+// crash can be aimed exactly at a boundary (frac 0), mid-interval (frac
+// 0.5), or just before the next write (frac close to 1). frac is clamped to
+// [0,1); negative inputs clamp to the start.
+func PlaceMidInterval(start, interval time.Duration, k int, frac float64) time.Duration {
+	if k < 0 {
+		k = 0
+	}
+	if math.IsNaN(frac) || frac < 0 {
+		frac = 0
+	}
+	if frac >= 1 {
+		frac = math.Nextafter(1, 0)
+	}
+	if interval < 0 {
+		interval = 0
+	}
+	return start + time.Duration(k)*interval + time.Duration(frac*float64(interval))
+}

@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// validConfig is a fully-populated schedule that must pass validation.
+func validConfig() Config {
+	return Config{
+		Seed:    7,
+		Default: Transient{FailProb: 0.1, MTBFSec: 900},
+		PerEngine: map[string]Transient{
+			"Spark": {FailProb: 0.25},
+			"Hama":  {MTBFSec: 300},
+		},
+		Outages:     []Outage{{Engine: "Spark", At: 30 * time.Second}},
+		NodeCrashes: []NodeCrash{{Node: "node3", At: 45 * time.Second}},
+		Straggler:   Straggler{Prob: 0.2, Factor: 3},
+	}
+}
+
+func TestValidateAcceptsGoodConfigs(t *testing.T) {
+	cases := map[string]Config{
+		"zero value":             {},
+		"fully populated":        validConfig(),
+		"prob exactly 0 and 1":   {Default: Transient{FailProb: 1}, Straggler: Straggler{Prob: 0}},
+		"factor 0 means default": {Straggler: Straggler{Prob: 0.5, Factor: 0}},
+		"factor exactly 1":       {Straggler: Straggler{Prob: 0.5, Factor: 1}},
+		"crash at time zero":     {NodeCrashes: []NodeCrash{{Node: "node0"}}},
+	}
+	for name, cfg := range cases {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+	}
+}
+
+func TestValidateNamesTheBadField(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		cfg := validConfig()
+		f(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"failProb above 1", mut(func(c *Config) { c.Default.FailProb = 1.5 }), "Default.FailProb"},
+		{"failProb negative", mut(func(c *Config) { c.Default.FailProb = -0.1 }), "Default.FailProb"},
+		{"failProb NaN", mut(func(c *Config) { c.Default.FailProb = math.NaN() }), "Default.FailProb"},
+		{"mtbf negative", mut(func(c *Config) { c.Default.MTBFSec = -1 }), "Default.MTBFSec"},
+		{"mtbf NaN", mut(func(c *Config) { c.Default.MTBFSec = math.NaN() }), "Default.MTBFSec"},
+		{"per-engine empty name", mut(func(c *Config) { c.PerEngine[""] = Transient{} }), "PerEngine"},
+		{"per-engine bad prob", mut(func(c *Config) { c.PerEngine["Hama"] = Transient{FailProb: 2} }), "PerEngine[Hama].FailProb"},
+		{"outage empty engine", mut(func(c *Config) { c.Outages[0].Engine = "" }), "Outages[0].Engine"},
+		{"outage negative time", mut(func(c *Config) { c.Outages[0].At = -time.Second }), "Outages[0].AtSec"},
+		{"crash empty node", mut(func(c *Config) { c.NodeCrashes[0].Node = "" }), "NodeCrashes[0].Node"},
+		{"crash negative time", mut(func(c *Config) { c.NodeCrashes[0].At = -time.Millisecond }), "NodeCrashes[0].AtSec"},
+		{"straggler prob above 1", mut(func(c *Config) { c.Straggler.Prob = 1.01 }), "Straggler.Prob"},
+		{"straggler factor below 1", mut(func(c *Config) { c.Straggler.Factor = 0.5 }), "Straggler.Factor"},
+		{"straggler factor NaN", mut(func(c *Config) { c.Straggler.Factor = math.NaN() }), "Straggler.Factor"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+			continue
+		}
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("%s: error %T is not a *ValidationError", tc.name, err)
+			continue
+		}
+		if verr.Field != tc.field {
+			t.Errorf("%s: error names field %q, want %q", tc.name, verr.Field, tc.field)
+		}
+	}
+}
+
+func TestPlaceMidInterval(t *testing.T) {
+	const iv = 10 * time.Second
+	start := 5 * time.Second
+	cases := []struct {
+		name     string
+		k        int
+		frac     float64
+		interval time.Duration
+		want     time.Duration
+	}{
+		{"at a boundary", 2, 0, iv, 25 * time.Second},
+		{"mid interval", 1, 0.5, iv, 20 * time.Second},
+		{"negative k clamps to start interval", -3, 0.5, iv, 10 * time.Second},
+		{"negative frac clamps to boundary", 1, -0.7, iv, 15 * time.Second},
+		{"NaN frac clamps to boundary", 1, math.NaN(), iv, 15 * time.Second},
+		{"negative interval collapses to start", 4, 0.5, -iv, start},
+	}
+	for _, tc := range cases {
+		if got := PlaceMidInterval(start, tc.interval, tc.k, tc.frac); got != tc.want {
+			t.Errorf("%s: PlaceMidInterval = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// frac >= 1 must land strictly before the next boundary, never on it.
+	got := PlaceMidInterval(start, iv, 1, 1.0)
+	if got < start+iv || got >= start+2*iv {
+		t.Errorf("frac=1: PlaceMidInterval = %v, want in [%v, %v)", got, start+iv, start+2*iv)
+	}
+}

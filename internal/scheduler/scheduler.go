@@ -113,7 +113,11 @@ type Snapshot struct {
 	// SuspendedSec is the total virtual time spent suspended.
 	Preemptions  int     `json:"preemptions,omitempty"`
 	SuspendedSec float64 `json:"suspendedSec,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// PreemptLatencySec is the total virtual time between preempt requests
+	// and the suspensions landing (lease revoked) — with checkpointing
+	// enabled each contribution is bounded by one checkpoint interval.
+	PreemptLatencySec float64 `json:"preemptLatencySec,omitempty"`
+	Error             string  `json:"error,omitempty"`
 }
 
 // Run is the handle of one submitted workflow.
@@ -155,6 +159,12 @@ type Run struct {
 	running        bool          // currently charged as executing
 	runningSince   time.Duration // start of the current execution stretch
 	ranFor         time.Duration // accumulated execution time (suspensions excluded)
+	// Preemption latency accounting: preemptPending/preemptAskedAt mark an
+	// outstanding preempt request; preemptLatency accumulates request-to-
+	// suspension spans across the run's preemption arcs.
+	preemptPending bool
+	preemptAskedAt time.Duration
+	preemptLatency time.Duration
 }
 
 // ID returns the scheduler-unique run id (also stamped on trace events).
@@ -194,6 +204,7 @@ func (r *Run) Status() Snapshot {
 		suspended += now - r.suspendedAt
 	}
 	snap.SuspendedSec = suspended.Seconds()
+	snap.PreemptLatencySec = r.preemptLatency.Seconds()
 	if r.status.Terminal() {
 		snap.FinishedSec = r.finishedAt.Seconds()
 		snap.MakespanSec = (r.finishedAt - r.startedAt).Seconds()
@@ -663,6 +674,10 @@ func (s *Scheduler) scheduleOnce() bool {
 			if r.suspend.Swap(true) {
 				continue // already pending
 			}
+			r.mu.Lock()
+			r.preemptPending = true
+			r.preemptAskedAt = now
+			r.mu.Unlock()
 			progress = true
 
 		case Resize:
@@ -857,12 +872,17 @@ func mergeResults(segs []*executor.Result) *executor.Result {
 		out.SpeculativeLaunches += r.SpeculativeLaunches
 		out.SpeculativeWins += r.SpeculativeWins
 		out.ContainersLost += r.ContainersLost
+		out.CheckpointWrites += r.CheckpointWrites
+		out.CheckpointRestores += r.CheckpointRestores
+		out.RestoredUnits += r.RestoredUnits
+		out.AttemptYields += r.AttemptYields
 		out.StepLog = append(out.StepLog, r.StepLog...)
 	}
 	last := segs[len(segs)-1]
 	out.FinalRecords = last.FinalRecords
 	out.FinalBytes = last.FinalBytes
 	out.Intermediates = last.Intermediates
+	out.Partials = last.Partials
 	return out
 }
 
@@ -938,6 +958,12 @@ func (s *Scheduler) parkSuspended(r *Run) bool {
 		r.ranFor += now - r.runningSince
 		r.running = false
 	}
+	latency := time.Duration(-1)
+	if r.preemptPending {
+		latency = now - r.preemptAskedAt
+		r.preemptLatency += latency
+		r.preemptPending = false
+	}
 	r.mu.Unlock()
 	nodes := 0
 	if lease != nil {
@@ -946,9 +972,13 @@ func (s *Scheduler) parkSuspended(r *Run) bool {
 	dropped := s.cluster.RevokeReservation(lease)
 	delete(s.active, r.id)
 	s.suspended[r.id] = r
+	suspendFields := map[string]float64{"nodes": float64(nodes), "droppedContainers": float64(dropped)}
+	if latency >= 0 {
+		suspendFields["latencySec"] = latency.Seconds()
+	}
 	s.tracer.Emit(trace.Event{
 		Type: trace.EvRunSuspend, RunID: r.id, Operator: r.workflow,
-		Fields: map[string]float64{"nodes": float64(nodes), "droppedContainers": float64(dropped)},
+		Fields: suspendFields,
 	}.At(now))
 	s.tracer.Emit(trace.Event{
 		Type: trace.EvLeaseRevoke, RunID: r.id,

@@ -422,6 +422,21 @@ func TestFaultInjectionEndpoint(t *testing.T) {
 	resp, body = do(t, "POST", ts.URL+"/api/faults", `{"nodeCrashes":[{"node":"node99"}]}`)
 	expectCode(t, resp, body, http.StatusBadRequest)
 
+	// Out-of-range fields are rejected with the offending field named, so a
+	// schedule that would inject nothing (or everything) is never armed.
+	for _, c := range []struct{ payload, field string }{
+		{`{"default":{"failProb":1.5}}`, "Default.FailProb"},
+		{`{"perEngine":{"Spark":{"mtbfSec":-10}}}`, "PerEngine[Spark].MTBFSec"},
+		{`{"outages":[{"engine":"Spark","atSec":-5}]}`, "Outages[0].AtSec"},
+		{`{"straggler":{"prob":0.5,"factor":0.5}}`, "Straggler.Factor"},
+	} {
+		resp, body = do(t, "POST", ts.URL+"/api/faults", c.payload)
+		expectCode(t, resp, body, http.StatusBadRequest)
+		if !strings.Contains(body, c.field) {
+			t.Errorf("400 body %q does not name the bad field %s", body, c.field)
+		}
+	}
+
 	// Arm a schedule where every Java attempt fails. Retries exhaust, the
 	// breaker trips Java, and the replan must land the work on Spark.
 	cfg := `{"seed": 5, "perEngine": {"Java": {"failProb": 1}},

@@ -61,9 +61,16 @@ func NewRecorder(max int) *Recorder {
 	reg.Help("ires_attempt_duration_vseconds", "operator attempt durations in virtual seconds, by engine")
 	reg.Help("ires_sched_queue_wait_vseconds", "virtual seconds runs spent queued before admission")
 	reg.Help("ires_sched_suspension_vseconds", "virtual seconds preempted runs spent suspended before resuming")
+	reg.Help("ires_checkpoint_writes_total", "sub-operator checkpoints written at iteration/partition boundaries, by engine")
+	reg.Help("ires_checkpoint_restores_total", "attempts seeded from a stored checkpoint instead of unit zero")
+	reg.Help("ires_checkpoints_lost_total", "checkpoints whose last replica died with a crashed node")
+	reg.Help("ires_checkpoint_write_vseconds_total", "virtual seconds spent writing checkpoints")
+	reg.Help("ires_attempt_yields_total", "attempts suspended cooperatively at a checkpoint boundary")
+	reg.Help("ires_preempt_latency_vseconds", "virtual seconds from preempt request to lease revocation")
 	reg.DeclareHistogram("ires_attempt_duration_vseconds", DefBuckets)
 	reg.DeclareHistogram("ires_sched_queue_wait_vseconds", DefBuckets)
 	reg.DeclareHistogram("ires_sched_suspension_vseconds", DefBuckets)
+	reg.DeclareHistogram("ires_preempt_latency_vseconds", DefBuckets)
 	return &Recorder{max: max, reg: reg}
 }
 
@@ -151,6 +158,18 @@ func (r *Recorder) aggregate(ev Event) {
 		reg.Observe("ires_sched_queue_wait_vseconds", nil, ev.Fields["waitSec"])
 	case EvRunSuspend:
 		reg.Inc("ires_runs_suspended_total", nil, 1)
+		if lat, ok := ev.Fields["latencySec"]; ok {
+			reg.Observe("ires_preempt_latency_vseconds", nil, lat)
+		}
+	case EvCheckpointWrite:
+		reg.Inc("ires_checkpoint_writes_total", engine, 1)
+		reg.Inc("ires_checkpoint_write_vseconds_total", nil, ev.Fields["writeSec"])
+	case EvCheckpointRestore:
+		reg.Inc("ires_checkpoint_restores_total", nil, 1)
+	case EvCheckpointLost:
+		reg.Inc("ires_checkpoints_lost_total", nil, 1)
+	case EvAttemptYield:
+		reg.Inc("ires_attempt_yields_total", nil, 1)
 	case EvRunResume:
 		reg.Inc("ires_runs_resumed_total", nil, 1)
 		reg.Observe("ires_sched_suspension_vseconds", nil, ev.Fields["suspendedSec"])

@@ -79,6 +79,20 @@ const (
 	EvLeaseGrow   EventType = "lease.grow"
 	EvLeaseShrink EventType = "lease.shrink"
 	EvLeaseRevoke EventType = "lease.revoke"
+
+	// Sub-operator checkpointing. checkpoint.write fires at an iteration or
+	// partition boundary once the modeled checkpoint write completes (units,
+	// totalUnits, writeSec in Fields); checkpoint.restore fires when a retry,
+	// speculative copy or resumed segment seeds an attempt from a stored
+	// checkpoint (units, totalUnits, restoreSec in Fields); checkpoint.lost
+	// records a checkpoint whose last replica died with a crashed node (the
+	// Step field carries the checkpoint key). attempt.yield marks an attempt
+	// suspending cooperatively at a checkpoint boundary instead of running
+	// to the operator boundary — the bounded-latency preemption arc.
+	EvCheckpointWrite   EventType = "checkpoint.write"
+	EvCheckpointRestore EventType = "checkpoint.restore"
+	EvCheckpointLost    EventType = "checkpoint.lost"
+	EvAttemptYield      EventType = "attempt.yield"
 )
 
 // Event is one structured trace record. Only deterministic, virtual-time

@@ -73,6 +73,12 @@ type (
 	ProvisionOption = provision.Option
 	// RetryPolicy bounds per-step same-engine retries (see executor).
 	RetryPolicy = executor.RetryPolicy
+	// CheckpointPolicy enables sub-operator checkpointing: bounded-latency
+	// preemption and mid-operator crash recovery (see executor).
+	CheckpointPolicy = executor.CheckpointPolicy
+	// PartialOperator reports checkpointed sub-operator progress surviving
+	// a suspension (see ExecutionResult.Partials).
+	PartialOperator = planner.PartialOperator
 	// FaultConfig declares a deterministic fault-injection schedule.
 	FaultConfig = faults.Config
 	// FaultTransient parameterises per-engine transient failures.
@@ -210,6 +216,13 @@ type Options struct {
 	// than TimeoutFactor × its predicted duration gets a backup copy on
 	// the next-best engine, and the first finisher wins. Zero disables.
 	TimeoutFactor float64
+	// Checkpoint enables sub-operator checkpointing: iterative operators
+	// checkpoint at iteration boundaries (single-pass ones at partition
+	// boundaries), preemption suspends at the next checkpoint instead of
+	// the operator boundary, and retries/speculation/resume seed the
+	// banked progress instead of restarting the operator. The zero value
+	// disables the layer entirely.
+	Checkpoint CheckpointPolicy
 	// BreakerThreshold trips the engine circuit breaker after that many
 	// consecutive failures, excluding the engine from replans and
 	// speculation for BreakerCooldown (default 120s of virtual time).
@@ -327,6 +340,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Breaker:           p.breaker,
 		Monitor:           p.Monitor,
 		Tracer:            p.tracer,
+		Checkpoint:        opts.Checkpoint,
 	}
 	sched, err := scheduler.New(scheduler.Config{
 		Clock:       p.Clock,
@@ -391,6 +405,8 @@ func (p *Platform) newRunExecutor(ctx scheduler.ExecContext) scheduler.Exec {
 		Lease:             ctx.Lease,
 		Canceled:          ctx.Canceled,
 		Suspend:           ctx.Suspend,
+		Checkpoint:        p.opts.Checkpoint,
+		CkptScope:         ctx.RunID,
 	}
 }
 
@@ -783,6 +799,9 @@ func (p *Platform) AvailableEngines() []string {
 // attempt. Calling it again replaces the previous schedule (already-armed
 // timed faults stay scheduled).
 func (p *Platform) InjectFaults(cfg FaultConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	sched := faults.New(cfg)
 	sched.SetTracer(p.tracer)
 	if err := sched.Arm(p.Clock, p.Env, p.Cluster); err != nil {
