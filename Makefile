@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt staticcheck shuffle ci bench bench-smoke bench-planner bench-sched bench-ckpt
+.PHONY: all build test race vet fmt staticcheck shuffle ci bench bench-smoke bench-planner bench-sched bench-sched-scale bench-ckpt
 
 all: build
 
@@ -40,7 +40,7 @@ bench:
 # bench-smoke runs a few small experiments end-to-end (planning, execution,
 # fault recovery, scheduler contention) as a fast sanity pass for the stack,
 # then the tracked planner benchmarks with their acceptance gate.
-bench-smoke: bench-planner bench-sched bench-ckpt
+bench-smoke: bench-planner bench-sched bench-sched-scale bench-ckpt
 	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22,SCHED
 
 # bench-sched runs the tracked scheduling benchmark and gate: the Deadline
@@ -49,6 +49,14 @@ bench-smoke: bench-planner bench-sched bench-ckpt
 # per-run traces under both policies. Writes BENCH_SCHED.json.
 bench-sched:
 	$(GO) run ./cmd/bench-sched -out BENCH_SCHED.json
+
+# bench-sched-scale runs the tracked fleet-scale scheduler benchmark and
+# gate: on a fully reserved cluster with 10k-100k queued runs, the indexed
+# incremental scheduler state must sustain >=10x the decision-round
+# throughput of the rebuild-everything baseline under every policy, with
+# O(1) allocations per decision in queue depth. Writes BENCH_SCHED_SCALE.json.
+bench-sched-scale:
+	$(GO) run ./cmd/bench-sched-scale -out BENCH_SCHED_SCALE.json
 
 # bench-ckpt runs the tracked sub-operator checkpointing benchmark and gate:
 # Deadline-policy preemption latency must be bounded by one checkpoint

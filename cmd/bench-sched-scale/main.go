@@ -1,0 +1,72 @@
+// Command bench-sched-scale runs the tracked fleet-scale scheduling
+// benchmark: a fully reserved cluster with 10k–100k queued runs, where every
+// decision round is a hold-decision. It measures decision rounds per second
+// for the incrementally maintained indexed state against the
+// rebuild-everything baseline (the seed scheduler's per-event cost) and the
+// heap allocations per indexed round, and writes the measurements to
+// BENCH_SCHED_SCALE.json. The gate requires the indexed state to be at
+// least 10x faster at 10k queued runs under every policy and its
+// allocations per decision to stay O(1) in queue depth.
+//
+// Usage:
+//
+//	bench-sched-scale [-seed N] [-out FILE] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asap-project/ires/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "seed for the synthetic submission mix")
+	out := flag.String("out", "BENCH_SCHED_SCALE.json", "output file (empty: stdout only)")
+	check := flag.Bool("check", true, "fail unless the indexed state is >=10x faster at 10k queued runs with O(1) allocs/decision")
+	flag.Parse()
+
+	bench, err := experiments.RunSchedScaleBench(*seed, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-sched-scale:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d-node cluster fully reserved; hold-decision rounds over queued-run depth\n", bench.Nodes)
+	for _, p := range bench.Policies {
+		fmt.Printf("%s\n", p.Policy)
+		for _, pt := range p.Points {
+			fmt.Printf("  depth %6d  indexed %12.0f dec/s  rebuild %10.0f dec/s  speedup %8.0fx  allocs/dec %.1f\n",
+				pt.Depth, pt.IndexedPerSec, pt.RebuildPerSec, pt.Speedup, pt.AllocsPerDecision)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-sched-scale:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bench); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bench-sched-scale:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-sched-scale:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *check {
+		if err := bench.Gate(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-sched-scale:", err)
+			os.Exit(1)
+		}
+	}
+}

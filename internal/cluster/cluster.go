@@ -86,6 +86,15 @@ type Cluster struct {
 	nextResID    int
 	reservations map[int]*Reservation // outstanding node leases by ID
 
+	// freeHealthy and reserved are the scheduling-counter hot path: the
+	// number of healthy unreserved nodes and the number of reserved nodes,
+	// maintained as deltas at every reserve/release/grow/shrink/revoke/
+	// fail/restore boundary so UnreservedHealthy and ReservedNodes are O(1)
+	// per call instead of O(nodes) map scans. CheckInvariants recomputes
+	// both from scratch and fails on drift.
+	freeHealthy int
+	reserved    int
+
 	// checkpoints stores sub-operator checkpoint progress by key (see
 	// checkpoint.go); non-durable entries die with their replica nodes.
 	checkpoints map[string]*ckptEntry
@@ -138,7 +147,43 @@ func New(clock *vtime.Clock, count, coresPerNode, memMBPerNode int) *Cluster {
 		c.nodes[name] = &Node{Name: name, Cores: coresPerNode, MemMB: memMBPerNode, healthy: true}
 		c.order = append(c.order, name)
 	}
+	c.freeHealthy = count
 	return c
+}
+
+// setHealthLocked flips a node's health flag, keeping the freeHealthy
+// counter consistent; c.mu held.
+func (c *Cluster) setHealthLocked(n *Node, healthy bool) {
+	if n.healthy == healthy {
+		return
+	}
+	n.healthy = healthy
+	if n.reservedBy == 0 {
+		if healthy {
+			c.freeHealthy++
+		} else {
+			c.freeHealthy--
+		}
+	}
+}
+
+// reserveNodeLocked assigns an unreserved node to a reservation; c.mu held.
+func (c *Cluster) reserveNodeLocked(n *Node, resID int) {
+	n.reservedBy = resID
+	c.reserved++
+	if n.healthy {
+		c.freeHealthy--
+	}
+}
+
+// unreserveNodeLocked returns a node held by a reservation to the pool;
+// c.mu held.
+func (c *Cluster) unreserveNodeLocked(n *Node) {
+	n.reservedBy = 0
+	c.reserved--
+	if n.healthy {
+		c.freeHealthy++
+	}
 }
 
 // SetHealthScript installs a custom health probe, mirroring the
@@ -158,7 +203,7 @@ func (c *Cluster) RunHealthChecks() map[string]bool {
 	for _, name := range c.order {
 		n := c.nodes[name]
 		if c.healthScript != nil {
-			n.healthy = c.healthScript(n)
+			c.setHealthLocked(n, c.healthScript(n))
 		}
 		out[name] = n.healthy
 	}
@@ -173,7 +218,7 @@ func (c *Cluster) SetNodeHealth(name string, healthy bool) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
 	}
-	n.healthy = healthy
+	c.setHealthLocked(n, healthy)
 	return nil
 }
 
@@ -208,7 +253,7 @@ func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 		c.mu.Unlock()
 		return 0
 	}
-	n.healthy = false
+	c.setHealthLocked(n, false)
 	lost := 0
 	for id, ctr := range c.live {
 		if ctr.NodeName != name {
@@ -355,7 +400,7 @@ func (c *Cluster) Reserve(n int) (*Reservation, error) {
 	c.nextResID++
 	res := &Reservation{c: c, id: c.nextResID, nodes: picked}
 	for _, name := range picked {
-		c.nodes[name].reservedBy = res.id
+		c.reserveNodeLocked(c.nodes[name], res.id)
 	}
 	c.reservations[res.id] = res
 	return res, nil
@@ -391,7 +436,7 @@ func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
 		return nil, fmt.Errorf("%w: want %d unreserved nodes, have %d", ErrInsufficientResources, n, len(picked))
 	}
 	for _, name := range picked {
-		c.nodes[name].reservedBy = r.id
+		c.reserveNodeLocked(c.nodes[name], r.id)
 	}
 	// Rebuild the lease's node list in stable cluster order so Grow keeps
 	// the same ordering discipline Reserve established.
@@ -445,7 +490,7 @@ func (c *Cluster) ShrinkReservation(r *Reservation, target int) ([]string, error
 	for _, name := range removed {
 		drop[name] = true
 		if n, ok := c.nodes[name]; ok && n.reservedBy == r.id {
-			n.reservedBy = 0
+			c.unreserveNodeLocked(n)
 		}
 	}
 	kept := r.nodes[:0]
@@ -513,36 +558,26 @@ func (c *Cluster) releaseReservationLocked(r *Reservation) {
 	delete(c.reservations, r.id)
 	for _, name := range r.nodes {
 		if n, ok := c.nodes[name]; ok && n.reservedBy == r.id {
-			n.reservedBy = 0
+			c.unreserveNodeLocked(n)
 		}
 	}
 }
 
 // UnreservedHealthy counts the healthy nodes not held by any reservation —
-// the pool admission policies draw quotas from.
+// the pool admission policies draw quotas from. O(1): the counter is
+// maintained as deltas at every reserve/release/health boundary.
 func (c *Cluster) UnreservedHealthy() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	count := 0
-	for _, n := range c.nodes {
-		if n.healthy && n.reservedBy == 0 {
-			count++
-		}
-	}
-	return count
+	return c.freeHealthy
 }
 
-// ReservedNodes counts the nodes currently held by reservations.
+// ReservedNodes counts the nodes currently held by reservations. O(1), like
+// UnreservedHealthy.
 func (c *Cluster) ReservedNodes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	count := 0
-	for _, n := range c.nodes {
-		if n.reservedBy != 0 {
-			count++
-		}
-	}
-	return count
+	return c.reserved
 }
 
 // Allocate grants count containers of (cores, memMB) each, spread over the
@@ -687,6 +722,25 @@ func (c *Cluster) CheckInvariants() error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	// The O(1) scheduling counters must agree with a from-scratch recount —
+	// any missed delta on a reserve/release/grow/shrink/revoke/fail/restore
+	// path shows up here.
+	freeHealthy, reserved := 0, 0
+	for _, name := range names {
+		n := c.nodes[name]
+		if n.healthy && n.reservedBy == 0 {
+			freeHealthy++
+		}
+		if n.reservedBy != 0 {
+			reserved++
+		}
+	}
+	if freeHealthy != c.freeHealthy {
+		return fmt.Errorf("cluster: freeHealthy counter drifted: have %d, recount %d", c.freeHealthy, freeHealthy)
+	}
+	if reserved != c.reserved {
+		return fmt.Errorf("cluster: reserved counter drifted: have %d, recount %d", c.reserved, reserved)
+	}
 	for _, name := range names {
 		n := c.nodes[name]
 		if n.usedCores < 0 || n.usedMemMB < 0 {
@@ -715,7 +769,7 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	// Reservations are disjoint whole-node leases: their total size can
 	// never exceed the cluster, and every reserved node must point back.
-	reserved := 0
+	reserved = 0
 	for id, res := range c.reservations {
 		if res.released {
 			return fmt.Errorf("cluster: released reservation %d still in the reservation table", id)

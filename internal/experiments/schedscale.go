@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/asap-project/ires/internal/cluster"
+	"github.com/asap-project/ires/internal/executor"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/scheduler"
+	"github.com/asap-project/ires/internal/vtime"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// scaleNodes is the cluster size for the scale benchmark. Every node is
+// reserved out from under the scheduler before any run is submitted, so each
+// decision round is a pure hold-decision: the policy must look at the state
+// and conclude nothing can be admitted. That isolates exactly the per-round
+// state cost the indexed rewrite targets — the seed scheduler paid
+// O(queue depth) to reach "no" while the indexed one pays O(1).
+const scaleNodes = 16
+
+// SchedScalePoint is one (policy, queue depth) measurement.
+type SchedScalePoint struct {
+	Depth int `json:"depth"`
+	// IndexedPerSec / RebuildPerSec are decision rounds per second against
+	// the incrementally maintained indexed state vs a from-scratch
+	// rebuild of every live run into RunState slices (the seed behavior).
+	IndexedPerSec float64 `json:"indexedDecisionsPerSec"`
+	RebuildPerSec float64 `json:"rebuildDecisionsPerSec"`
+	Speedup       float64 `json:"speedup"`
+	// AllocsPerDecision is the heap allocation count of one indexed
+	// decision round; the gate requires it to stay flat as depth grows.
+	AllocsPerDecision float64 `json:"indexedAllocsPerDecision"`
+}
+
+// SchedScalePolicy is one admission policy's scaling curve.
+type SchedScalePolicy struct {
+	Policy string            `json:"policy"`
+	Points []SchedScalePoint `json:"points"`
+}
+
+// SchedScaleBench is the machine-readable result of the fleet-scale
+// scheduling gate (cmd/bench-sched-scale, `make bench-sched-scale`): a full
+// cluster with 10k–100k queued runs, measuring decision-round throughput and
+// allocations per round for the indexed state against the rebuild-everything
+// baseline.
+type SchedScaleBench struct {
+	Seed     int64              `json:"seed"`
+	Nodes    int                `json:"nodes"`
+	Depths   []int              `json:"depths"`
+	Policies []SchedScalePolicy `json:"policies"`
+}
+
+// Gate returns an error unless, for every policy, the indexed state is at
+// least 10x faster than the rebuild at 10k queued runs and the indexed
+// allocations per decision stay O(1) in depth (the deepest point may not
+// exceed max(2x, +4) of the shallowest).
+func (b SchedScaleBench) Gate() error {
+	if len(b.Policies) == 0 {
+		return fmt.Errorf("no policies measured")
+	}
+	for _, p := range b.Policies {
+		if len(p.Points) < 2 {
+			return fmt.Errorf("%s: need at least two depths, got %d", p.Policy, len(p.Points))
+		}
+		gated := false
+		for _, pt := range p.Points {
+			if pt.Depth == 10_000 {
+				gated = true
+				if pt.Speedup < 10 {
+					return fmt.Errorf("%s: indexed state only %.1fx faster than rebuild at 10k queued runs, want >= 10x",
+						p.Policy, pt.Speedup)
+				}
+			}
+		}
+		if !gated {
+			return fmt.Errorf("%s: no measurement at the 10k-run gate depth", p.Policy)
+		}
+		shallow := p.Points[0].AllocsPerDecision
+		deep := p.Points[len(p.Points)-1].AllocsPerDecision
+		if limit := math.Max(2*shallow, shallow+4); deep > limit {
+			return fmt.Errorf("%s: %.1f allocs/decision at depth %d vs %.1f at depth %d — not O(1) in queue depth",
+				p.Policy, deep, p.Points[len(p.Points)-1].Depth, shallow, p.Points[0].Depth)
+		}
+	}
+	return nil
+}
+
+// scaleExec satisfies scheduler.Exec but must never run: the cluster is
+// fully reserved, so no run can be admitted during the benchmark.
+type scaleExec struct{}
+
+func (scaleExec) Execute(*workflow.Graph, *planner.Plan) (*executor.Result, error) {
+	return nil, fmt.Errorf("bench-sched-scale: executor invoked on a fully reserved cluster")
+}
+
+// newScaleScheduler builds a scheduler whose cluster is fully reserved and
+// queues depth runs with mixed tenants, users, priorities, and (every third
+// run) deadlines — deep enough to exercise the EDF heap, the fair tree, and
+// the intrusive queue, while every decision round stays a hold-decision.
+func newScaleScheduler(policy scheduler.Policy, depth int, seed int64) (*scheduler.Scheduler, error) {
+	clock := vtime.NewClock()
+	clu := cluster.New(clock, scaleNodes, 4, 8192)
+	if _, err := clu.Reserve(scaleNodes); err != nil {
+		return nil, fmt.Errorf("reserving the cluster: %w", err)
+	}
+	sched, err := scheduler.New(scheduler.Config{
+		Clock:       clock,
+		Cluster:     clu,
+		Policy:      policy,
+		Plan:        func(*workflow.Graph) (*planner.Plan, error) { return nil, fmt.Errorf("not planned") },
+		NewExecutor: func(scheduler.ExecContext) scheduler.Exec { return scaleExec{} },
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tenants := []string{"acme", "beta", "gamma", "delta"}
+	users := []string{"ana", "bob", "cat", "dee", "eli"}
+	g := workflow.NewGraph()
+	g.Target = "scale"
+	for i := 0; i < depth; i++ {
+		opts := scheduler.SubmitOptions{
+			Tenant:   tenants[rng.Intn(len(tenants))],
+			User:     users[rng.Intn(len(users))],
+			Priority: rng.Intn(5) - 2,
+		}
+		if i%3 == 0 {
+			opts.Deadline = time.Duration(60+rng.Intn(100_000)) * time.Second
+		}
+		sched.SubmitWith(g, opts)
+	}
+	if got := sched.QueueDepth(); got != depth {
+		return nil, fmt.Errorf("queue depth %d after submitting %d runs — something was admitted", got, depth)
+	}
+	return sched, nil
+}
+
+// measureRate times f in batches until the budget elapses and returns calls
+// per second. batch amortizes the clock reads for sub-microsecond rounds;
+// pass 1 for expensive rounds so the budget is respected.
+func measureRate(f func(), batch int, budget time.Duration) float64 {
+	f() // warm caches outside the timed window
+	calls := 0
+	start := time.Now()
+	for {
+		for i := 0; i < batch; i++ {
+			f()
+		}
+		calls += batch
+		if elapsed := time.Since(start); elapsed >= budget {
+			return float64(calls) / elapsed.Seconds()
+		}
+	}
+}
+
+// RunSchedScaleBench executes the benchmark: for each policy and queue
+// depth it builds a fully reserved cluster with depth queued runs, then
+// measures hold-decision rounds per second for the indexed state and the
+// rebuild baseline, plus heap allocations per indexed round.
+func RunSchedScaleBench(seed int64, depths []int) (*SchedScaleBench, error) {
+	if len(depths) == 0 {
+		depths = []int{1_000, 10_000, 50_000, 100_000}
+	}
+	bench := &SchedScaleBench{Seed: seed, Nodes: scaleNodes, Depths: depths}
+	policies := []scheduler.Policy{
+		scheduler.FIFO{},
+		scheduler.Deadline{},
+		scheduler.HierarchicalFairShare{MaxConcurrent: 4},
+	}
+	for _, policy := range policies {
+		curve := SchedScalePolicy{Policy: policy.Name()}
+		for _, depth := range depths {
+			sched, err := newScaleScheduler(policy, depth, seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s depth %d: %w", policy.Name(), depth, err)
+			}
+			pt := SchedScalePoint{Depth: depth}
+			pt.IndexedPerSec = measureRate(func() { sched.DecideIndexed() }, 256, 100*time.Millisecond)
+			pt.RebuildPerSec = measureRate(func() { sched.DecideRebuild() }, 1, 150*time.Millisecond)
+			if pt.RebuildPerSec > 0 {
+				pt.Speedup = pt.IndexedPerSec / pt.RebuildPerSec
+			}
+			pt.AllocsPerDecision = testing.AllocsPerRun(200, func() { sched.DecideIndexed() })
+			curve.Points = append(curve.Points, pt)
+		}
+		bench.Policies = append(bench.Policies, curve)
+	}
+	return bench, nil
+}

@@ -1,0 +1,645 @@
+// Hierarchical fair-share accounting (CFS-style virtual runtime).
+//
+// The fairTree tracks how much weighted cluster time every tenant → user →
+// run group has consumed. A running run with n nodes advances virtual
+// runtime at rate n/(groupWeight·runWeight) at each level of its chain;
+// priority acts as a runtime multiplier — a priority-p run is charged at
+// 1/2^p of the nominal rate, so high-priority work keeps its groups "poor"
+// and scheduled sooner. The HierarchicalFairShare policy admits the waiting
+// run under the (vruntime, name)-minimal tenant, then user, then the
+// (vruntime, submission)-minimal run — classic CFS leftmost-leaf selection
+// over a three-level hierarchy.
+//
+// Selection must be O(log n), not a scan, so groups competing for admission
+// live in one of two structures per level:
+//
+//   - a wait heap for groups with waiting work and no running work: their
+//     rate is zero, the heap key (vruntime, name) is frozen, and heap
+//     positions stay valid without re-heapification;
+//   - a hot list for groups with waiting AND running work: their vruntime
+//     moves, but the list is bounded by the number of running runs (≤ cluster
+//     nodes), so settling and scanning it per pick is O(nodes), independent
+//     of queue depth.
+//
+// Settling is lazy and exact: vruntime integrates rate over the time since
+// the last settle, and rates change only at scheduling boundaries, so the
+// result is independent of when (or how often) a group is settled — picks
+// stay deterministic no matter how many decision rounds observe them.
+//
+// New groups enter at the level's admission floor — a monotone low-water
+// mark advanced every time a group is granted work (the analogue of CFS
+// min_vruntime placement) — so a freshly arrived tenant competes fairly
+// instead of starving incumbents with a zero vruntime.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// priorityWeight maps a run priority to its charge divisor: weight 2^p,
+// clamped to ±8 doublings.
+func priorityWeight(p int) float64 {
+	if p > 8 {
+		p = 8
+	}
+	if p < -8 {
+		p = -8
+	}
+	return math.Pow(2, float64(p))
+}
+
+// fairGroup is the accounting shared by tenant and user nodes.
+type fairGroup struct {
+	name     string
+	weight   float64
+	vruntime float64
+	// rate is the current vruntime slope: Σ nodes/(weight·runWeight) over
+	// running descendant runs. Zero whenever runningRuns is zero (enforced
+	// exactly, so wait-heap keys are truly static).
+	rate       float64
+	lastSettle time.Duration
+
+	waitingRuns int // waiting runs in this subtree
+	runningRuns int // running runs in this subtree
+	waitPos     int // position in the parent's wait heap (-1 = absent)
+	hotIdx      int // position in the parent's hot list (-1 = absent)
+}
+
+// settle integrates vruntime up to now. Exact: splitting an interval across
+// several settles yields the same value as one settle, because the rate only
+// changes at scheduling boundaries (which settle first).
+func (g *fairGroup) settle(now time.Duration) {
+	if g.rate != 0 && now > g.lastSettle {
+		g.vruntime += g.rate * (now - g.lastSettle).Seconds()
+	}
+	g.lastSettle = now
+}
+
+// groupLess orders groups by (vruntime, name) — a total order, names are
+// unique within a parent.
+func groupLess(a, b *fairGroup) bool {
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.name < b.name
+}
+
+// fairEntry lets one heap implementation serve tenants and users.
+type fairEntry interface{ grp() *fairGroup }
+
+// groupHeap is a position-tracked min-heap of idle-but-waiting groups. Keys
+// are static while a group is a member (rate zero), so positions never go
+// stale.
+type groupHeap[T fairEntry] struct {
+	items []T
+}
+
+func (h *groupHeap[T]) peek() (T, bool) {
+	var zero T
+	if len(h.items) == 0 {
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+func (h *groupHeap[T]) push(e T) {
+	e.grp().waitPos = len(h.items)
+	h.items = append(h.items, e)
+	h.up(e.grp().waitPos)
+}
+
+func (h *groupHeap[T]) remove(e T) {
+	i := e.grp().waitPos
+	if i < 0 {
+		return
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	e.grp().waitPos = -1
+	if i < last {
+		if !h.up(i) {
+			h.down(i)
+		}
+	}
+}
+
+func (h *groupHeap[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].grp().waitPos = i
+	h.items[j].grp().waitPos = j
+}
+
+func (h *groupHeap[T]) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !groupLess(h.items[i].grp(), h.items[parent].grp()) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *groupHeap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && groupLess(h.items[right].grp(), h.items[left].grp()) {
+			least = right
+		}
+		if !groupLess(h.items[least].grp(), h.items[i].grp()) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// runFairLess orders waiting runs by (vruntime, submission sequence).
+func runFairLess(a, b *Run) bool {
+	if a.fairV != b.fairV {
+		return a.fairV < b.fairV
+	}
+	return a.seq < b.seq
+}
+
+// runHeap is the per-user min-heap of waiting runs. Waiting runs accrue
+// nothing, so keys are static.
+type runHeap struct {
+	runs []*Run
+}
+
+func (h *runHeap) peek() *Run {
+	if len(h.runs) == 0 {
+		return nil
+	}
+	return h.runs[0]
+}
+
+func (h *runHeap) push(r *Run) {
+	r.fairPos = len(h.runs)
+	h.runs = append(h.runs, r)
+	h.up(r.fairPos)
+}
+
+func (h *runHeap) remove(r *Run) {
+	i := r.fairPos
+	if i < 0 {
+		return
+	}
+	last := len(h.runs) - 1
+	h.swap(i, last)
+	h.runs[last] = nil
+	h.runs = h.runs[:last]
+	r.fairPos = -1
+	if i < last {
+		if !h.up(i) {
+			h.down(i)
+		}
+	}
+}
+
+func (h *runHeap) swap(i, j int) {
+	h.runs[i], h.runs[j] = h.runs[j], h.runs[i]
+	h.runs[i].fairPos = i
+	h.runs[j].fairPos = j
+}
+
+func (h *runHeap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !runFairLess(h.runs[i], h.runs[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *runHeap) down(i int) {
+	n := len(h.runs)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && runFairLess(h.runs[right], h.runs[left]) {
+			least = right
+		}
+		if !runFairLess(h.runs[least], h.runs[i]) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// fairUser is one user group under a tenant; its children are runs.
+type fairUser struct {
+	fairGroup
+	tenant   *fairTenant
+	waitRuns runHeap
+	floor    float64 // admission floor for new runs under this user
+}
+
+func (u *fairUser) grp() *fairGroup { return &u.fairGroup }
+
+// fairTenant is one tenant group; its children are users.
+type fairTenant struct {
+	fairGroup
+	users     map[string]*fairUser
+	waitUsers groupHeap[*fairUser]
+	hotUsers  []*fairUser
+	floor     float64 // admission floor for new users under this tenant
+}
+
+func (t *fairTenant) grp() *fairGroup { return &t.fairGroup }
+
+// fairTree is the root of the hierarchy.
+type fairTree struct {
+	tenants     map[string]*fairTenant
+	waitTenants groupHeap[*fairTenant]
+	hotTenants  []*fairTenant
+	floor       float64 // admission floor for new tenants
+}
+
+func newFairTree() fairTree {
+	return fairTree{tenants: make(map[string]*fairTenant)}
+}
+
+// waitingRuns reports the total number of waiting runs tracked by the tree.
+func (t *fairTree) waitingRuns() int {
+	total := 0
+	for _, tn := range t.tenants {
+		total += tn.waitingRuns
+	}
+	return total
+}
+
+func (t *fairTree) ensureTenant(name string, now time.Duration) *fairTenant {
+	tn, ok := t.tenants[name]
+	if !ok {
+		tn = &fairTenant{
+			fairGroup: fairGroup{name: name, weight: 1, vruntime: t.floor, lastSettle: now, waitPos: -1, hotIdx: -1},
+			users:     make(map[string]*fairUser),
+			floor:     t.floor,
+		}
+		t.tenants[name] = tn
+	}
+	return tn
+}
+
+func (tn *fairTenant) ensureUser(name string, now time.Duration) *fairUser {
+	u, ok := tn.users[name]
+	if !ok {
+		u = &fairUser{
+			fairGroup: fairGroup{name: name, weight: 1, vruntime: tn.floor, lastSettle: now, waitPos: -1, hotIdx: -1},
+			tenant:    tn,
+			floor:     tn.floor,
+		}
+		tn.users[name] = u
+	}
+	return u
+}
+
+// placeUser reconciles a user's membership in its tenant's wait heap / hot
+// list after its waiting/running counts changed.
+func (tn *fairTenant) placeUser(u *fairUser) {
+	wantWait := u.waitingRuns > 0 && u.runningRuns == 0
+	wantHot := u.waitingRuns > 0 && u.runningRuns > 0
+	if u.waitPos >= 0 && !wantWait {
+		tn.waitUsers.remove(u)
+	}
+	if u.hotIdx >= 0 && !wantHot {
+		last := len(tn.hotUsers) - 1
+		tn.hotUsers[u.hotIdx] = tn.hotUsers[last]
+		tn.hotUsers[u.hotIdx].hotIdx = u.hotIdx
+		tn.hotUsers[last] = nil
+		tn.hotUsers = tn.hotUsers[:last]
+		u.hotIdx = -1
+	}
+	if wantWait && u.waitPos < 0 {
+		tn.waitUsers.push(u)
+	}
+	if wantHot && u.hotIdx < 0 {
+		u.hotIdx = len(tn.hotUsers)
+		tn.hotUsers = append(tn.hotUsers, u)
+	}
+}
+
+// placeTenant reconciles a tenant's membership in the tree's wait heap / hot
+// list.
+func (t *fairTree) placeTenant(tn *fairTenant) {
+	wantWait := tn.waitingRuns > 0 && tn.runningRuns == 0
+	wantHot := tn.waitingRuns > 0 && tn.runningRuns > 0
+	if tn.waitPos >= 0 && !wantWait {
+		t.waitTenants.remove(tn)
+	}
+	if tn.hotIdx >= 0 && !wantHot {
+		last := len(t.hotTenants) - 1
+		t.hotTenants[tn.hotIdx] = t.hotTenants[last]
+		t.hotTenants[tn.hotIdx].hotIdx = tn.hotIdx
+		t.hotTenants[last] = nil
+		t.hotTenants = t.hotTenants[:last]
+		tn.hotIdx = -1
+	}
+	if wantWait && tn.waitPos < 0 {
+		t.waitTenants.push(tn)
+	}
+	if wantHot && tn.hotIdx < 0 {
+		tn.hotIdx = len(t.hotTenants)
+		t.hotTenants = append(t.hotTenants, tn)
+	}
+}
+
+// prune drops a fully idle user (and then tenant) so the tree does not leak
+// groups under tenant churn. The pruned group's history is forgotten — like
+// a CFS sleeper, it re-enters at the admission floor, never below it.
+func (t *fairTree) prune(u *fairUser) {
+	tn := u.tenant
+	if u.waitingRuns == 0 && u.runningRuns == 0 {
+		delete(tn.users, u.name)
+	}
+	if tn.waitingRuns == 0 && tn.runningRuns == 0 {
+		delete(t.tenants, tn.name)
+	}
+}
+
+// enqueue registers a run as waiting (fresh submission or landed
+// suspension). The run keeps any vruntime it already accrued, clamped up to
+// the user's admission floor.
+func (t *fairTree) enqueue(r *Run, now time.Duration) {
+	tn := t.ensureTenant(r.tenant, now)
+	u := tn.ensureUser(r.user, now)
+	if r.fairV < u.floor {
+		r.fairV = u.floor
+	}
+	r.fairLast = now
+	r.fairOwner = u
+	u.waitRuns.push(r)
+	u.waitingRuns++
+	tn.waitingRuns++
+	tn.placeUser(u)
+	t.placeTenant(tn)
+}
+
+// remove unregisters a run that stops waiting without running (cancel,
+// reject, terminal cleanup). No-op when the run is not waiting.
+func (t *fairTree) remove(r *Run, now time.Duration) {
+	u := r.fairOwner
+	if u == nil {
+		return
+	}
+	if r.fairPos >= 0 {
+		tn := u.tenant
+		u.waitRuns.remove(r)
+		u.waitingRuns--
+		tn.waitingRuns--
+		tn.placeUser(u)
+		t.placeTenant(tn)
+	}
+	if r.fairNodes == 0 {
+		r.fairOwner = nil
+		t.prune(u)
+	}
+}
+
+// grant charges a waiting run's chain for nodes leased at now, and advances
+// the admission floors (the monotone min_vruntime analogue).
+func (t *fairTree) grant(r *Run, nodes int, now time.Duration) {
+	u := r.fairOwner
+	if u == nil { // defensive: grants always come from the waiting set
+		t.enqueue(r, now)
+		u = r.fairOwner
+	}
+	tn := u.tenant
+	if r.fairPos >= 0 {
+		u.waitRuns.remove(r)
+		u.waitingRuns--
+		tn.waitingRuns--
+	}
+	delta := float64(nodes) / r.fairWeight
+	r.fairLast = now
+	r.fairRate = delta
+	r.fairNodes = nodes
+	u.settle(now)
+	u.rate += delta / u.weight
+	u.runningRuns++
+	tn.settle(now)
+	tn.rate += delta / tn.weight
+	tn.runningRuns++
+	tn.placeUser(u)
+	t.placeTenant(tn)
+	if tn.vruntime > t.floor {
+		t.floor = tn.vruntime
+	}
+	if u.vruntime > tn.floor {
+		tn.floor = u.vruntime
+	}
+	if r.fairV > u.floor {
+		u.floor = r.fairV
+	}
+}
+
+// release stops charging a running run (suspension landing or finish).
+func (t *fairTree) release(r *Run, now time.Duration) {
+	u := r.fairOwner
+	if u == nil || r.fairNodes == 0 {
+		return
+	}
+	tn := u.tenant
+	if r.fairRate != 0 && now > r.fairLast {
+		r.fairV += r.fairRate * (now - r.fairLast).Seconds()
+	}
+	delta := float64(r.fairNodes) / r.fairWeight
+	r.fairLast = now
+	r.fairRate = 0
+	r.fairNodes = 0
+	u.settle(now)
+	u.rate -= delta / u.weight
+	u.runningRuns--
+	if u.runningRuns == 0 {
+		u.rate = 0 // exact, so wait-heap keys freeze cleanly
+	}
+	tn.settle(now)
+	tn.rate -= delta / tn.weight
+	tn.runningRuns--
+	if tn.runningRuns == 0 {
+		tn.rate = 0
+	}
+	tn.placeUser(u)
+	t.placeTenant(tn)
+}
+
+// resize adjusts the charge rate of a running run after a lease grow/shrink.
+func (t *fairTree) resize(r *Run, nodes int, now time.Duration) {
+	u := r.fairOwner
+	if u == nil || r.fairNodes == 0 || nodes == r.fairNodes {
+		return
+	}
+	tn := u.tenant
+	if r.fairRate != 0 && now > r.fairLast {
+		r.fairV += r.fairRate * (now - r.fairLast).Seconds()
+	}
+	delta := float64(nodes-r.fairNodes) / r.fairWeight
+	r.fairLast = now
+	r.fairRate += delta
+	r.fairNodes = nodes
+	u.settle(now)
+	u.rate += delta / u.weight
+	tn.settle(now)
+	tn.rate += delta / tn.weight
+}
+
+// pick returns the waiting run CFS would admit next: minimal tenant, then
+// user, then run. Hot groups (waiting work while also running) are settled
+// to now first — the list is bounded by running runs, so a pick costs
+// O(nodes + log tenants), independent of queue depth.
+func (t *fairTree) pick(now time.Duration) *Run {
+	var bt *fairTenant
+	if top, ok := t.waitTenants.peek(); ok {
+		bt = top
+	}
+	for _, tn := range t.hotTenants {
+		tn.settle(now)
+		if bt == nil || groupLess(&tn.fairGroup, &bt.fairGroup) {
+			bt = tn
+		}
+	}
+	if bt == nil {
+		return nil
+	}
+	var bu *fairUser
+	if top, ok := bt.waitUsers.peek(); ok {
+		bu = top
+	}
+	for _, u := range bt.hotUsers {
+		u.settle(now)
+		if bu == nil || groupLess(&u.fairGroup, &bu.fairGroup) {
+			bu = u
+		}
+	}
+	if bu == nil {
+		return nil
+	}
+	return bu.waitRuns.peek()
+}
+
+// pickNaive recomputes pick by scanning every group — the from-scratch
+// oracle CheckIndex compares the heap-driven pick against.
+func (t *fairTree) pickNaive(now time.Duration) *Run {
+	var bt *fairTenant
+	for _, tn := range t.tenants {
+		if tn.waitingRuns == 0 {
+			continue
+		}
+		tn.settle(now)
+		if bt == nil || groupLess(&tn.fairGroup, &bt.fairGroup) {
+			bt = tn
+		}
+	}
+	if bt == nil {
+		return nil
+	}
+	var bu *fairUser
+	for _, u := range bt.users {
+		if u.waitingRuns == 0 {
+			continue
+		}
+		u.settle(now)
+		if bu == nil || groupLess(&u.fairGroup, &bu.fairGroup) {
+			bu = u
+		}
+	}
+	if bu == nil {
+		return nil
+	}
+	var br *Run
+	for _, r := range bu.waitRuns.runs {
+		if br == nil || runFairLess(r, br) {
+			br = r
+		}
+	}
+	return br
+}
+
+// check validates counts, membership flags, heap invariants and the
+// heap-vs-scan pick agreement.
+func (t *fairTree) check(now time.Duration) error {
+	totalWaiting := 0
+	for name, tn := range t.tenants {
+		w, run := 0, 0
+		for uname, u := range tn.users {
+			uw := len(u.waitRuns.runs)
+			if uw != u.waitingRuns {
+				return fmt.Errorf("fair: user %s/%s waiting %d != heap %d", name, uname, u.waitingRuns, uw)
+			}
+			for i, r := range u.waitRuns.runs {
+				if r.fairPos != i {
+					return fmt.Errorf("fair: run %s heap position drift", r.id)
+				}
+				if left := 2*i + 1; left < uw && runFairLess(u.waitRuns.runs[left], r) {
+					return fmt.Errorf("fair: run heap order violated under %s/%s", name, uname)
+				}
+			}
+			wantWait := u.waitingRuns > 0 && u.runningRuns == 0
+			if (u.waitPos >= 0) != wantWait {
+				return fmt.Errorf("fair: user %s/%s wait-heap membership drift", name, uname)
+			}
+			wantHot := u.waitingRuns > 0 && u.runningRuns > 0
+			if (u.hotIdx >= 0) != wantHot {
+				return fmt.Errorf("fair: user %s/%s hot-list membership drift", name, uname)
+			}
+			if u.runningRuns == 0 && u.rate != 0 {
+				return fmt.Errorf("fair: idle user %s/%s has rate %v", name, uname, u.rate)
+			}
+			w += u.waitingRuns
+			run += u.runningRuns
+		}
+		if w != tn.waitingRuns || run != tn.runningRuns {
+			return fmt.Errorf("fair: tenant %s counts %d/%d != sums %d/%d", name, tn.waitingRuns, tn.runningRuns, w, run)
+		}
+		wantWait := tn.waitingRuns > 0 && tn.runningRuns == 0
+		if (tn.waitPos >= 0) != wantWait {
+			return fmt.Errorf("fair: tenant %s wait-heap membership drift", name)
+		}
+		wantHot := tn.waitingRuns > 0 && tn.runningRuns > 0
+		if (tn.hotIdx >= 0) != wantHot {
+			return fmt.Errorf("fair: tenant %s hot-list membership drift", name)
+		}
+		if tn.runningRuns == 0 && tn.rate != 0 {
+			return fmt.Errorf("fair: idle tenant %s has rate %v", name, tn.rate)
+		}
+		totalWaiting += tn.waitingRuns
+	}
+	if totalWaiting > 0 {
+		fast, slow := t.pick(now), t.pickNaive(now)
+		if fast != slow {
+			fid, sid := "<nil>", "<nil>"
+			if fast != nil {
+				fid = fast.id
+			}
+			if slow != nil {
+				sid = slow.id
+			}
+			return fmt.Errorf("fair: heap pick %s != scan pick %s", fid, sid)
+		}
+	}
+	return nil
+}

@@ -3,7 +3,7 @@ package scheduler
 import (
 	"fmt"
 	"math"
-	"sort"
+	"time"
 )
 
 // RunState is the policy-visible view of one run. All times are virtual
@@ -12,6 +12,10 @@ type RunState struct {
 	ID       string
 	Workflow string
 	Tenant   string
+	// User subdivides a tenant for hierarchical fair-share accounting;
+	// Priority biases that accounting (higher = charged less per node-second).
+	User     string
+	Priority int
 	Status   Status
 
 	SubmittedSec float64
@@ -36,16 +40,174 @@ type RunState struct {
 	Preempting bool
 }
 
-// State is the scheduler state handed to Policy.Decide. Slices are in
-// deterministic order: Queued and Suspended in submission order, Active in
-// admission order.
+// State is the scheduler state handed to Policy.Decide. It is an indexed
+// view over incrementally maintained structures, not a materialized copy:
+// accessors walk the live index under the scheduler lock and build RunStates
+// on demand, so a decision round costs O(runs examined), not O(runs total).
+//
+// Iteration orders are deterministic: EachQueued and EachSuspended visit in
+// submission order, EachActive in submission order over admitted runs,
+// EachWaiting suspended-then-queued (each in submission order) — exactly the
+// orders the seed scheduler materialized. EDFHead is the head a stable
+// earliest-deadline-first sort of the waiting runs would produce, served
+// from a heap. FairNext is the hierarchical fair-share pick (see fair.go).
 type State struct {
 	NowSec     float64
 	TotalNodes int
 	FreeNodes  int
-	Queued     []RunState
-	Active     []RunState
-	Suspended  []RunState
+
+	s   *Scheduler
+	now time.Duration
+
+	// naive switches the accessors to pre-materialized slices: the
+	// from-scratch rebuild path used as the storm-test oracle and the bench
+	// baseline (see Scheduler.DecideRebuild).
+	naive      bool
+	nQueued    []RunState
+	nActive    []RunState
+	nSuspended []RunState
+}
+
+// QueuedLen reports the number of queued runs.
+func (st State) QueuedLen() int {
+	if st.naive {
+		return len(st.nQueued)
+	}
+	return st.s.idx.queue.n
+}
+
+// ActiveLen reports the number of admitted (running or resuming) runs.
+func (st State) ActiveLen() int {
+	if st.naive {
+		return len(st.nActive)
+	}
+	return len(st.s.idx.activeOrder)
+}
+
+// SuspendedLen reports the number of preempted runs awaiting resume.
+func (st State) SuspendedLen() int {
+	if st.naive {
+		return len(st.nSuspended)
+	}
+	return len(st.s.idx.suspendedOrder)
+}
+
+// WaitingLen reports queued + suspended.
+func (st State) WaitingLen() int { return st.QueuedLen() + st.SuspendedLen() }
+
+// EachQueued visits queued runs in submission order until fn returns false.
+func (st State) EachQueued(fn func(RunState) bool) {
+	if st.naive {
+		for _, rs := range st.nQueued {
+			if !fn(rs) {
+				return
+			}
+		}
+		return
+	}
+	st.s.idx.queue.each(func(r *Run) bool {
+		return fn(st.s.runStateLocked(r, st.now))
+	})
+}
+
+// EachActive visits admitted runs in submission order until fn returns false.
+func (st State) EachActive(fn func(RunState) bool) {
+	if st.naive {
+		for _, rs := range st.nActive {
+			if !fn(rs) {
+				return
+			}
+		}
+		return
+	}
+	for _, r := range st.s.idx.activeOrder {
+		if !fn(st.s.runStateLocked(r, st.now)) {
+			return
+		}
+	}
+}
+
+// EachSuspended visits suspended runs in submission order until fn returns
+// false.
+func (st State) EachSuspended(fn func(RunState) bool) {
+	if st.naive {
+		for _, rs := range st.nSuspended {
+			if !fn(rs) {
+				return
+			}
+		}
+		return
+	}
+	for _, r := range st.s.idx.suspendedOrder {
+		if !fn(st.s.runStateLocked(r, st.now)) {
+			return
+		}
+	}
+}
+
+// EachWaiting visits suspended runs first, then queued — both in submission
+// order — until fn returns false. Suspended runs hold completed work (and
+// committed budget), so policies generally serve them first.
+func (st State) EachWaiting(fn func(RunState) bool) {
+	stop := false
+	st.EachSuspended(func(rs RunState) bool {
+		if !fn(rs) {
+			stop = true
+		}
+		return !stop
+	})
+	if stop {
+		return
+	}
+	st.EachQueued(fn)
+}
+
+// EDFHead returns the earliest-deadline waiting run (queued or suspended),
+// ties broken by submission time then id — the head a stable EDF sort of
+// the waiting set would produce, served in O(1) from the deadline heap.
+func (st State) EDFHead() (RunState, bool) {
+	if st.naive {
+		var head RunState
+		found := false
+		scan := func(rs RunState) bool {
+			if !found || edfLess(rs, head) {
+				head, found = rs, true
+			}
+			return true
+		}
+		for _, rs := range st.nQueued {
+			scan(rs)
+		}
+		for _, rs := range st.nSuspended {
+			scan(rs)
+		}
+		return head, found
+	}
+	r := st.s.idx.edf.peek()
+	if r == nil {
+		return RunState{}, false
+	}
+	return st.s.runStateLocked(r, st.now), true
+}
+
+// FairNext returns the waiting run hierarchical fair share would admit next
+// (minimal-vruntime tenant, then user, then run). Settling group runtimes to
+// now mutates bookkeeping but never a decision: settlement is exact, so a
+// group's vruntime is the same whenever it is observed.
+func (st State) FairNext() (RunState, bool) {
+	if st.s == nil {
+		return RunState{}, false
+	}
+	var r *Run
+	if st.naive {
+		r = st.s.idx.fair.pickNaive(st.now)
+	} else {
+		r = st.s.idx.fair.pick(st.now)
+	}
+	if r == nil {
+		return RunState{}, false
+	}
+	return st.s.runStateLocked(r, st.now), true
 }
 
 // Action is one scheduling decision returned by Policy.Decide. The scheduler
@@ -92,10 +254,13 @@ func (Preempt) isAction() {}
 func (Resize) isAction()  {}
 func (Reject) isAction()  {}
 
-// Policy decides scheduling: given the full run state it returns the actions
-// to apply — admissions, resumes, lease resizes, preemptions, rejections.
-// Decide must be a pure function of its input (it runs under the scheduler
-// lock and is re-invoked after every applied batch until it quiesces).
+// Policy decides scheduling: given the indexed run state it returns the
+// actions to apply — admissions, resumes, lease resizes, preemptions,
+// rejections. Decide must be a pure function of its input (it runs under the
+// scheduler lock and is re-invoked after every applied batch until it
+// quiesces), and it should touch only the runs it needs: the accessors
+// materialize run views lazily, so a policy that inspects k runs costs O(k)
+// regardless of queue depth.
 type Policy interface {
 	Name() string
 	Decide(st State) []Action
@@ -113,22 +278,22 @@ type Estimator interface {
 // admission loop exactly — head-of-queue order, quota <= 0 holds, and the
 // progress clamp (an idle cluster shrinks an oversized quota to the free
 // pool instead of waiting forever) — so FIFO/FairShare traces are identical
-// to the pre-lease-core scheduler.
+// to the pre-lease-core scheduler. The waiting set is iterated lazily:
+// the loop stops at the first held run, so a burst of queued runs costs
+// O(admissions), not O(queue).
 func quotaDecide(quota func(total, free, active, queued int) int, st State) []Action {
 	var actions []Action
 	free := st.FreeNodes
-	active := len(st.Active) + len(st.Suspended)
-	queued := append([]RunState(nil), st.Suspended...)
-	queued = append(queued, st.Queued...)
-	for len(queued) > 0 {
-		head := queued[0]
-		q := quota(st.TotalNodes, free, active, len(queued))
+	active := st.ActiveLen() + st.SuspendedLen()
+	remaining := st.WaitingLen()
+	st.EachWaiting(func(head RunState) bool {
+		q := quota(st.TotalNodes, free, active, remaining)
 		if q <= 0 {
-			break
+			return false
 		}
 		if q > free {
 			if active > 0 || free == 0 {
-				break
+				return false
 			}
 			q = free
 		}
@@ -139,8 +304,9 @@ func quotaDecide(quota func(total, free, active, queued int) int, st State) []Ac
 		}
 		free -= q
 		active++
-		queued = queued[1:]
-	}
+		remaining--
+		return true
+	})
 	return actions
 }
 
@@ -256,22 +422,23 @@ func (d Deadline) maxPreemptions() int {
 	return d.MaxPreemptions
 }
 
-// Decide implements Policy.
+// Decide implements Policy. The waiting head comes from the deadline heap in
+// O(1); the preemption branch scans only the active set (bounded by the
+// cluster's node count), so a decision round is independent of queue depth.
 func (d Deadline) Decide(st State) []Action {
-	waiting := append([]RunState(nil), st.Queued...)
-	waiting = append(waiting, st.Suspended...)
-	sort.SliceStable(waiting, func(i, j int) bool { return edfLess(waiting[i], waiting[j]) })
-
-	var actions []Action
-	if len(waiting) == 0 {
+	if st.WaitingLen() == 0 {
 		// Nothing waiting: the sole active run absorbs any freed capacity.
-		if st.FreeNodes > 0 && len(st.Active) == 1 && !st.Active[0].Preempting {
-			actions = append(actions, Resize{Run: st.Active[0].ID, Nodes: st.Active[0].LeasedNodes + st.FreeNodes})
+		if st.FreeNodes > 0 && st.ActiveLen() == 1 {
+			var sole RunState
+			st.EachActive(func(a RunState) bool { sole = a; return false })
+			if !sole.Preempting {
+				return []Action{Resize{Run: sole.ID, Nodes: sole.LeasedNodes + st.FreeNodes}}
+			}
 		}
-		return actions
+		return nil
 	}
 
-	head := waiting[0]
+	head, _ := st.EDFHead()
 	if st.FreeNodes > 0 {
 		// Serve the most urgent waiting run with the whole free pool.
 		if head.Status == StatusSuspended {
@@ -285,21 +452,22 @@ func (d Deadline) Decide(st State) []Action {
 	// own deadline after being suspended and later resumed behind the
 	// waiter. The check is estimate-based: now + remaining(waiter) +
 	// remaining(victim) must stay within the victim's deadline.
-	var victim *RunState
-	for i := range st.Active {
-		a := &st.Active[i]
+	var victim RunState
+	found := false
+	st.EachActive(func(a RunState) bool {
 		if a.Preempting || a.Preemptions >= d.maxPreemptions() {
-			continue
+			return true
 		}
-		if victim == nil || edfLess(*victim, *a) {
-			victim = a
+		if !found || edfLess(victim, a) {
+			victim, found = a, true
 		}
-	}
-	if victim == nil || !edfLess(head, *victim) {
+		return true
+	})
+	if !found || !edfLess(head, victim) {
 		return nil
 	}
 	if victim.DeadlineSec > 0 {
-		projected := st.NowSec + remainingSec(head) + remainingSec(*victim)
+		projected := st.NowSec + remainingSec(head) + remainingSec(victim)
 		if projected > victim.DeadlineSec {
 			return nil
 		}
@@ -313,6 +481,10 @@ func (d Deadline) Decide(st State) []Action {
 // active and suspended runs plus its own stay within the tenant's budget;
 // otherwise it queues until commitments drain. A run whose own estimate can
 // never fit the budget is rejected outright, keeping the queue live.
+//
+// CostQuota is the one shipped policy whose decision round remains O(waiting)
+// rather than O(1): budget rejections can hide anywhere in the queue, so it
+// deliberately scans the full waiting set each round.
 type CostQuota struct {
 	// Budgets maps tenant -> cost budget; tenants not listed fall back to
 	// DefaultBudget (0 = unlimited).
@@ -347,44 +519,44 @@ func (c CostQuota) budget(tenant string) float64 {
 // Decide implements Policy.
 func (c CostQuota) Decide(st State) []Action {
 	committed := make(map[string]float64)
-	for _, a := range st.Active {
+	st.EachActive(func(a RunState) bool {
 		committed[a.Tenant] += a.EstCost
-	}
-	for _, a := range st.Suspended {
+		return true
+	})
+	st.EachSuspended(func(a RunState) bool {
 		committed[a.Tenant] += a.EstCost
-	}
+		return true
+	})
 	slots := c.slots()
 	share := st.TotalNodes / slots
 	if share < 1 {
 		share = 1
 	}
 	free := st.FreeNodes
-	activeN := len(st.Active)
+	activeN := st.ActiveLen()
 
 	var actions []Action
 	// Suspended runs hold budget already — resume them first so their
 	// commitments convert back into progress.
-	waiting := append([]RunState(nil), st.Suspended...)
-	waiting = append(waiting, st.Queued...)
-	for _, w := range waiting {
+	st.EachWaiting(func(w RunState) bool {
 		b := c.budget(w.Tenant)
 		if w.Status != StatusSuspended && b > 0 && w.EstCost > b {
 			actions = append(actions, Reject{
 				Run:    w.ID,
 				Reason: fmt.Sprintf("estimated cost %.1f exceeds tenant %q budget %.1f", w.EstCost, w.Tenant, b),
 			})
-			continue
+			return true
 		}
 		if activeN >= slots {
-			continue
+			return true
 		}
 		if w.Status != StatusSuspended && b > 0 && committed[w.Tenant]+w.EstCost > b {
-			continue // hold until the tenant's commitments drain
+			return true // hold until the tenant's commitments drain
 		}
 		n := share
 		if n > free {
 			if activeN > 0 || free == 0 {
-				continue
+				return true
 			}
 			n = free
 		}
@@ -396,6 +568,7 @@ func (c CostQuota) Decide(st State) []Action {
 		}
 		free -= n
 		activeN++
-	}
+		return true
+	})
 	return actions
 }

@@ -17,6 +17,16 @@
 //     virtual-time schedule. Fixed seed in, byte-identical traces out — even
 //     under the race detector.
 //
+// Policy input is served from incrementally maintained indexed state (see
+// index.go): the queue is an intrusive list with O(1) membership, waiting
+// runs sit in an EDF heap, active/suspended sets are kept in submission
+// order, and fair-share accounting lives in a hierarchical vruntime tree.
+// The structures are updated as deltas at run lifecycle boundaries, so a
+// decision round costs O(runs the policy examines), not O(runs ever
+// submitted). Terminal runs are pruned from the hot path entirely: a frozen
+// snapshot replaces the run record, keeping Runs() listings and id lookups
+// alive without leaking execution state under sustained traffic.
+//
 // Preemption is cooperative: a Preempt action raises the run's suspend flag;
 // the executor stops at the next completed-operator boundary, drains its
 // in-flight gangs, and returns the materialized intermediates. The scheduler
@@ -29,6 +39,7 @@ package scheduler
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,8 +106,12 @@ type Snapshot struct {
 	ID       string `json:"id"`
 	Workflow string `json:"workflow,omitempty"`
 	Status   string `json:"status"`
-	// Tenant is the budget account the run is charged to (CostQuota).
+	// Tenant is the budget account the run is charged to (CostQuota) and the
+	// top fair-share group (HierarchicalFairShare); User subdivides it.
 	Tenant string `json:"tenant,omitempty"`
+	User   string `json:"user,omitempty"`
+	// Priority biases hierarchical fair-share charging (higher = cheaper).
+	Priority int `json:"priority,omitempty"`
 	// LeasedNodes is the current node lease size (0 while queued or
 	// suspended).
 	LeasedNodes int `json:"leasedNodes,omitempty"`
@@ -125,6 +140,8 @@ type Run struct {
 	id       string
 	workflow string
 	tenant   string
+	user     string
+	priority int
 	deadline time.Duration // absolute vtime; 0 = none
 	g        *workflow.Graph
 	sched    *Scheduler
@@ -165,6 +182,21 @@ type Run struct {
 	preemptPending bool
 	preemptAskedAt time.Duration
 	preemptLatency time.Duration
+
+	// Index bookkeeping, guarded by the scheduler's mu (never r.mu): the
+	// run's position in each incrementally maintained structure.
+	seq     int      // submission sequence
+	qnode   *runNode // queue-list element; nil when not queued
+	edfPos  int      // EDF heap position; -1 when not waiting
+	fairPos int      // fair-tree waiting-heap position; -1 when not waiting
+
+	// Hierarchical fair-share accounting (guarded by the scheduler's mu).
+	fairWeight float64 // 2^priority charge divisor
+	fairV      float64 // accrued virtual runtime
+	fairRate   float64 // current vruntime slope (nodes/fairWeight; 0 unless running)
+	fairLast   time.Duration
+	fairNodes  int       // nodes currently charged
+	fairOwner  *fairUser // owning fair group while registered
 }
 
 // ID returns the scheduler-unique run id (also stamped on trace events).
@@ -190,6 +222,8 @@ func (r *Run) Status() Snapshot {
 		ID:           r.id,
 		Workflow:     r.workflow,
 		Tenant:       r.tenant,
+		User:         r.user,
+		Priority:     r.priority,
 		Status:       r.status.String(),
 		SubmittedSec: r.submittedAt.Seconds(),
 		DeadlineSec:  r.deadline.Seconds(),
@@ -225,8 +259,7 @@ func (r *Run) Done() <-chan struct{} { return r.done }
 // state.
 func (r *Run) Cancel() {
 	r.canceled.Store(true)
-	r.sched.dropIfQueued(r)
-	r.sched.wakeIfSuspended(r)
+	r.sched.noteCancel(r)
 	// A running party notices the flag at its next decision point; kick in
 	// case every party is parked and the clock needs a push.
 	r.sched.clock.Kick()
@@ -295,30 +328,55 @@ type Config struct {
 type SubmitOptions struct {
 	// Name labels the run in status listings (default: the graph target).
 	Name string
-	// Tenant is the budget account for CostQuota-style policies.
+	// Tenant is the budget account for CostQuota-style policies and the top
+	// fair-share group for HierarchicalFairShare.
 	Tenant string
+	// User subdivides a tenant for hierarchical fair-share accounting.
+	User string
+	// Priority biases fair-share charging: a priority-p run is billed
+	// node-seconds at 1/2^p (clamped to ±8), so higher priorities are
+	// scheduled sooner within their group. Ignored by other policies.
+	Priority int
 	// Deadline is the absolute virtual-time deadline for Deadline-style
 	// policies (0 = none).
 	Deadline time.Duration
 }
 
+// runRecord is one submission-order ledger entry. While the run is live it
+// points at the Run; once terminal, the pointer is dropped and a frozen
+// snapshot takes its place — so the scheduler retains O(1) state per
+// finished run (id + snapshot) instead of the full graph/plan/result chain,
+// and the hot path never iterates terminal runs at all.
+type runRecord struct {
+	id    string
+	run   *Run // nil once terminal
+	final Snapshot
+}
+
 // Scheduler is the multi-workflow submission queue + scheduling core.
 // It is safe for concurrent use.
 type Scheduler struct {
-	clock    *vtime.Clock
-	cluster  *cluster.Cluster
-	policy   Policy
-	plan     func(g *workflow.Graph) (*planner.Plan, error)
-	newExec  func(ctx ExecContext) Exec
-	estimate func(g *workflow.Graph) (float64, float64, error)
-	tracer   trace.Tracer
+	clock      *vtime.Clock
+	cluster    *cluster.Cluster
+	policy     Policy
+	plan       func(g *workflow.Graph) (*planner.Plan, error)
+	newExec    func(ctx ExecContext) Exec
+	estimate   func(g *workflow.Graph) (float64, float64, error)
+	tracer     trace.Tracer
+	totalNodes int
 
 	mu        sync.Mutex
 	nextID    int
-	queue     []*Run
+	idx       stateIndex
 	active    map[string]*Run
 	suspended map[string]*Run
-	all       []*Run // submission order
+	records   []*runRecord          // submission order
+	recIdx    map[string]*runRecord // id -> record
+	// pendingCancel holds runs canceled while admitted: if such a run later
+	// lands a suspension instead of observing the flag, the next scheduling
+	// round wakes it to finalize. (Queued and suspended runs are handled
+	// synchronously by noteCancel.)
+	pendingCancel map[string]*Run
 }
 
 // New builds a scheduler; Clock, Cluster, Plan and NewExecutor are required.
@@ -335,15 +393,19 @@ func New(cfg Config) (*Scheduler, error) {
 		tracer = trace.Nop()
 	}
 	return &Scheduler{
-		clock:     cfg.Clock,
-		cluster:   cfg.Cluster,
-		policy:    policy,
-		plan:      cfg.Plan,
-		newExec:   cfg.NewExecutor,
-		estimate:  cfg.Estimate,
-		tracer:    tracer,
-		active:    make(map[string]*Run),
-		suspended: make(map[string]*Run),
+		clock:         cfg.Clock,
+		cluster:       cfg.Cluster,
+		policy:        policy,
+		plan:          cfg.Plan,
+		newExec:       cfg.NewExecutor,
+		estimate:      cfg.Estimate,
+		tracer:        tracer,
+		totalNodes:    len(cfg.Cluster.Nodes()),
+		idx:           newStateIndex(),
+		active:        make(map[string]*Run),
+		suspended:     make(map[string]*Run),
+		recIdx:        make(map[string]*runRecord),
+		pendingCancel: make(map[string]*Run),
 	}, nil
 }
 
@@ -363,8 +425,8 @@ func (s *Scheduler) SubmitNamed(name string, g *workflow.Graph) *Run {
 	return s.SubmitWith(g, SubmitOptions{Name: name})
 }
 
-// SubmitWith is Submit with full scheduling metadata (label, tenant,
-// deadline).
+// SubmitWith is Submit with full scheduling metadata (label, tenant, user,
+// priority, deadline).
 func (s *Scheduler) SubmitWith(g *workflow.Graph, opts SubmitOptions) *Run {
 	name := opts.Name
 	if name == "" {
@@ -388,6 +450,8 @@ func (s *Scheduler) SubmitWith(g *workflow.Graph, opts SubmitOptions) *Run {
 		id:          fmt.Sprintf("run-%03d", s.nextID),
 		workflow:    name,
 		tenant:      opts.Tenant,
+		user:        opts.User,
+		priority:    opts.Priority,
 		deadline:    opts.Deadline,
 		g:           g,
 		sched:       s,
@@ -397,10 +461,16 @@ func (s *Scheduler) SubmitWith(g *workflow.Graph, opts SubmitOptions) *Run {
 		submittedAt: s.clock.Now(),
 		estTime:     estTime,
 		estCost:     estCost,
+		seq:         s.nextID,
+		edfPos:      -1,
+		fairPos:     -1,
+		fairWeight:  priorityWeight(opts.Priority),
 	}
-	s.queue = append(s.queue, r)
-	s.all = append(s.all, r)
-	depth := len(s.queue)
+	rec := &runRecord{id: r.id, run: r}
+	s.records = append(s.records, rec)
+	s.recIdx[r.id] = rec
+	s.idx.enqueue(r, r.submittedAt)
+	depth := s.idx.queue.n
 	s.mu.Unlock()
 
 	fields := map[string]float64{"queueDepth": float64(depth)}
@@ -428,8 +498,11 @@ func (s *Scheduler) Start() { s.clock.Kick() }
 func (s *Scheduler) Drain() {
 	for {
 		s.mu.Lock()
-		pending := make([]*Run, 0, len(s.queue)+len(s.active)+len(s.suspended))
-		pending = append(pending, s.queue...)
+		pending := make([]*Run, 0, s.idx.queue.n+len(s.active)+len(s.suspended))
+		s.idx.queue.each(func(r *Run) bool {
+			pending = append(pending, r)
+			return true
+		})
 		for _, r := range s.active {
 			pending = append(pending, r)
 		}
@@ -447,35 +520,89 @@ func (s *Scheduler) Drain() {
 	}
 }
 
-// Runs returns snapshots of every submitted run in submission order.
+// Runs returns snapshots of every submitted run in submission order. Live
+// runs are snapshotted fresh; terminal runs come from the frozen record.
 func (s *Scheduler) Runs() []Snapshot {
 	s.mu.Lock()
-	runs := append([]*Run(nil), s.all...)
+	out := make([]Snapshot, len(s.records))
+	live := make([]*Run, len(s.records))
+	for i, rec := range s.records {
+		if rec.run != nil {
+			live[i] = rec.run
+		} else {
+			out[i] = rec.final
+		}
+	}
 	s.mu.Unlock()
-	out := make([]Snapshot, len(runs))
-	for i, r := range runs {
-		out[i] = r.Status()
+	for i, r := range live {
+		if r != nil {
+			out[i] = r.Status()
+		}
 	}
 	return out
 }
 
-// Get returns the run with the given id.
+// Get returns the live run handle with the given id. Terminal runs are
+// pruned from the scheduler's hot state; use SnapshotOf for those.
 func (s *Scheduler) Get(id string) (*Run, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, r := range s.all {
-		if r.id == id {
-			return r, true
+	rec := s.recIdx[id]
+	if rec == nil || rec.run == nil {
+		return nil, false
+	}
+	return rec.run, true
+}
+
+// SnapshotOf returns the snapshot of any submitted run, live or terminal.
+func (s *Scheduler) SnapshotOf(id string) (Snapshot, bool) {
+	s.mu.Lock()
+	rec := s.recIdx[id]
+	var (
+		run  *Run
+		snap Snapshot
+	)
+	if rec != nil {
+		if rec.run != nil {
+			run = rec.run
+		} else {
+			snap = rec.final
 		}
 	}
-	return nil, false
+	s.mu.Unlock()
+	if rec == nil {
+		return Snapshot{}, false
+	}
+	if run != nil {
+		return run.Status(), true
+	}
+	return snap, true
+}
+
+// CancelByID cancels the run with the given id; it reports whether the id is
+// known. Canceling an already-terminal run is a no-op.
+func (s *Scheduler) CancelByID(id string) bool {
+	s.mu.Lock()
+	rec := s.recIdx[id]
+	var run *Run
+	if rec != nil {
+		run = rec.run
+	}
+	s.mu.Unlock()
+	if rec == nil {
+		return false
+	}
+	if run != nil {
+		run.Cancel()
+	}
+	return true
 }
 
 // QueueDepth reports the number of queued (not yet admitted) runs.
 func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.idx.queue.n
 }
 
 // ActiveRuns reports the number of admitted, unfinished runs.
@@ -500,6 +627,8 @@ func (s *Scheduler) runStateLocked(r *Run, now time.Duration) RunState {
 		ID:           r.id,
 		Workflow:     r.workflow,
 		Tenant:       r.tenant,
+		User:         r.user,
+		Priority:     r.priority,
 		Status:       r.status,
 		SubmittedSec: r.submittedAt.Seconds(),
 		DeadlineSec:  r.deadline.Seconds(),
@@ -520,46 +649,26 @@ func (s *Scheduler) runStateLocked(r *Run, now time.Duration) RunState {
 	return rs
 }
 
-// stateLocked assembles the full policy input; s.mu held. Queued is in
-// submission order; Active and Suspended follow the global submission order
-// too, keeping Decide's input deterministic.
-func (s *Scheduler) stateLocked(now time.Duration) State {
-	st := State{
+// stateViewLocked builds the indexed policy input; s.mu held. Nothing is
+// materialized here — the State's accessors walk the live index.
+func (s *Scheduler) stateViewLocked(now time.Duration) State {
+	return State{
 		NowSec:     now.Seconds(),
-		TotalNodes: len(s.cluster.Nodes()),
+		TotalNodes: s.totalNodes,
 		FreeNodes:  s.cluster.UnreservedHealthy(),
+		s:          s,
+		now:        now,
 	}
-	for _, r := range s.queue {
-		st.Queued = append(st.Queued, s.runStateLocked(r, now))
-	}
-	for _, r := range s.all {
-		if _, ok := s.active[r.id]; ok {
-			st.Active = append(st.Active, s.runStateLocked(r, now))
-		} else if _, ok := s.suspended[r.id]; ok {
-			st.Suspended = append(st.Suspended, s.runStateLocked(r, now))
-		}
-	}
-	return st
 }
 
-// queuedLocked finds a run in the queue by id; s.mu held.
+// queuedLocked finds a run in the queue by id; s.mu held. O(1) via the
+// record index + intrusive queue membership.
 func (s *Scheduler) queuedLocked(id string) *Run {
-	for _, r := range s.queue {
-		if r.id == id {
-			return r
-		}
+	rec := s.recIdx[id]
+	if rec == nil || rec.run == nil || rec.run.qnode == nil {
+		return nil
 	}
-	return nil
-}
-
-// removeQueuedLocked drops a run from the queue; s.mu held.
-func (s *Scheduler) removeQueuedLocked(r *Run) {
-	for i, q := range s.queue {
-		if q == r {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			return
-		}
-	}
+	return rec.run
 }
 
 // schedule runs Decide/apply rounds until the policy quiesces (a round
@@ -570,7 +679,42 @@ func (s *Scheduler) schedule() {
 	}
 }
 
-// grantLocked gives a run a fresh lease and a party seat; s.mu held.
+// DecideIndexed runs one policy decision round against the maintained
+// indexed state without applying anything, and returns the number of actions
+// the policy produced. Bench/diagnostic hook.
+func (s *Scheduler) DecideIndexed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	return len(s.policy.Decide(s.stateViewLocked(now)))
+}
+
+// DecideRebuild runs one policy decision round against a from-scratch
+// rebuild of the state — every live run re-materialized into RunState slices,
+// the seed scheduler's per-event cost — without applying anything. Bench
+// baseline for DecideIndexed.
+func (s *Scheduler) DecideRebuild() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	q, a, su := s.naiveStateLocked(now)
+	st := State{
+		NowSec:     now.Seconds(),
+		TotalNodes: s.totalNodes,
+		FreeNodes:  s.cluster.UnreservedHealthy(),
+		s:          s,
+		now:        now,
+		naive:      true,
+		nQueued:    q,
+		nActive:    a,
+		nSuspended: su,
+	}
+	return len(s.policy.Decide(st))
+}
+
+// grantLocked gives a run a fresh lease and a party seat; s.mu held. The
+// caller has already pulled the run out of the waiting structures
+// (dequeueForGrant/unsuspendForGrant).
 func (s *Scheduler) grantLocked(r *Run, lease *cluster.Reservation, status Status, now time.Duration) {
 	r.mu.Lock()
 	r.status = status
@@ -581,6 +725,7 @@ func (s *Scheduler) grantLocked(r *Run, lease *cluster.Reservation, status Statu
 	r.runningSince = now
 	r.mu.Unlock()
 	s.active[r.id] = r
+	s.idx.granted(r, lease.Size(), now)
 }
 
 // scheduleOnce performs one Decide/apply round and reports whether any
@@ -592,25 +737,30 @@ func (s *Scheduler) scheduleOnce() bool {
 	s.mu.Lock()
 	now := s.clock.Now()
 
-	// Scrub cancellations first: canceled queued runs finalize, canceled
-	// suspended runs are woken to finalize themselves.
-	for _, r := range s.all {
-		if !r.canceled.Load() {
-			continue
+	// Scrub pending cancellations: a run canceled while admitted may have
+	// landed a suspension instead of observing the flag — wake it so its
+	// parked goroutine finalizes. (Queued/suspended cancels are handled
+	// synchronously in noteCancel; this set only ever holds runs that were
+	// active at cancel time, so the scrub is O(pending), not O(all runs).)
+	if len(s.pendingCancel) > 0 {
+		pend := make([]*Run, 0, len(s.pendingCancel))
+		for _, r := range s.pendingCancel {
+			pend = append(pend, r)
 		}
-		if q := s.queuedLocked(r.id); q != nil {
-			s.removeQueuedLocked(q)
-			s.finalizeCanceled(q)
-		} else if _, ok := s.suspended[r.id]; ok {
-			delete(s.suspended, r.id)
-			select {
-			case r.resumeCh <- struct{}{}:
-			default:
+		sort.Slice(pend, func(i, j int) bool { return pend[i].seq < pend[j].seq })
+		for _, r := range pend {
+			if _, ok := s.suspended[r.id]; ok {
+				s.wakeSuspendedLocked(r, now)
+				delete(s.pendingCancel, r.id)
+				continue
+			}
+			if rec := s.recIdx[r.id]; rec != nil && rec.run == nil {
+				delete(s.pendingCancel, r.id) // finalized on its own
 			}
 		}
 	}
 
-	st := s.stateLocked(now)
+	st := s.stateViewLocked(now)
 	actions := s.policy.Decide(st)
 	for _, a := range actions {
 		switch a := a.(type) {
@@ -623,7 +773,7 @@ func (s *Scheduler) scheduleOnce() bool {
 			if err != nil {
 				continue
 			}
-			s.removeQueuedLocked(r)
+			s.idx.dequeueForGrant(r)
 			s.grantLocked(r, lease, StatusRunning, now)
 			r.mu.Lock()
 			r.startedAt = now
@@ -650,6 +800,7 @@ func (s *Scheduler) scheduleOnce() bool {
 				continue
 			}
 			delete(s.suspended, r.id)
+			s.idx.unsuspendForGrant(r)
 			s.grantLocked(r, lease, StatusResuming, now)
 			r.mu.Lock()
 			slept := now - r.suspendedAt
@@ -700,6 +851,7 @@ func (s *Scheduler) scheduleOnce() bool {
 				r.mu.Lock()
 				r.leasedNodes = lease.Size()
 				r.mu.Unlock()
+				s.idx.resized(r, lease.Size(), now)
 				s.tracer.Emit(trace.Event{
 					Type: trace.EvLeaseGrow, RunID: r.id,
 					Fields: map[string]float64{"nodes": float64(len(added)), "total": float64(lease.Size())},
@@ -713,6 +865,7 @@ func (s *Scheduler) scheduleOnce() bool {
 				r.mu.Lock()
 				r.leasedNodes = lease.Size()
 				r.mu.Unlock()
+				s.idx.resized(r, lease.Size(), now)
 				s.tracer.Emit(trace.Event{
 					Type: trace.EvLeaseShrink, RunID: r.id,
 					Fields: map[string]float64{"nodes": float64(len(removed)), "total": float64(lease.Size())},
@@ -725,7 +878,7 @@ func (s *Scheduler) scheduleOnce() bool {
 			if r == nil {
 				continue
 			}
-			s.removeQueuedLocked(r)
+			s.idx.dequeueTerminal(r, now)
 			r.mu.Lock()
 			r.status = StatusFailed
 			r.err = fmt.Errorf("%w: %s", ErrRejected, a.Reason)
@@ -736,6 +889,7 @@ func (s *Scheduler) scheduleOnce() bool {
 				Type: trace.EvRunReject, RunID: r.id, Operator: r.workflow,
 				Error: a.Reason,
 			}.At(now))
+			s.finalizeRecordLocked(r)
 			close(r.done)
 			progress = true
 		}
@@ -747,23 +901,18 @@ func (s *Scheduler) scheduleOnce() bool {
 	// time: it holds completed work) onto the free pool.
 	if !progress && len(s.active) == 0 {
 		free := s.cluster.UnreservedHealthy()
-		var pick *Run
-		if len(s.queue) > 0 {
-			pick = s.queue[0]
-		}
-		for _, r := range s.all {
-			if _, ok := s.suspended[r.id]; !ok {
-				continue
-			}
+		pick := s.idx.queue.front()
+		if len(s.idx.suspendedOrder) > 0 {
+			r := s.idx.suspendedOrder[0] // earliest-submitted suspended run
 			if pick == nil || r.submittedAt <= pick.submittedAt {
 				pick = r
-				break // s.all is submission-ordered; first suspended wins
 			}
 		}
 		if pick != nil && free > 0 && !pick.canceled.Load() {
 			if lease, err := s.cluster.Reserve(free); err == nil {
 				if _, ok := s.suspended[pick.id]; ok {
 					delete(s.suspended, pick.id)
+					s.idx.unsuspendForGrant(pick)
 					s.grantLocked(pick, lease, StatusResuming, now)
 					pick.mu.Lock()
 					slept := now - pick.suspendedAt
@@ -780,7 +929,7 @@ func (s *Scheduler) scheduleOnce() bool {
 					pick.resumeCh <- struct{}{}
 					progress = true
 				} else {
-					s.removeQueuedLocked(pick)
+					s.idx.dequeueForGrant(pick)
 					s.grantLocked(pick, lease, StatusRunning, now)
 					pick.mu.Lock()
 					pick.startedAt = now
@@ -808,8 +957,21 @@ func (s *Scheduler) scheduleOnce() bool {
 	return progress
 }
 
+// finalizeRecordLocked freezes a terminal run's snapshot into its record and
+// drops the hot-path pointer; s.mu held, the run's status already terminal.
+func (s *Scheduler) finalizeRecordLocked(r *Run) {
+	rec := s.recIdx[r.id]
+	if rec == nil || rec.run == nil {
+		return
+	}
+	rec.final = r.Status()
+	rec.run = nil
+	delete(s.pendingCancel, r.id)
+}
+
 // finalizeCanceled finishes a run that was canceled while still queued.
-// Caller holds s.mu.
+// Caller holds s.mu and has already removed the run from the waiting
+// structures.
 func (s *Scheduler) finalizeCanceled(r *Run) {
 	now := s.clock.Now()
 	r.mu.Lock()
@@ -819,33 +981,38 @@ func (s *Scheduler) finalizeCanceled(r *Run) {
 	r.finishedAt = now
 	r.mu.Unlock()
 	s.tracer.Emit(trace.Event{Type: trace.EvRunCancel, RunID: r.id, Operator: r.workflow}.At(now))
+	s.finalizeRecordLocked(r)
 	close(r.done)
 }
 
-// dropIfQueued removes a canceled run from the queue (no-op when already
-// admitted; the running party observes the flag itself).
-func (s *Scheduler) dropIfQueued(r *Run) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, q := range s.queue {
-		if q == r {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			s.finalizeCanceled(r)
-			return
-		}
+// wakeSuspendedLocked pulls a canceled suspended run out of the suspended
+// structures and signals its parked goroutine to finalize; s.mu held.
+func (s *Scheduler) wakeSuspendedLocked(r *Run, now time.Duration) {
+	delete(s.suspended, r.id)
+	s.idx.wokeSuspended(r, now)
+	select {
+	case r.resumeCh <- struct{}{}:
+	default:
 	}
 }
 
-// wakeIfSuspended wakes a canceled suspended run so its parked goroutine can
-// finalize.
-func (s *Scheduler) wakeIfSuspended(r *Run) {
+// noteCancel routes a cancellation to the run's current stage: queued runs
+// finalize immediately, suspended runs are woken, and admitted runs are
+// remembered in pendingCancel in case their suspension lands before the
+// executor observes the flag.
+func (s *Scheduler) noteCancel(r *Run) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.suspended[r.id]; ok {
-		delete(s.suspended, r.id)
-		select {
-		case r.resumeCh <- struct{}{}:
-		default:
+	now := s.clock.Now()
+	switch {
+	case r.qnode != nil:
+		s.idx.dequeueTerminal(r, now)
+		s.finalizeCanceled(r)
+	case s.suspended[r.id] != nil:
+		s.wakeSuspendedLocked(r, now)
+	default:
+		if rec := s.recIdx[r.id]; rec != nil && rec.run != nil {
+			s.pendingCancel[r.id] = r
 		}
 	}
 }
@@ -972,6 +1139,7 @@ func (s *Scheduler) parkSuspended(r *Run) bool {
 	dropped := s.cluster.RevokeReservation(lease)
 	delete(s.active, r.id)
 	s.suspended[r.id] = r
+	s.idx.suspendLanded(r, now)
 	suspendFields := map[string]float64{"nodes": float64(nodes), "droppedContainers": float64(dropped)}
 	if latency >= 0 {
 		suspendFields["latencySec"] = latency.Seconds()
@@ -1079,17 +1247,25 @@ func (s *Scheduler) runParty(r *Run) {
 			Fields: map[string]float64{"nodes": float64(nodes)},
 		}.At(now))
 	}
-	delete(s.active, r.id)
-	delete(s.suspended, r.id)
+	if _, ok := s.active[r.id]; ok {
+		delete(s.active, r.id)
+		s.idx.finishedActive(r, now)
+	}
+	if _, ok := s.suspended[r.id]; ok {
+		delete(s.suspended, r.id)
+		s.idx.wokeSuspended(r, now)
+	}
+	s.finalizeRecordLocked(r)
 	s.mu.Unlock()
 
 	// Schedule successors before leaving: the party count never touches
 	// zero mid-drain, so the cooperative clock keeps flowing from run to
 	// run.
-	s.schedule()
-
 	close(r.done)
 	if party != nil {
+		s.schedule()
 		party.Leave()
+	} else {
+		s.schedule()
 	}
 }

@@ -268,11 +268,20 @@ func TestSnapshotFields(t *testing.T) {
 	if st.FinishedSec-st.StartedSec != st.MakespanSec {
 		t.Fatalf("inconsistent marks: %+v", st)
 	}
-	if _, ok := rig.sched.Get("run-001"); !ok {
-		t.Fatal("Get lost the run")
+	// Terminal runs are pruned from the live index: Get no longer resolves
+	// them, but SnapshotOf serves the frozen record forever.
+	if _, ok := rig.sched.Get("run-001"); ok {
+		t.Fatal("Get kept a terminal run live")
 	}
-	if _, ok := rig.sched.Get("run-999"); ok {
-		t.Fatal("Get invented a run")
+	snap, ok := rig.sched.SnapshotOf("run-001")
+	if !ok {
+		t.Fatal("SnapshotOf lost the terminal run")
+	}
+	if snap.Status != "succeeded" || snap.MakespanSec != 30 {
+		t.Fatalf("frozen snapshot = %+v", snap)
+	}
+	if _, ok := rig.sched.SnapshotOf("run-999"); ok {
+		t.Fatal("SnapshotOf invented a run")
 	}
 }
 

@@ -1,0 +1,183 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stormRun fires a randomized multi-tenant burst — staggered submissions
+// with mixed tenants/users/priorities/deadlines, cancellations at arbitrary
+// points, and node fail/restore — at one policy, and cross-checks the
+// incrementally maintained indexed state against a from-scratch naive
+// rebuild (CheckIndex) at every quiescent point. The schedule is a pure
+// function of the seed, so failures replay exactly.
+func stormRun(t *testing.T, policy Policy, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	const nRuns = 30
+	specs := make(map[string]susSpec, nRuns)
+	estimates := make(map[string][2]float64, nRuns)
+	type sub struct {
+		at       time.Duration
+		opts     SubmitOptions
+		target   string
+		cancelAt time.Duration // 0 = never
+	}
+	subs := make([]sub, nRuns)
+	tenants := []string{"acme", "beta", "gamma"}
+	users := []string{"ana", "bob", "cat"}
+	for i := range subs {
+		id := fmt.Sprintf("run-%03d", i+1)
+		steps := 1 + rng.Intn(5)
+		stepDur := time.Duration(3+rng.Intn(8)) * time.Second
+		specs[id] = susSpec{steps: steps, stepDur: stepDur}
+		target := fmt.Sprintf("wf-%d", i)
+		est := (time.Duration(steps) * stepDur).Seconds()
+		estimates[target] = [2]float64{est, 1 + 10*rng.Float64()}
+		at := time.Duration(rng.Intn(240)) * time.Second
+		s := sub{
+			at:     at,
+			target: target,
+			opts: SubmitOptions{
+				Tenant:   tenants[rng.Intn(len(tenants))],
+				User:     users[rng.Intn(len(users))],
+				Priority: rng.Intn(5) - 2,
+			},
+		}
+		if rng.Intn(2) == 0 {
+			s.opts.Deadline = at + time.Duration(1.5*est)*time.Second + 10*time.Second
+		}
+		if rng.Intn(5) == 0 {
+			s.cancelAt = at + time.Duration(rng.Intn(30))*time.Second
+		}
+		subs[i] = s
+	}
+
+	rig := newSusRig(t, 6, policy, specs, estimates)
+	// Checks run inside clock callbacks, i.e. on party goroutines — a
+	// t.Fatalf there would Goexit the run mid-execution and wedge the
+	// scheduler. Record the first failure and report it from the test
+	// goroutine after the drive loop.
+	var (
+		checkMu  sync.Mutex
+		checkErr error
+	)
+	check := func(now time.Duration) {
+		if err := rig.sched.CheckIndex(); err != nil {
+			checkMu.Lock()
+			if checkErr == nil {
+				checkErr = fmt.Errorf("t=%v: %w", now, err)
+			}
+			checkMu.Unlock()
+		}
+	}
+
+	// Submissions are scheduled in run-id order so ids match specs even when
+	// several land on the same tick.
+	runs := make([]*Run, nRuns)
+	for i, s := range subs {
+		i, s := i, s
+		rig.clock.Schedule(s.at, func(now time.Duration) {
+			runs[i] = rig.sched.SubmitWith(graph(s.target), s.opts)
+			check(now)
+		})
+		if s.cancelAt > 0 {
+			rig.clock.Schedule(s.cancelAt, func(now time.Duration) {
+				if r := runs[i]; r != nil {
+					r.Cancel()
+				}
+				check(now)
+			})
+		}
+	}
+	// Two fail/restore arcs stress the free/reserved delta counters and the
+	// safety net under shrunken capacity.
+	for k, node := range []string{"node2", "node5"} {
+		failAt := time.Duration(40+80*k) * time.Second
+		if err := rig.clu.FailNode(node, failAt); err != nil {
+			t.Fatal(err)
+		}
+		node := node
+		rig.clock.Schedule(failAt+35*time.Second, func(now time.Duration) {
+			if err := rig.clu.RestoreNode(node); err != nil {
+				checkMu.Lock()
+				if checkErr == nil {
+					checkErr = err
+				}
+				checkMu.Unlock()
+				return
+			}
+			rig.sched.schedule()
+			check(now)
+		})
+	}
+	// Periodic sweeps catch drift between event-driven checks.
+	for tick := 5 * time.Second; tick < 300*time.Second; tick += 15 * time.Second {
+		rig.clock.Schedule(tick, func(now time.Duration) { check(now) })
+	}
+
+	// Drain only advances virtual time while runs are live; the storm's
+	// submissions all arrive from scheduled callbacks, so step the clock
+	// across idle gaps until the whole schedule has fired.
+	for {
+		rig.sched.Drain()
+		at, ok := rig.clock.NextEventAt()
+		if !ok {
+			break
+		}
+		rig.clock.AdvanceTo(at)
+	}
+	check(rig.clock.Now())
+	checkMu.Lock()
+	fatal := checkErr
+	checkMu.Unlock()
+	if fatal != nil {
+		t.Fatal(fatal)
+	}
+
+	snaps := rig.sched.Runs()
+	if len(snaps) != nRuns {
+		t.Fatalf("Runs() = %d entries, want %d", len(snaps), nRuns)
+	}
+	for _, snap := range snaps {
+		switch snap.Status {
+		case "succeeded", "failed", "canceled":
+		default:
+			t.Fatalf("non-terminal run after drain: %+v", snap)
+		}
+		// Terminal pruning: the live index forgets the run, the frozen
+		// record still serves it.
+		if _, ok := rig.sched.Get(snap.ID); ok {
+			t.Fatalf("%s terminal but still live in Get", snap.ID)
+		}
+		if got, ok := rig.sched.SnapshotOf(snap.ID); !ok || got.Status != snap.Status {
+			t.Fatalf("SnapshotOf(%s) = %+v, %v", snap.ID, got, ok)
+		}
+	}
+}
+
+// TestIndexStorm cross-validates the indexed scheduler state against the
+// naive rebuild across every policy and several seeds.
+func TestIndexStorm(t *testing.T) {
+	policies := []func() Policy{
+		func() Policy { return FIFO{} },
+		func() Policy { return FairShare{MaxConcurrent: 2} },
+		func() Policy { return Deadline{} },
+		func() Policy {
+			return CostQuota{Budgets: map[string]float64{"acme": 12, "beta": 18}, DefaultBudget: 9}
+		},
+		func() Policy { return HierarchicalFairShare{MaxConcurrent: 3} },
+	}
+	for _, mk := range policies {
+		for seed := int64(1); seed <= 3; seed++ {
+			p := mk()
+			t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
+				stormRun(t, mk(), seed)
+			})
+		}
+	}
+}

@@ -376,14 +376,28 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		// Asynchronous execution: enqueue and return the run handle
 		// immediately; poll GET /api/runs/{id} for progress. Optional query
 		// parameters feed the scheduling policies: ?tenant= charges the run
-		// to a budget account (CostQuota), ?deadlineSec= sets an absolute
-		// virtual-time deadline (Deadline/EDF).
+		// to a budget account (CostQuota) or fair-share group, ?user= and
+		// ?priority= refine hierarchical fair-share accounting, and
+		// ?deadlineSec= sets an absolute virtual-time deadline
+		// (Deadline/EDF).
 		_, g, err := s.graphOf(name)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		opts := ires.SubmitOptions{Name: name, Tenant: r.URL.Query().Get("tenant")}
+		opts := ires.SubmitOptions{
+			Name:   name,
+			Tenant: r.URL.Query().Get("tenant"),
+			User:   r.URL.Query().Get("user"),
+		}
+		if raw := r.URL.Query().Get("priority"); raw != "" {
+			p, err := strconv.Atoi(raw)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid priority %q", raw))
+				return
+			}
+			opts.Priority = p
+		}
 		if raw := r.URL.Query().Get("deadlineSec"); raw != "" {
 			sec, err := strconv.ParseFloat(raw, 64)
 			if err != nil || sec < 0 {
@@ -453,22 +467,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("run id required"))
 		return
 	}
-	run, ok := s.platform.RunByID(id)
+	// Snapshot-based lookup: terminal runs are pruned from the scheduler's
+	// live index but stay addressable here via their frozen records.
+	snap, ok := s.platform.RunSnapshotByID(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
 		return
 	}
 	switch {
 	case r.Method == http.MethodGet && action == "":
-		writeJSON(w, http.StatusOK, run.Status())
+		writeJSON(w, http.StatusOK, snap)
 	case r.Method == http.MethodGet && action == "trace":
 		writeJSON(w, http.StatusOK, map[string]any{
 			"run":    id,
 			"events": s.platform.TraceForRun(id),
 		})
 	case r.Method == http.MethodPost && action == "cancel":
-		run.Cancel()
-		writeJSON(w, http.StatusOK, run.Status())
+		// Canceling a terminal run is a no-op; return its current state.
+		s.platform.CancelRun(id)
+		if cur, ok := s.platform.RunSnapshotByID(id); ok {
+			snap = cur
+		}
+		writeJSON(w, http.StatusOK, snap)
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("unsupported %s %s", r.Method, r.URL.Path))
 	}

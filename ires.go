@@ -122,6 +122,17 @@ func FairShare(maxConcurrent int) AdmissionPolicy {
 	return scheduler.FairShare{MaxConcurrent: maxConcurrent}
 }
 
+// HierarchicalFairShare returns the CFS-style fair policy over a tenant →
+// user → run hierarchy: every running run charges virtual runtime to its
+// tenant and user at rate nodes/(weight·2^priority), and admission always
+// goes to the least-charged tenant's least-charged user's best run — so
+// cluster time converges to equal shares per tenant, equal shares per user
+// within a tenant, and SubmitOptions.Priority acts as a runtime multiplier.
+// Like FairShare it admits up to maxConcurrent runs on equal node slices.
+func HierarchicalFairShare(maxConcurrent int) AdmissionPolicy {
+	return scheduler.HierarchicalFairShare{MaxConcurrent: maxConcurrent}
+}
+
 // Deadline returns the earliest-deadline-first policy: waiting runs are
 // ordered by their absolute deadlines (submit with SubmitWith and a
 // Deadline), and a waiting run with a tighter deadline may preempt an active
@@ -731,9 +742,22 @@ func (p *Platform) Runs() []RunSnapshot {
 	return p.sched.Runs()
 }
 
-// RunByID returns the handle of a submitted run.
+// RunByID returns the live handle of a submitted run. Terminal runs are
+// pruned from the scheduler's hot state — use RunSnapshotByID for those.
 func (p *Platform) RunByID(id string) (*Run, bool) {
 	return p.sched.Get(id)
+}
+
+// RunSnapshotByID returns the snapshot of any submitted run, live or
+// terminal (terminal runs are served from the scheduler's frozen records).
+func (p *Platform) RunSnapshotByID(id string) (RunSnapshot, bool) {
+	return p.sched.SnapshotOf(id)
+}
+
+// CancelRun cancels the run with the given id; it reports whether the id is
+// known. Canceling an already-terminal run is a no-op.
+func (p *Platform) CancelRun(id string) bool {
+	return p.sched.CancelByID(id)
 }
 
 // TraceForRun returns the trace events of one submitted run, demuxed from
