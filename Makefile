@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt staticcheck shuffle ci bench bench-smoke bench-planner bench-sched bench-sched-scale bench-ckpt
+.PHONY: all build test race vet fmt staticcheck shuffle cover ci bench bench-smoke bench-planner bench-sched bench-sched-scale bench-ckpt bench-drf
 
 all: build
 
@@ -30,9 +30,21 @@ staticcheck:
 shuffle:
 	$(GO) test -shuffle=on -count=2 ./...
 
-# ci is the gate a PR must pass: formatting, static analysis, and the full
-# test suite under the race detector plus a shuffled double pass.
-ci: fmt vet staticcheck race shuffle
+# cover enforces the statement-coverage floor on the scheduling core: the
+# scheduler and cluster packages must stay at or above 85%.
+cover:
+	@for pkg in ./internal/scheduler/ ./internal/cluster/; do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" 'BEGIN{print (p >= 85) ? 1 : 0}'); \
+		if [ "$$ok" != 1 ]; then echo "$$pkg: coverage $$pct% below the 85% floor"; exit 1; \
+		else echo "$$pkg: coverage $$pct% (floor 85%)"; fi; \
+	done
+
+# ci is the gate a PR must pass: formatting, static analysis, the full test
+# suite under the race detector plus a shuffled double pass, and the
+# coverage floor on the scheduling core.
+ci: fmt vet staticcheck race shuffle cover
 
 bench:
 	$(GO) run ./cmd/ires-bench
@@ -40,7 +52,7 @@ bench:
 # bench-smoke runs a few small experiments end-to-end (planning, execution,
 # fault recovery, scheduler contention) as a fast sanity pass for the stack,
 # then the tracked planner benchmarks with their acceptance gate.
-bench-smoke: bench-planner bench-sched bench-sched-scale bench-ckpt
+bench-smoke: bench-planner bench-sched bench-sched-scale bench-ckpt bench-drf
 	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22,SCHED
 
 # bench-sched runs the tracked scheduling benchmark and gate: the Deadline
@@ -66,6 +78,15 @@ bench-sched-scale:
 # scenario. Writes BENCH_CKPT.json.
 bench-ckpt:
 	$(GO) run ./cmd/bench-ckpt -out BENCH_CKPT.json
+
+# bench-drf runs the tracked Dominant-Resource-Fairness benchmark and gate:
+# DRF must equalize a cores-heavy and a memory-heavy tenant's dominant
+# shares within 10% over the early window where FIFO starves one of them,
+# and the 1.5x memory-overcommit scenario must complete through the
+# OOM-kill -> retry/checkpoint-restore loop with zero re-executed operators
+# and fixed-seed byte-identical traces. Writes BENCH_DRF.json.
+bench-drf:
+	$(GO) run ./cmd/bench-drf -out BENCH_DRF.json
 
 # bench-planner runs the tracked planner benchmark suite (cold plan, warm
 # replan, warm Pareto) and rewrites the BENCH_PLANNER.json baseline; it

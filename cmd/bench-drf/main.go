@@ -1,0 +1,74 @@
+// Command bench-drf runs the tracked Dominant-Resource-Fairness benchmark:
+// a cores-heavy and a memory-heavy tenant submit identical workloads, and
+// DRF must equalize their dominant shares (within 10%) over the early
+// concurrent window where FIFO starves one of them; a second scenario
+// oversubscribes memory 1.5x and must complete through the OOM-kill ->
+// retry/checkpoint-restore loop with zero re-executed operators and
+// fixed-seed byte-identical traces. Measurements go to BENCH_DRF.json.
+//
+// Usage:
+//
+//	bench-drf [-seed N] [-out FILE] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asap-project/ires/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "seed for the simulated environment")
+	out := flag.String("out", "BENCH_DRF.json", "output file (empty: stdout only)")
+	check := flag.Bool("check", true, "fail unless DRF equalizes dominant shares FIFO skews and the oversubscribed workload recovers deterministically")
+	flag.Parse()
+
+	bench, err := experiments.RunDRFBench(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-drf:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dominant shares over the first %.0fs:\n", bench.WindowSec)
+	for _, o := range []experiments.DRFFairnessOutcome{bench.DRF, bench.FIFO} {
+		fmt.Printf("%-5s", o.Policy)
+		for _, s := range o.Shares {
+			fmt.Printf("  %s=%.3f", s.Tenant, s.AvgDominantShare)
+		}
+		fmt.Printf("  spread=%.2f  min/max=%.2f  batch %6.1fs  deterministic=%v\n",
+			o.Spread, o.MinMaxRatio, o.BatchSec, o.Deterministic)
+	}
+	oc := bench.Overcommit
+	fmt.Printf("overcommit 1.5x: oomKills=%d restores=%d re-executed=%d batch %6.1fs deterministic=%v\n",
+		oc.OOMKills, oc.Restores, oc.ReExecutedOps, oc.BatchSec, oc.Deterministic)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-drf:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bench); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bench-drf:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-drf:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *check {
+		if err := bench.Gate(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-drf:", err)
+			os.Exit(1)
+		}
+	}
+}

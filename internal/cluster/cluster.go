@@ -34,10 +34,20 @@ type Node struct {
 	healthy   bool
 	usedCores int
 	usedMemMB int
-	// reservedBy names the reservation holding this node (0 = unreserved).
-	// A node belongs to at most one reservation at a time, which is what
-	// makes admission quotas impossible to oversubscribe.
+	// reservedBy names the whole-node reservation holding this node
+	// (0 = unreserved). A node belongs to at most one whole-node
+	// reservation at a time, which is what makes admission quotas
+	// impossible to oversubscribe.
 	reservedBy int
+	// sliceCores/sliceMemMB sum the per-node (cores, memMB) slices granted
+	// to slice reservations on this node, and sliceRefs counts those
+	// reservations. Whole-node and slice reservations never coexist on a
+	// node: Reserve skips sliced nodes and ReserveSlices skips whole-node
+	// reserved ones. Slice sums are bounded by Cores and by MemMB times the
+	// cluster's memory-overcommit ratio.
+	sliceCores int
+	sliceMemMB int
+	sliceRefs  int
 }
 
 // FreeCores returns the node's unallocated cores.
@@ -87,13 +97,29 @@ type Cluster struct {
 	reservations map[int]*Reservation // outstanding node leases by ID
 
 	// freeHealthy and reserved are the scheduling-counter hot path: the
-	// number of healthy unreserved nodes and the number of reserved nodes,
-	// maintained as deltas at every reserve/release/grow/shrink/revoke/
-	// fail/restore boundary so UnreservedHealthy and ReservedNodes are O(1)
-	// per call instead of O(nodes) map scans. CheckInvariants recomputes
-	// both from scratch and fails on drift.
-	freeHealthy int
-	reserved    int
+	// number of healthy nodes held by no reservation (whole-node or slice)
+	// and the number of whole-node reserved nodes, maintained as deltas at
+	// every reserve/release/grow/shrink/revoke/fail/restore boundary so
+	// UnreservedHealthy and ReservedNodes are O(1) per call instead of
+	// O(nodes) map scans. reservedSliceCores/reservedSliceMemMB are the
+	// same pattern per resource dimension: cluster-wide totals of granted
+	// slice capacity, delta-maintained by every slice reserve/grow/shrink/
+	// resize/revoke. CheckInvariants recomputes all four from scratch and
+	// fails on drift.
+	freeHealthy        int
+	reserved           int
+	reservedSliceCores int
+	reservedSliceMemMB int
+
+	// memOvercommit scales each node's allocatable memory past its physical
+	// MemMB (1.0 = disabled). Cores are never overcommitted. When actual
+	// container usage on a node exceeds *physical* memory after an
+	// allocation, the oomKiller hook (if armed) decides whether the kernel
+	// OOM killer fires; victims are invalidated exactly like containers on
+	// a crashed node. The hook is called under c.mu and must not call back
+	// into the cluster or emit trace events.
+	memOvercommit float64
+	oomKiller     func(node string, overMB int) bool
 
 	// checkpoints stores sub-operator checkpoint progress by key (see
 	// checkpoint.go); non-durable entries die with their replica nodes.
@@ -151,6 +177,55 @@ func New(clock *vtime.Clock, count, coresPerNode, memMBPerNode int) *Cluster {
 	return c
 }
 
+// SetMemOvercommit sets the memory-overcommit ratio: each node accepts
+// slice grants and container allocations up to MemMB*ratio, while cores
+// stay bounded by physical capacity. Actual usage past *physical* MemMB
+// triggers the OOM-killer hook (see SetOOMKiller). Ratios below 1 are
+// rejected.
+func (c *Cluster) SetMemOvercommit(ratio float64) error {
+	if ratio < 1 {
+		return fmt.Errorf("cluster: invalid memory overcommit ratio %.2f (want >= 1)", ratio)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memOvercommit = ratio
+	return nil
+}
+
+// MemOvercommit returns the current overcommit ratio (1.0 when disabled).
+func (c *Cluster) MemOvercommit() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.memOvercommit < 1 {
+		return 1
+	}
+	return c.memOvercommit
+}
+
+// SetOOMKiller installs the oversubscription fault hook: after an
+// allocation pushes a node's actual memory usage past physical capacity,
+// the hook is consulted once per candidate kill with the node name and the
+// overage in MB; returning true kills the node's largest live container
+// (ties broken toward the newest). The hook runs under the cluster lock —
+// it must be fast, deterministic, and must not call back into the cluster
+// or emit trace events (the cluster emits fault.oomkill itself, outside
+// its lock). A nil hook disables OOM kills: oversubscribed usage is then
+// tolerated silently.
+func (c *Cluster) SetOOMKiller(fn func(node string, overMB int) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.oomKiller = fn
+}
+
+// memCapLocked returns the node's allocatable memory ceiling under the
+// current overcommit ratio; c.mu held.
+func (c *Cluster) memCapLocked(n *Node) int {
+	if c.memOvercommit <= 1 {
+		return n.MemMB
+	}
+	return int(float64(n.MemMB)*c.memOvercommit + 0.5)
+}
+
 // setHealthLocked flips a node's health flag, keeping the freeHealthy
 // counter consistent; c.mu held.
 func (c *Cluster) setHealthLocked(n *Node, healthy bool) {
@@ -158,7 +233,7 @@ func (c *Cluster) setHealthLocked(n *Node, healthy bool) {
 		return
 	}
 	n.healthy = healthy
-	if n.reservedBy == 0 {
+	if n.reservedBy == 0 && n.sliceRefs == 0 {
 		if healthy {
 			c.freeHealthy++
 		} else {
@@ -182,6 +257,34 @@ func (c *Cluster) unreserveNodeLocked(n *Node) {
 	n.reservedBy = 0
 	c.reserved--
 	if n.healthy {
+		c.freeHealthy++
+	}
+}
+
+// addSliceLocked grants one (cores, memMB) slice on a node, maintaining
+// the per-node sums, the slice refcount, the cluster-wide per-dimension
+// delta counters, and freeHealthy (a node leaves the free pool when its
+// first slice lands); c.mu held.
+func (c *Cluster) addSliceLocked(n *Node, cores, memMB int) {
+	if n.sliceRefs == 0 && n.healthy && n.reservedBy == 0 {
+		c.freeHealthy--
+	}
+	n.sliceRefs++
+	n.sliceCores += cores
+	n.sliceMemMB += memMB
+	c.reservedSliceCores += cores
+	c.reservedSliceMemMB += memMB
+}
+
+// removeSliceLocked returns one (cores, memMB) slice on a node to the
+// pool, the inverse of addSliceLocked; c.mu held.
+func (c *Cluster) removeSliceLocked(n *Node, cores, memMB int) {
+	n.sliceRefs--
+	n.sliceCores -= cores
+	n.sliceMemMB -= memMB
+	c.reservedSliceCores -= cores
+	c.reservedSliceMemMB -= memMB
+	if n.sliceRefs == 0 && n.healthy && n.reservedBy == 0 {
 		c.freeHealthy++
 	}
 }
@@ -263,8 +366,7 @@ func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 		ctr.lost.Store(true)
 		ctr.released = true // resources are gone with the node; Release is a no-op
 		delete(c.live, id)
-		n.usedCores -= ctr.Cores
-		n.usedMemMB -= ctr.MemMB
+		c.dropContainerUsageLocked(ctr)
 		lost++
 	}
 	lostCkpts := c.dropCheckpointReplicasLocked(name)
@@ -319,22 +421,49 @@ func (c *Cluster) HealthyNodes() []*Node {
 	return out
 }
 
-// Reservation is an exclusive, elastic lease on a set of whole nodes — the
+// Reservation is an exclusive, elastic lease on cluster capacity — the
 // admission currency of the multi-workflow scheduler. A run's executor
 // allocates its containers only inside its reservation, so admitted runs can
 // never starve each other of capacity (and the sum of reservations can never
-// exceed the cluster, node-granularity enforced structurally). The lease is
-// elastic: GrowReservation adds nodes while the run executes,
-// ShrinkReservation returns idle nodes to the pool (shrink-at-operator-
-// boundary: only nodes with no live containers of the lease may leave), and
-// RevokeReservation ends the lease entirely (preemption/voluntary release).
+// exceed the cluster, enforced structurally). Leases come in two shapes:
+//
+//   - Whole-node (Reserve): the lease holds entire nodes exclusively;
+//     sliceCores/sliceMemMB are 0 and containers draw from full node
+//     capacity.
+//   - Slice (ReserveSlices): the lease holds a uniform per-node
+//     (sliceCores, sliceMemMB) slice on each of its nodes, and several
+//     slice leases may share one node as long as their summed slices fit
+//     within Cores and MemMB*overcommit. AllocateIn confines containers
+//     to the slice, tracked per node in the used ledger.
+//
+// Both shapes are elastic: GrowReservation adds nodes while the run
+// executes, ShrinkReservation returns idle nodes to the pool (shrink-at-
+// operator-boundary: only nodes with no live containers of the lease may
+// leave), ResizeSlice regrows or shrinks the per-node slice dimensions
+// independently, and RevokeReservation ends the lease entirely
+// (preemption/voluntary release).
 type Reservation struct {
 	c     *Cluster
 	id    int
 	nodes []string // stable order; mutated only under c.mu
+	// sliceCores/sliceMemMB are the uniform per-node slice dimensions
+	// (0,0 = whole-node lease). Guarded by c.mu.
+	sliceCores int
+	sliceMemMB int
+	// used ledgers, per node, the container resources currently allocated
+	// under this lease (slice leases only): the O(1)-maintained counters
+	// AllocateIn checks slice headroom against. CheckInvariants recomputes
+	// the ledger from the live-container table and fails on drift.
+	used map[string]*sliceUse
 	// released marks the lease revoked; all accessors and elastic ops on a
 	// released lease fail or return empty. Guarded by c.mu.
 	released bool
+}
+
+// sliceUse is a reservation's per-node container-usage ledger entry.
+type sliceUse struct {
+	cores int
+	memMB int
 }
 
 // ID returns the reservation's cluster-unique id.
@@ -375,9 +504,25 @@ func (r *Reservation) Released() bool {
 	return r.released
 }
 
+// SliceDims returns the per-node (cores, memMB) slice dimensions of the
+// lease; (0, 0) for whole-node leases and once revoked.
+func (r *Reservation) SliceDims() (cores, memMB int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if r.released {
+		return 0, 0
+	}
+	return r.sliceCores, r.sliceMemMB
+}
+
 // Reserve leases n whole healthy, unreserved nodes (first-fit in stable
-// node order). It returns ErrInsufficientResources when fewer than n such
-// nodes exist; the reservation is atomic.
+// node order; nodes hosting slice leases are skipped — whole-node and
+// slice leases never coexist on a node). It returns
+// ErrInsufficientResources when fewer than n such nodes exist; the
+// reservation is atomic.
 func (c *Cluster) Reserve(n int) (*Reservation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: invalid reservation size %d", n)
@@ -387,7 +532,7 @@ func (c *Cluster) Reserve(n int) (*Reservation, error) {
 	var picked []string
 	for _, name := range c.order {
 		node := c.nodes[name]
-		if node.healthy && node.reservedBy == 0 {
+		if node.healthy && node.reservedBy == 0 && node.sliceRefs == 0 {
 			picked = append(picked, name)
 			if len(picked) == n {
 				break
@@ -406,10 +551,76 @@ func (c *Cluster) Reserve(n int) (*Reservation, error) {
 	return res, nil
 }
 
-// GrowReservation extends a live lease by n more whole healthy unreserved
-// nodes (first-fit in stable node order, like Reserve). The grow is atomic:
-// on ErrInsufficientResources the lease is unchanged. It returns the names
-// of the added nodes.
+// ReserveSlices leases a uniform (coresPer, memPer) slice on each of n
+// healthy nodes (first-fit in stable node order). A node qualifies when it
+// holds no whole-node reservation and its remaining slice headroom — Cores
+// minus granted slice cores, MemMB*overcommit minus granted slice memory —
+// fits the requested slice, so several slice leases can share one node.
+// The reservation is atomic: on ErrInsufficientResources nothing is
+// granted.
+func (c *Cluster) ReserveSlices(n, coresPer, memPer int) (*Reservation, error) {
+	if n <= 0 || coresPer <= 0 || memPer <= 0 {
+		return nil, fmt.Errorf("cluster: invalid slice reservation %dx(%dc,%dMB)", n, coresPer, memPer)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	picked := c.sliceFitLocked(n, coresPer, memPer, nil)
+	if len(picked) < n {
+		return nil, fmt.Errorf("%w: want %d nodes with a (%dc,%dMB) slice free, have %d",
+			ErrInsufficientResources, n, coresPer, memPer, len(picked))
+	}
+	c.nextResID++
+	res := &Reservation{
+		c: c, id: c.nextResID, nodes: picked,
+		sliceCores: coresPer, sliceMemMB: memPer,
+		used: make(map[string]*sliceUse, n),
+	}
+	for _, name := range picked {
+		c.addSliceLocked(c.nodes[name], coresPer, memPer)
+	}
+	c.reservations[res.id] = res
+	return res, nil
+}
+
+// sliceFitLocked returns up to max node names (stable order) that could
+// host one more (coresPer, memPer) slice, excluding nodes in skip; c.mu
+// held. max <= 0 means no limit.
+func (c *Cluster) sliceFitLocked(max, coresPer, memPer int, skip map[string]bool) []string {
+	var picked []string
+	for _, name := range c.order {
+		node := c.nodes[name]
+		if !node.healthy || node.reservedBy != 0 || skip[name] {
+			continue
+		}
+		if node.Cores-node.sliceCores < coresPer || c.memCapLocked(node)-node.sliceMemMB < memPer {
+			continue
+		}
+		picked = append(picked, name)
+		if max > 0 && len(picked) == max {
+			break
+		}
+	}
+	return picked
+}
+
+// SliceFit counts the nodes that could currently host one more
+// (coresPer, memPer) slice — the slice analogue of UnreservedHealthy,
+// used by policies to clamp slice admissions. O(nodes).
+func (c *Cluster) SliceFit(coresPer, memPer int) int {
+	if coresPer <= 0 || memPer <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sliceFitLocked(0, coresPer, memPer, nil))
+}
+
+// GrowReservation extends a live lease by n more nodes (first-fit in
+// stable node order, like Reserve). Whole-node leases take whole healthy
+// unreserved nodes; slice leases take one more (sliceCores, sliceMemMB)
+// slice on each of n nodes with headroom the lease is not already on. The
+// grow is atomic: on ErrInsufficientResources the lease is unchanged. It
+// returns the names of the added nodes.
 func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
 	if r == nil {
 		return nil, errors.New("cluster: grow of nil reservation")
@@ -422,10 +633,34 @@ func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
 	if r.released {
 		return nil, errors.New("cluster: grow of released reservation")
 	}
+	if r.sliceCores > 0 {
+		held := make(map[string]bool, len(r.nodes))
+		for _, name := range r.nodes {
+			held[name] = true
+		}
+		picked := c.sliceFitLocked(n, r.sliceCores, r.sliceMemMB, held)
+		if len(picked) < n {
+			return nil, fmt.Errorf("%w: want %d nodes with a (%dc,%dMB) slice free, have %d",
+				ErrInsufficientResources, n, r.sliceCores, r.sliceMemMB, len(picked))
+		}
+		for _, name := range picked {
+			c.addSliceLocked(c.nodes[name], r.sliceCores, r.sliceMemMB)
+			held[name] = true
+		}
+		// Rebuild the lease's node list in stable cluster order, the same
+		// ordering discipline whole-node Grow keeps via back-pointers.
+		r.nodes = r.nodes[:0]
+		for _, name := range c.order {
+			if held[name] {
+				r.nodes = append(r.nodes, name)
+			}
+		}
+		return picked, nil
+	}
 	var picked []string
 	for _, name := range c.order {
 		node := c.nodes[name]
-		if node.healthy && node.reservedBy == 0 {
+		if node.healthy && node.reservedBy == 0 && node.sliceRefs == 0 {
 			picked = append(picked, name)
 			if len(picked) == n {
 				break
@@ -447,6 +682,65 @@ func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
 		}
 	}
 	return picked, nil
+}
+
+// ResizeSlice changes a slice lease's per-node dimensions to
+// (coresPer, memPer), each dimension growing or shrinking independently on
+// every node of the lease at once. Growing a dimension requires headroom
+// on all the lease's nodes (atomic: on ErrInsufficientResources nothing
+// changes); shrinking a dimension is bounded below by the lease's own
+// container usage on each node, so running work is never squeezed out —
+// the per-dimension form of shrink-at-operator-boundary semantics. In
+// that case the call fails with ErrInsufficientResources and the caller
+// retries at a quieter boundary.
+func (c *Cluster) ResizeSlice(r *Reservation, coresPer, memPer int) error {
+	if r == nil {
+		return errors.New("cluster: resize of nil reservation")
+	}
+	if coresPer <= 0 || memPer <= 0 {
+		return fmt.Errorf("cluster: invalid slice dimensions (%dc,%dMB)", coresPer, memPer)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.released {
+		return errors.New("cluster: resize of released reservation")
+	}
+	if r.sliceCores == 0 {
+		return errors.New("cluster: resize of whole-node reservation (use Grow/Shrink)")
+	}
+	dCores, dMem := coresPer-r.sliceCores, memPer-r.sliceMemMB
+	if dCores == 0 && dMem == 0 {
+		return nil
+	}
+	// Validate every node first so the resize applies atomically.
+	for _, name := range r.nodes {
+		n, ok := c.nodes[name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+		}
+		if dCores > 0 && n.Cores-n.sliceCores < dCores {
+			return fmt.Errorf("%w: node %s has %d slice cores free, need %d",
+				ErrInsufficientResources, name, n.Cores-n.sliceCores, dCores)
+		}
+		if dMem > 0 && c.memCapLocked(n)-n.sliceMemMB < dMem {
+			return fmt.Errorf("%w: node %s has %d slice MB free, need %d",
+				ErrInsufficientResources, name, c.memCapLocked(n)-n.sliceMemMB, dMem)
+		}
+		u := r.used[name]
+		if u != nil && (u.cores > coresPer || u.memMB > memPer) {
+			return fmt.Errorf("%w: node %s runs (%dc,%dMB) of this lease, cannot shrink slice to (%dc,%dMB)",
+				ErrInsufficientResources, name, u.cores, u.memMB, coresPer, memPer)
+		}
+	}
+	for _, name := range r.nodes {
+		n := c.nodes[name]
+		n.sliceCores += dCores
+		n.sliceMemMB += dMem
+	}
+	c.reservedSliceCores += dCores * len(r.nodes)
+	c.reservedSliceMemMB += dMem * len(r.nodes)
+	r.sliceCores, r.sliceMemMB = coresPer, memPer
+	return nil
 }
 
 // ShrinkReservation releases leased nodes back to the pool until the lease
@@ -489,7 +783,14 @@ func (c *Cluster) ShrinkReservation(r *Reservation, target int) ([]string, error
 	drop := make(map[string]bool, len(removed))
 	for _, name := range removed {
 		drop[name] = true
-		if n, ok := c.nodes[name]; ok && n.reservedBy == r.id {
+		n, ok := c.nodes[name]
+		if !ok {
+			continue
+		}
+		if r.sliceCores > 0 {
+			c.removeSliceLocked(n, r.sliceCores, r.sliceMemMB)
+			delete(r.used, name)
+		} else if n.reservedBy == r.id {
 			c.unreserveNodeLocked(n)
 		}
 	}
@@ -523,14 +824,27 @@ func (c *Cluster) RevokeReservation(r *Reservation) int {
 		}
 		ctr.released = true
 		delete(c.live, id)
-		if n, ok := c.nodes[ctr.NodeName]; ok {
-			n.usedCores -= ctr.Cores
-			n.usedMemMB -= ctr.MemMB
-		}
+		c.dropContainerUsageLocked(ctr)
 		dropped++
 	}
 	c.releaseReservationLocked(r)
 	return dropped
+}
+
+// dropContainerUsageLocked returns a container's resources to its node and,
+// when it was allocated under a slice lease, to the lease's per-node used
+// ledger; c.mu held.
+func (c *Cluster) dropContainerUsageLocked(ctr *Container) {
+	if n, ok := c.nodes[ctr.NodeName]; ok {
+		n.usedCores -= ctr.Cores
+		n.usedMemMB -= ctr.MemMB
+	}
+	if res, ok := c.reservations[ctr.resID]; ok && res.used != nil {
+		if u, ok := res.used[ctr.NodeName]; ok {
+			u.cores -= ctr.Cores
+			u.memMB -= ctr.MemMB
+		}
+	}
 }
 
 // ReleaseReservation returns the leased nodes to the unreserved pool.
@@ -557,7 +871,13 @@ func (c *Cluster) releaseReservationLocked(r *Reservation) {
 	}
 	delete(c.reservations, r.id)
 	for _, name := range r.nodes {
-		if n, ok := c.nodes[name]; ok && n.reservedBy == r.id {
+		n, ok := c.nodes[name]
+		if !ok {
+			continue
+		}
+		if r.sliceCores > 0 {
+			c.removeSliceLocked(n, r.sliceCores, r.sliceMemMB)
+		} else if n.reservedBy == r.id {
 			c.unreserveNodeLocked(n)
 		}
 	}
@@ -572,74 +892,218 @@ func (c *Cluster) UnreservedHealthy() int {
 	return c.freeHealthy
 }
 
-// ReservedNodes counts the nodes currently held by reservations. O(1), like
-// UnreservedHealthy.
+// ReservedNodes counts the nodes currently held by whole-node
+// reservations. O(1), like UnreservedHealthy.
 func (c *Cluster) ReservedNodes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.reserved
 }
 
+// ReservedSlices returns the cluster-wide totals of granted slice capacity
+// per dimension (summed over every slice lease's nodes). O(1): both are
+// delta counters maintained at each slice reserve/grow/shrink/resize/
+// revoke, recomputed from scratch by CheckInvariants.
+func (c *Cluster) ReservedSlices() (cores, memMB int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reservedSliceCores, c.reservedSliceMemMB
+}
+
 // Allocate grants count containers of (cores, memMB) each, spread over the
 // healthy unreserved nodes with a most-free-first policy. Allocation is
 // atomic: either all containers are granted or none. (On a cluster with no
 // reservations this is every healthy node — the single-workflow behaviour.)
+// Nodes hosting slice leases are not part of the pool: slice capacity is
+// promised to its leases.
 func (c *Cluster) Allocate(count, cores, memMB int) ([]*Container, error) {
-	return c.allocate(count, cores, memMB, 0)
+	return c.allocateAndEmit(nil, count, cores, memMB)
 }
 
-// AllocateIn is Allocate restricted to the nodes of a reservation: the
-// per-run allocation path of the multi-workflow scheduler.
+// AllocateIn is Allocate restricted to a reservation: the per-run
+// allocation path of the multi-workflow scheduler. Under a whole-node
+// lease containers draw from the full capacity of the leased nodes; under
+// a slice lease they are confined to the per-node (sliceCores, sliceMemMB)
+// slice, tracked in the lease's used ledger.
 func (c *Cluster) AllocateIn(r *Reservation, count, cores, memMB int) ([]*Container, error) {
-	if r == nil {
-		return c.allocate(count, cores, memMB, 0)
-	}
-	return c.allocate(count, cores, memMB, r.id)
+	return c.allocateAndEmit(r, count, cores, memMB)
 }
 
-// allocate places containers on healthy nodes whose reservedBy matches
-// resID (0 = the unreserved pool).
-func (c *Cluster) allocate(count, cores, memMB, resID int) ([]*Container, error) {
+// oomKillInfo records one OOM-killed container for post-lock event
+// emission.
+type oomKillInfo struct {
+	node        string
+	containerID int
+	memMB       int
+	overMB      int
+}
+
+// allocateAndEmit runs the allocation under the lock and emits any OOM
+// kill events it produced afterwards (tracers may call back into the
+// cluster).
+func (c *Cluster) allocateAndEmit(r *Reservation, count, cores, memMB int) ([]*Container, error) {
+	granted, kills, err := c.allocate(r, count, cores, memMB)
+	for _, k := range kills {
+		c.emit(trace.Event{
+			Type: trace.EvOOMKill, Node: k.node,
+			Fields: map[string]float64{
+				"containerID": float64(k.containerID),
+				"memMB":       float64(k.memMB),
+				"overMB":      float64(k.overMB),
+			},
+		})
+	}
+	return granted, err
+}
+
+// allocate places containers on the healthy nodes the reservation allows
+// (nil = the unreserved pool). Memory fit is judged against the node's
+// overcommit ceiling; after a successful grant, any touched node whose
+// actual usage exceeds *physical* memory consults the OOM-killer hook,
+// which may invalidate the node's largest live container (newest on ties)
+// until usage fits or the hook declines. Killed containers are returned to
+// the caller as granted-but-lost — exactly like a container that died on a
+// crashed node — so loss surfaces through the executor's ordinary sweep.
+func (c *Cluster) allocate(r *Reservation, count, cores, memMB int) ([]*Container, []oomKillInfo, error) {
 	if count <= 0 || cores <= 0 || memMB <= 0 {
-		return nil, fmt.Errorf("cluster: invalid request %dx(%dc,%dMB)", count, cores, memMB)
+		return nil, nil, fmt.Errorf("cluster: invalid request %dx(%dc,%dMB)", count, cores, memMB)
+	}
+	var now time.Duration
+	if c.clock != nil {
+		now = c.clock.Now() // before c.mu: the clock has its own lock
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	resID, slice := 0, false
+	if r != nil {
+		if r.released {
+			return nil, nil, fmt.Errorf("%w: reservation %d released", ErrInsufficientResources, r.id)
+		}
+		resID, slice = r.id, r.sliceCores > 0
+	}
+
 	var granted []*Container
 	rollback := func() {
 		for _, ctr := range granted {
-			n := c.nodes[ctr.NodeName]
-			n.usedCores -= ctr.Cores
-			n.usedMemMB -= ctr.MemMB
 			delete(c.live, ctr.ID)
+			c.dropContainerUsageLocked(ctr)
 		}
 	}
 	for i := 0; i < count; i++ {
-		// Most-free node first, name as tiebreak for determinism.
+		// Most-free node first, name as tiebreak for determinism. For slice
+		// leases "free" means headroom left inside the lease's own slice.
 		var best *Node
-		for _, name := range c.order {
-			n := c.nodes[name]
-			if !n.healthy || n.reservedBy != resID || n.FreeCores() < cores || n.FreeMemMB() < memMB {
-				continue
+		var bestFree int
+		if slice {
+			for _, name := range r.nodes {
+				n, ok := c.nodes[name]
+				if !ok || !n.healthy {
+					continue
+				}
+				var uc, um int
+				if u := r.used[name]; u != nil {
+					uc, um = u.cores, u.memMB
+				}
+				if uc+cores > r.sliceCores || um+memMB > r.sliceMemMB {
+					continue
+				}
+				if n.usedCores+cores > n.Cores || n.usedMemMB+memMB > c.memCapLocked(n) {
+					continue
+				}
+				free := r.sliceCores - uc
+				if best == nil || free > bestFree || (free == bestFree && n.Name < best.Name) {
+					best, bestFree = n, free
+				}
 			}
-			if best == nil || n.FreeCores() > best.FreeCores() ||
-				(n.FreeCores() == best.FreeCores() && n.Name < best.Name) {
-				best = n
+		} else {
+			for _, name := range c.order {
+				n := c.nodes[name]
+				if !n.healthy || n.reservedBy != resID || (resID == 0 && n.sliceRefs > 0) {
+					continue
+				}
+				if n.usedCores+cores > n.Cores || n.usedMemMB+memMB > c.memCapLocked(n) {
+					continue
+				}
+				if best == nil || n.FreeCores() > bestFree || (n.FreeCores() == bestFree && n.Name < best.Name) {
+					best, bestFree = n, n.FreeCores()
+				}
 			}
 		}
 		if best == nil {
 			rollback()
-			return nil, fmt.Errorf("%w: want %dx(%dc,%dMB)", ErrInsufficientResources, count, cores, memMB)
+			return nil, nil, fmt.Errorf("%w: want %dx(%dc,%dMB)", ErrInsufficientResources, count, cores, memMB)
 		}
 		best.usedCores += cores
 		best.usedMemMB += memMB
 		c.nextID++
 		ctr := &Container{ID: c.nextID, NodeName: best.Name, Cores: cores, MemMB: memMB, resID: resID}
+		if slice {
+			u := r.used[best.Name]
+			if u == nil {
+				u = &sliceUse{}
+				r.used[best.Name] = u
+			}
+			u.cores += cores
+			u.memMB += memMB
+		}
 		c.live[ctr.ID] = ctr
 		granted = append(granted, ctr)
 	}
-	return granted, nil
+	return granted, c.oomSweepLocked(granted, now), nil
+}
+
+// oomSweepLocked checks the nodes touched by a successful grant for actual
+// usage beyond physical memory and lets the OOM-killer hook invalidate
+// victims; c.mu held. Returns the kills for post-lock event emission.
+func (c *Cluster) oomSweepLocked(granted []*Container, now time.Duration) []oomKillInfo {
+	if c.oomKiller == nil {
+		return nil
+	}
+	var kills []oomKillInfo
+	seen := make(map[string]bool, len(granted))
+	for _, ctr := range granted {
+		if seen[ctr.NodeName] {
+			continue
+		}
+		seen[ctr.NodeName] = true
+		n, ok := c.nodes[ctr.NodeName]
+		if !ok {
+			continue
+		}
+		for n.usedMemMB > n.MemMB {
+			over := n.usedMemMB - n.MemMB
+			if !c.oomKiller(n.Name, over) {
+				break
+			}
+			// The kernel heuristic in miniature: kill the biggest consumer,
+			// preferring the newest on ties (the container that tipped the
+			// node over is the likeliest victim).
+			var victim *Container
+			for _, cand := range c.live {
+				if cand.NodeName != n.Name {
+					continue
+				}
+				if victim == nil || cand.MemMB > victim.MemMB ||
+					(cand.MemMB == victim.MemMB && cand.ID > victim.ID) {
+					victim = cand
+				}
+			}
+			if victim == nil {
+				break
+			}
+			victim.lostAt.Store(int64(now))
+			victim.lost.Store(true)
+			victim.released = true
+			delete(c.live, victim.ID)
+			c.dropContainerUsageLocked(victim)
+			kills = append(kills, oomKillInfo{
+				node: n.Name, containerID: victim.ID,
+				memMB: victim.MemMB, overMB: over,
+			})
+		}
+	}
+	return kills
 }
 
 // Release returns a container's resources to its node. Releasing twice is a
@@ -655,10 +1119,7 @@ func (c *Cluster) Release(ctr *Container) {
 	}
 	ctr.released = true
 	delete(c.live, ctr.ID)
-	if n, ok := c.nodes[ctr.NodeName]; ok {
-		n.usedCores -= ctr.Cores
-		n.usedMemMB -= ctr.MemMB
-	}
+	c.dropContainerUsageLocked(ctr)
 }
 
 // ReleaseAll releases a batch of containers.
@@ -723,12 +1184,29 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	sort.Strings(names)
 	// The O(1) scheduling counters must agree with a from-scratch recount —
-	// any missed delta on a reserve/release/grow/shrink/revoke/fail/restore
-	// path shows up here.
+	// any missed delta on a reserve/release/grow/shrink/resize/revoke/fail/
+	// restore path shows up here. The slice recount rebuilds every node's
+	// per-dimension slice sums and refcount from the reservation table.
 	freeHealthy, reserved := 0, 0
+	sliceCores := make(map[string]int)
+	sliceMemMB := make(map[string]int)
+	sliceRefs := make(map[string]int)
+	totSliceCores, totSliceMemMB := 0, 0
+	for _, res := range c.reservations {
+		if res.sliceCores == 0 {
+			continue
+		}
+		for _, name := range res.nodes {
+			sliceCores[name] += res.sliceCores
+			sliceMemMB[name] += res.sliceMemMB
+			sliceRefs[name]++
+			totSliceCores += res.sliceCores
+			totSliceMemMB += res.sliceMemMB
+		}
+	}
 	for _, name := range names {
 		n := c.nodes[name]
-		if n.healthy && n.reservedBy == 0 {
+		if n.healthy && n.reservedBy == 0 && n.sliceRefs == 0 {
 			freeHealthy++
 		}
 		if n.reservedBy != 0 {
@@ -741,14 +1219,32 @@ func (c *Cluster) CheckInvariants() error {
 	if reserved != c.reserved {
 		return fmt.Errorf("cluster: reserved counter drifted: have %d, recount %d", c.reserved, reserved)
 	}
+	if totSliceCores != c.reservedSliceCores || totSliceMemMB != c.reservedSliceMemMB {
+		return fmt.Errorf("cluster: slice counters drifted: have (%dc,%dMB), recount (%dc,%dMB)",
+			c.reservedSliceCores, c.reservedSliceMemMB, totSliceCores, totSliceMemMB)
+	}
 	for _, name := range names {
 		n := c.nodes[name]
 		if n.usedCores < 0 || n.usedMemMB < 0 {
 			return fmt.Errorf("cluster: node %s negative usage (%d cores, %d MB)", name, n.usedCores, n.usedMemMB)
 		}
-		if n.usedCores > n.Cores || n.usedMemMB > n.MemMB {
+		if n.usedCores > n.Cores || n.usedMemMB > c.memCapLocked(n) {
 			return fmt.Errorf("cluster: node %s over-allocated (%d/%d cores, %d/%d MB)",
-				name, n.usedCores, n.Cores, n.usedMemMB, n.MemMB)
+				name, n.usedCores, n.Cores, n.usedMemMB, c.memCapLocked(n))
+		}
+		if n.sliceCores != sliceCores[name] || n.sliceMemMB != sliceMemMB[name] || n.sliceRefs != sliceRefs[name] {
+			return fmt.Errorf("cluster: node %s slice sums drifted: have (%dc,%dMB,%d refs), recount (%dc,%dMB,%d refs)",
+				name, n.sliceCores, n.sliceMemMB, n.sliceRefs, sliceCores[name], sliceMemMB[name], sliceRefs[name])
+		}
+		// Summed slice grants never exceed node capacity per dimension
+		// (memory judged against the overcommit ceiling), and whole-node
+		// and slice reservations never share a node.
+		if n.sliceCores > n.Cores || n.sliceMemMB > c.memCapLocked(n) {
+			return fmt.Errorf("cluster: node %s slices oversubscribed (%d/%d cores, %d/%d MB)",
+				name, n.sliceCores, n.Cores, n.sliceMemMB, c.memCapLocked(n))
+		}
+		if n.reservedBy != 0 && n.sliceRefs > 0 {
+			return fmt.Errorf("cluster: node %s holds whole-node reservation %d and %d slices", name, n.reservedBy, n.sliceRefs)
 		}
 		if n.reservedBy != 0 {
 			res, ok := c.reservations[n.reservedBy]
@@ -767,8 +1263,12 @@ func (c *Cluster) CheckInvariants() error {
 			}
 		}
 	}
-	// Reservations are disjoint whole-node leases: their total size can
+	// Whole-node reservations are disjoint leases: their total size can
 	// never exceed the cluster, and every reserved node must point back.
+	// Slice reservations instead must list known nodes once each, and their
+	// used ledger — the O(1) slice-headroom counters AllocateIn consults —
+	// must agree with a from-scratch recount of the live-container table
+	// and stay within the slice dimensions.
 	reserved = 0
 	for id, res := range c.reservations {
 		if res.released {
@@ -777,7 +1277,6 @@ func (c *Cluster) CheckInvariants() error {
 		if len(res.nodes) == 0 {
 			return fmt.Errorf("cluster: live reservation %d holds no nodes (shrink below 1?)", id)
 		}
-		reserved += len(res.nodes)
 		seen := make(map[string]bool, len(res.nodes))
 		for _, rn := range res.nodes {
 			if seen[rn] {
@@ -788,10 +1287,49 @@ func (c *Cluster) CheckInvariants() error {
 			if !ok {
 				return fmt.Errorf("cluster: reservation %d lists unknown node %s", id, rn)
 			}
-			if n.reservedBy != id {
+			if res.sliceCores == 0 && n.reservedBy != id {
 				return fmt.Errorf("cluster: reservation %d lists node %s held by %d", id, rn, n.reservedBy)
 			}
 		}
+		if res.sliceCores > 0 {
+			if res.sliceMemMB <= 0 {
+				return fmt.Errorf("cluster: slice reservation %d has dimensions (%dc,%dMB)", id, res.sliceCores, res.sliceMemMB)
+			}
+			usedNow := make(map[string]sliceUse)
+			for _, ctr := range c.live {
+				if ctr.resID == id {
+					u := usedNow[ctr.NodeName]
+					u.cores += ctr.Cores
+					u.memMB += ctr.MemMB
+					usedNow[ctr.NodeName] = u
+				}
+			}
+			for name, u := range res.used {
+				if u.cores == 0 && u.memMB == 0 {
+					continue
+				}
+				if !seen[name] {
+					return fmt.Errorf("cluster: reservation %d ledgers usage on node %s it does not hold", id, name)
+				}
+				if got := usedNow[name]; u.cores != got.cores || u.memMB != got.memMB {
+					return fmt.Errorf("cluster: reservation %d ledger drifted on %s: have (%dc,%dMB), recount (%dc,%dMB)",
+						id, name, u.cores, u.memMB, got.cores, got.memMB)
+				}
+				if u.cores > res.sliceCores || u.memMB > res.sliceMemMB {
+					return fmt.Errorf("cluster: reservation %d usage (%dc,%dMB) on %s exceeds its slice (%dc,%dMB)",
+						id, u.cores, u.memMB, name, res.sliceCores, res.sliceMemMB)
+				}
+			}
+			for name, got := range usedNow {
+				u := res.used[name]
+				if u == nil && (got.cores != 0 || got.memMB != 0) {
+					return fmt.Errorf("cluster: reservation %d runs (%dc,%dMB) on %s with no ledger entry",
+						id, got.cores, got.memMB, name)
+				}
+			}
+			continue
+		}
+		reserved += len(res.nodes)
 		// The back-pointer count must match the lease's node list exactly —
 		// a grow/shrink that half-applied would break this symmetry.
 		backRefs := 0
@@ -814,12 +1352,27 @@ func (c *Cluster) CheckInvariants() error {
 		if ctr.resID == 0 {
 			continue
 		}
-		if _, ok := c.reservations[ctr.resID]; !ok {
+		res, ok := c.reservations[ctr.resID]
+		if !ok {
 			continue // lease released/crashed away while work drained
 		}
 		n, ok := c.nodes[ctr.NodeName]
 		if !ok {
 			return fmt.Errorf("cluster: container %d on unknown node %s", id, ctr.NodeName)
+		}
+		if res.sliceCores > 0 {
+			onLease := false
+			for _, rn := range res.nodes {
+				if rn == ctr.NodeName {
+					onLease = true
+					break
+				}
+			}
+			if !onLease {
+				return fmt.Errorf("cluster: container %d allocated under slice reservation %d but node %s is not leased",
+					id, ctr.resID, ctr.NodeName)
+			}
+			continue
 		}
 		if n.reservedBy != ctr.resID {
 			return fmt.Errorf("cluster: container %d allocated under reservation %d but node %s is held by %d",

@@ -709,6 +709,18 @@ func (st *planRun) launch(s *planner.Step, opName, engineName, algorithm string,
 		// poach capacity granted to other runs.
 		eRes.Nodes = e.Lease.Size()
 	}
+	if e.Lease != nil {
+		// Slice leases cap per-node draw at the slice dimensions; running
+		// thinner beats bouncing off the lease's AllocateIn confinement.
+		if sc, sm := e.Lease.SliceDims(); sc > 0 {
+			if eRes.CoresPerN > sc {
+				eRes.CoresPerN = sc
+			}
+			if eRes.MemMBPerN > sm {
+				eRes.MemMBPerN = sm
+			}
+		}
+	}
 	ctrs, err := e.Cluster.AllocateIn(e.Lease, eRes.Nodes, eRes.CoresPerN, eRes.MemMBPerN)
 	if err != nil {
 		if errors.Is(err, cluster.ErrInsufficientResources) {

@@ -61,6 +61,18 @@ type Straggler struct {
 	Factor float64 // e.g. 3.0; values <= 1 disable the slowdown
 }
 
+// OOMKill parameterises the memory-oversubscription fault. It only matters
+// on clusters with a memory-overcommit ratio above 1: whenever an
+// allocation pushes a node's actual usage past physical memory, the armed
+// schedule is consulted once per candidate kill and fires with probability
+// Prob, invalidating the node's largest live container (the cluster emits
+// fault.oomkill and the loss feeds the executor's ordinary
+// retry/checkpoint-restore recovery). Prob 0 disables the killer: the
+// oversubscribed node is tolerated silently.
+type OOMKill struct {
+	Prob float64
+}
+
 // Config declares a full fault schedule.
 type Config struct {
 	// Seed drives every random draw; zero is a valid seed.
@@ -74,6 +86,8 @@ type Config struct {
 	NodeCrashes []NodeCrash
 	// Straggler applies to every operator attempt.
 	Straggler Straggler
+	// OOM governs the OOM killer on memory-overcommitted clusters.
+	OOM OOMKill
 }
 
 // Stats counts what the schedule actually injected.
@@ -82,6 +96,7 @@ type Stats struct {
 	Stragglers int `json:"stragglers"` // slowed-down runs
 	Outages    int `json:"outages"`    // permanent engine outages fired
 	NodeCrash  int `json:"nodeCrashes"`
+	OOMKills   int `json:"oomKills"` // containers killed for oversubscribed memory
 }
 
 // Schedule is an armed fault plan. It implements the executor's Injector
@@ -94,6 +109,15 @@ type Schedule struct {
 	stats  Stats
 	armed  bool
 	tracer trace.Tracer
+
+	// The OOM-killer draw runs under the cluster's lock (the hook fires
+	// mid-allocation), so it uses its own mutex and seeded stream instead
+	// of s.mu/s.rng: taking s.mu there would invert the lock order against
+	// emitLocked's tracer callbacks, and a dedicated stream keeps the
+	// transient/straggler timeline invariant to how many OOM draws happen.
+	oomMu    sync.Mutex
+	oomRng   *rand.Rand
+	oomKills int
 }
 
 // SetTracer installs the event sink for injected-fault events.
@@ -117,7 +141,11 @@ func New(cfg Config) *Schedule {
 	if cfg.Straggler.Factor == 0 {
 		cfg.Straggler.Factor = 3.0
 	}
-	return &Schedule{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Schedule{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		oomRng: rand.New(rand.NewSource(cfg.Seed ^ 0x6f6f6d)), // "oom"
+	}
 }
 
 // Arm schedules the timed faults on the clock: engine outages flip the
@@ -132,6 +160,7 @@ func (s *Schedule) Arm(clock *vtime.Clock, env *engine.Environment, clus *cluste
 	s.armed = true
 	outages := s.cfg.Outages
 	crashes := s.cfg.NodeCrashes
+	oomProb := s.cfg.OOM.Prob
 	s.mu.Unlock()
 
 	if clock == nil {
@@ -161,6 +190,20 @@ func (s *Schedule) Arm(clock *vtime.Clock, env *engine.Environment, clus *cluste
 		s.mu.Lock()
 		s.stats.NodeCrash++
 		s.mu.Unlock()
+	}
+	if oomProb > 0 && clus != nil {
+		// The hook runs under the cluster lock and must not call back into
+		// the cluster or emit events (the cluster emits fault.oomkill
+		// itself); it only draws from the dedicated seeded stream.
+		clus.SetOOMKiller(func(node string, overMB int) bool {
+			s.oomMu.Lock()
+			defer s.oomMu.Unlock()
+			if s.oomRng.Float64() >= oomProb {
+				return false
+			}
+			s.oomKills++
+			return true
+		})
 	}
 	return nil
 }
@@ -223,8 +266,12 @@ func (s *Schedule) StretchFactor(engineName, stepName string, now time.Duration)
 // Stats returns a snapshot of the injection counters.
 func (s *Schedule) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	s.oomMu.Lock()
+	st.OOMKills = s.oomKills
+	s.oomMu.Unlock()
+	return st
 }
 
 // Config returns a copy of the schedule's configuration.

@@ -79,6 +79,9 @@ func (c Config) Validate() error {
 	if f := c.Straggler.Factor; f != 0 && (math.IsNaN(f) || f < 1) {
 		return &ValidationError{Field: "Straggler.Factor", Reason: fmt.Sprintf("%v is below 1 (0 means default)", f)}
 	}
+	if !validProb(c.OOM.Prob) {
+		return &ValidationError{Field: "OOM.Prob", Reason: fmt.Sprintf("%v is not a probability in [0,1]", c.OOM.Prob)}
+	}
 	return nil
 }
 

@@ -133,6 +133,105 @@ func goldenScenario(t *testing.T, policy Policy) []byte {
 	return buf.Bytes()
 }
 
+// goldenDRFScenario drives a two-tenant contention mix — tenant "compute"
+// submits cores-heavy slice demands, tenant "etl" memory-heavy ones — under
+// the given policy and returns the full event stream as JSONL. Under DRF the
+// two tenants interleave (each dominates a different dimension, so both fit);
+// the fixture pins the admission order, the slice-lease grant fields and the
+// per-dimension grow/shrink byte format.
+func goldenDRFScenario(t *testing.T, policy Policy) []byte {
+	t.Helper()
+	clock := vtime.NewClock()
+	clu := cluster.New(clock, 4, 8, 16384)
+	rec := trace.NewRecorder(1 << 14)
+	clu.SetTracer(rec)
+	specs := map[string]susSpec{
+		"run-001": {steps: 4, stepDur: 10 * time.Second},
+		"run-002": {steps: 4, stepDur: 10 * time.Second},
+		"run-003": {steps: 3, stepDur: 8 * time.Second},
+		"run-004": {steps: 3, stepDur: 8 * time.Second},
+		"run-005": {steps: 2, stepDur: 5 * time.Second},
+		"run-006": {steps: 2, stepDur: 5 * time.Second},
+	}
+	estimates := map[string][2]float64{
+		"c1": {40, 8}, "c2": {40, 8}, "c3": {24, 5},
+		"m1": {24, 5}, "m2": {10, 2}, "m3": {10, 2},
+	}
+	rig := &susRig{clock: clock, clu: clu, rec: newSusRecord()}
+	sched, err := New(Config{
+		Clock:   clock,
+		Cluster: clu,
+		Policy:  policy,
+		Tracer:  rec,
+		Plan: func(g *workflow.Graph) (*planner.Plan, error) {
+			return &planner.Plan{Target: g.Target}, nil
+		},
+		NewExecutor: func(ctx ExecContext) Exec {
+			spec, ok := specs[ctx.RunID]
+			if !ok {
+				spec = susSpec{steps: 3, stepDur: 10 * time.Second}
+			}
+			return &susExec{clock: clock, ctx: ctx, steps: spec.steps, stepDur: spec.stepDur, rec: rig.rec}
+		},
+		Estimate: func(g *workflow.Graph) (float64, float64, error) {
+			est, ok := estimates[g.Target]
+			if !ok {
+				return 0, 0, fmt.Errorf("no estimate for %s", g.Target)
+			}
+			return est[0], est[1], nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.sched = sched
+
+	// Cores-heavy slices: 6 of 8 cores, 1/16 of memory. Memory-heavy
+	// slices: 1 core, 12288 of 16384 MB. Neither tenant can co-locate two
+	// of its own slices on a node, but one of each fits together.
+	coresDemand := SubmitOptions{Tenant: "compute", DemandCores: 6, DemandMemMB: 1024}
+	memDemand := SubmitOptions{Tenant: "etl", DemandCores: 1, DemandMemMB: 12288}
+
+	c1, m1 := coresDemand, memDemand
+	c1.Name, m1.Name = "c1", "m1"
+	sched.SubmitWith(graph("c1"), c1)
+	sched.SubmitWith(graph("m1"), m1)
+	clock.Schedule(5*time.Second, func(time.Duration) {
+		c2 := coresDemand
+		c2.Name = "c2"
+		sched.SubmitWith(graph("c2"), c2)
+	})
+	clock.Schedule(6*time.Second, func(time.Duration) {
+		m2 := memDemand
+		m2.Name = "m2"
+		sched.SubmitWith(graph("m2"), m2)
+	})
+	clock.Schedule(20*time.Second, func(time.Duration) {
+		c3 := coresDemand
+		c3.Name = "c3"
+		sched.SubmitWith(graph("c3"), c3)
+		m3 := memDemand
+		m3.Name = "m3"
+		sched.SubmitWith(graph("m3"), m3)
+	})
+	sched.Drain()
+
+	for _, snap := range sched.Runs() {
+		if snap.Status != "succeeded" {
+			t.Fatalf("run %s not succeeded: %s", snap.ID, snap.Status)
+		}
+	}
+	if err := clu.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // TestPolicyTraceGolden pins the scheduler's event stream for all four
 // shipped policies to checked-in fixtures: the indexed-state scheduler must
 // reproduce the rebuild-everything scheduler's traces byte for byte. Run with
@@ -146,12 +245,56 @@ func TestPolicyTraceGolden(t *testing.T) {
 		{"fairshare", func() Policy { return FairShare{MaxConcurrent: 2} }},
 		{"deadline", func() Policy { return Deadline{} }},
 		{"costquota", func() Policy { return CostQuota{Budgets: map[string]float64{"acme": 10}, MaxConcurrent: 2} }},
+		{"drf", func() Policy { return DRF{MaxConcurrent: 4} }},
 	}
 	for _, pc := range policies {
 		pc := pc
 		t.Run(pc.name, func(t *testing.T) {
 			got := goldenScenario(t, pc.policy())
 			if again := goldenScenario(t, pc.policy()); !bytes.Equal(got, again) {
+				t.Fatal("scenario is not deterministic across two executions")
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("golden_%s.jsonl", pc.name))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trace diverges from fixture %s:\n got %d bytes\nwant %d bytes\nfirst diff at byte %d",
+					path, len(got), len(want), firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// TestDRFTraceGolden pins the slice-lease event stream of the two-tenant
+// cores-heavy vs memory-heavy mix: DRF's interleaved admissions and the
+// whole-node baseline (FIFO ignores demands' dimensions for ranking but
+// still grants slice leases) each get a fixture. Run with -update to
+// regenerate after an intentional semantic change.
+func TestDRFTraceGolden(t *testing.T) {
+	policies := []struct {
+		name   string
+		policy func() Policy
+	}{
+		{"drf_mix", func() Policy { return DRF{MaxConcurrent: 4} }},
+		{"drf_mix_weighted", func() Policy { return DRF{Weights: map[string]float64{"etl": 2}, MaxConcurrent: 4} }},
+		{"fifo_mix", func() Policy { return FIFO{} }},
+	}
+	for _, pc := range policies {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			got := goldenDRFScenario(t, pc.policy())
+			if again := goldenDRFScenario(t, pc.policy()); !bytes.Equal(got, again) {
 				t.Fatal("scenario is not deterministic across two executions")
 			}
 			path := filepath.Join("testdata", fmt.Sprintf("golden_%s.jsonl", pc.name))

@@ -24,6 +24,16 @@ type RunState struct {
 	DeadlineSec float64
 	// LeasedNodes is the current lease size (0 while queued/suspended).
 	LeasedNodes int
+	// LeasedCores/LeasedMemMB are the lease's total capacity footprint per
+	// dimension — slice dimensions times nodes for slice leases, full node
+	// capacity times nodes for whole-node leases. The inputs of DRF
+	// dominant-share ranking.
+	LeasedCores int
+	LeasedMemMB int
+	// DemandCores/DemandMemMB are the run's per-node slice demand
+	// (0,0 = whole-node leases).
+	DemandCores int
+	DemandMemMB int
 
 	// EstTimeSec/EstCost are the planner's estimates for the whole run
 	// (0 when no Estimate hook is wired or the policy did not ask for one).
@@ -54,6 +64,10 @@ type RunState struct {
 type State struct {
 	NowSec     float64
 	TotalNodes int
+	// TotalCores/TotalMemMB are the cluster's full capacity per resource
+	// dimension — the denominators of DRF dominant shares.
+	TotalCores int
+	TotalMemMB int
 	FreeNodes  int
 
 	s   *Scheduler
@@ -188,6 +202,17 @@ func (st State) EDFHead() (RunState, bool) {
 		return RunState{}, false
 	}
 	return st.s.runStateLocked(r, st.now), true
+}
+
+// SliceFit counts the nodes that could currently host one more
+// (coresPer, memPer) slice — the slice-lease analogue of FreeNodes,
+// letting slice-aware policies clamp admissions to grantable capacity.
+// O(nodes), served straight from the cluster.
+func (st State) SliceFit(coresPer, memPer int) int {
+	if st.s == nil {
+		return 0
+	}
+	return st.s.cluster.SliceFit(coresPer, memPer)
 }
 
 // FairNext returns the waiting run hierarchical fair share would admit next

@@ -113,8 +113,12 @@ type Snapshot struct {
 	// Priority biases hierarchical fair-share charging (higher = cheaper).
 	Priority int `json:"priority,omitempty"`
 	// LeasedNodes is the current node lease size (0 while queued or
-	// suspended).
+	// suspended). LeasedCores/LeasedMemMB are the lease's total capacity
+	// footprint per dimension — slice dimensions times nodes for slice
+	// leases, full node capacity times nodes for whole-node leases.
 	LeasedNodes int `json:"leasedNodes,omitempty"`
+	LeasedCores int `json:"leasedCores,omitempty"`
+	LeasedMemMB int `json:"leasedMemMB,omitempty"`
 	// Virtual-time marks, in seconds since simulation start. FinishedSec is
 	// meaningful only for terminal runs.
 	SubmittedSec float64 `json:"submittedSec"`
@@ -145,6 +149,10 @@ type Run struct {
 	deadline time.Duration // absolute vtime; 0 = none
 	g        *workflow.Graph
 	sched    *Scheduler
+	// demandCores/demandMemMB are the per-node slice demand (0,0 =
+	// whole-node leases); immutable after submission.
+	demandCores int
+	demandMemMB int
 
 	canceled atomic.Bool
 	// suspend is the cooperative-preemption flag: raised by a Preempt
@@ -157,6 +165,8 @@ type Run struct {
 	status      Status
 	lease       *cluster.Reservation
 	leasedNodes int // current lease size; survives finish (last size), zeroed on suspend
+	leasedCores int // lease capacity footprint per dimension; tracks leasedNodes
+	leasedMemMB int
 	party       *vtime.Party
 	plan        *planner.Plan
 	result      *executor.Result
@@ -230,6 +240,8 @@ func (r *Run) Status() Snapshot {
 		Preemptions:  r.preemptions,
 	}
 	snap.LeasedNodes = r.leasedNodes
+	snap.LeasedCores = r.leasedCores
+	snap.LeasedMemMB = r.leasedMemMB
 	if r.status >= StatusRunning {
 		snap.StartedSec = r.startedAt.Seconds()
 	}
@@ -340,6 +352,13 @@ type SubmitOptions struct {
 	// Deadline is the absolute virtual-time deadline for Deadline-style
 	// policies (0 = none).
 	Deadline time.Duration
+	// DemandCores/DemandMemMB declare a per-node resource-slice demand.
+	// When both are positive the run's leases are (cores, memMB) slices
+	// instead of whole nodes, so runs with complementary demand shapes can
+	// share nodes (the currency of the DRF policy). Demands are clamped to
+	// single-node capacity; setting only one dimension disables both.
+	DemandCores int
+	DemandMemMB int
 }
 
 // runRecord is one submission-order ledger entry. While the run is live it
@@ -364,6 +383,12 @@ type Scheduler struct {
 	estimate   func(g *workflow.Graph) (float64, float64, error)
 	tracer     trace.Tracer
 	totalNodes int
+	// Cached cluster capacity (per dimension and per node) for DRF share
+	// math and demand clamping; the node inventory is fixed at build time.
+	totalCores int
+	totalMemMB int
+	nodeCores  int
+	nodeMemMB  int
 
 	mu        sync.Mutex
 	nextID    int
@@ -392,6 +417,12 @@ func New(cfg Config) (*Scheduler, error) {
 	if tracer == nil {
 		tracer = trace.Nop()
 	}
+	nodes := cfg.Cluster.Nodes()
+	totalCores, totalMemMB := cfg.Cluster.Capacity()
+	nodeCores, nodeMemMB := 0, 0
+	if len(nodes) > 0 {
+		nodeCores, nodeMemMB = nodes[0].Cores, nodes[0].MemMB
+	}
 	return &Scheduler{
 		clock:         cfg.Clock,
 		cluster:       cfg.Cluster,
@@ -400,7 +431,11 @@ func New(cfg Config) (*Scheduler, error) {
 		newExec:       cfg.NewExecutor,
 		estimate:      cfg.Estimate,
 		tracer:        tracer,
-		totalNodes:    len(cfg.Cluster.Nodes()),
+		totalNodes:    len(nodes),
+		totalCores:    totalCores,
+		totalMemMB:    totalMemMB,
+		nodeCores:     nodeCores,
+		nodeMemMB:     nodeMemMB,
 		idx:           newStateIndex(),
 		active:        make(map[string]*Run),
 		suspended:     make(map[string]*Run),
@@ -444,6 +479,21 @@ func (s *Scheduler) SubmitWith(g *workflow.Graph, opts SubmitOptions) *Run {
 		}
 	}
 
+	// Slice demands are all-or-nothing and clamped to single-node physical
+	// capacity, so a demand run can always be granted on a fully free node
+	// (the progress safety net depends on that).
+	demC, demM := opts.DemandCores, opts.DemandMemMB
+	if demC <= 0 || demM <= 0 {
+		demC, demM = 0, 0
+	} else {
+		if demC > s.nodeCores {
+			demC = s.nodeCores
+		}
+		if demM > s.nodeMemMB {
+			demM = s.nodeMemMB
+		}
+	}
+
 	s.mu.Lock()
 	s.nextID++
 	r := &Run{
@@ -453,6 +503,8 @@ func (s *Scheduler) SubmitWith(g *workflow.Graph, opts SubmitOptions) *Run {
 		user:        opts.User,
 		priority:    opts.Priority,
 		deadline:    opts.Deadline,
+		demandCores: demC,
+		demandMemMB: demM,
 		g:           g,
 		sched:       s,
 		done:        make(chan struct{}),
@@ -479,6 +531,10 @@ func (s *Scheduler) SubmitWith(g *workflow.Graph, opts SubmitOptions) *Run {
 	}
 	if estTime > 0 {
 		fields["estTimeSec"] = estTime
+	}
+	if demC > 0 {
+		fields["demandCores"] = float64(demC)
+		fields["demandMemMB"] = float64(demM)
 	}
 	s.tracer.Emit(trace.Event{
 		Type: trace.EvRunSubmit, RunID: r.id, Operator: name,
@@ -632,6 +688,8 @@ func (s *Scheduler) runStateLocked(r *Run, now time.Duration) RunState {
 		Status:       r.status,
 		SubmittedSec: r.submittedAt.Seconds(),
 		DeadlineSec:  r.deadline.Seconds(),
+		DemandCores:  r.demandCores,
+		DemandMemMB:  r.demandMemMB,
 		EstTimeSec:   r.estTime,
 		EstCost:      r.estCost,
 		Preemptions:  r.preemptions,
@@ -641,6 +699,8 @@ func (s *Scheduler) runStateLocked(r *Run, now time.Duration) RunState {
 		rs.StartedSec = r.startedAt.Seconds()
 	}
 	rs.LeasedNodes = r.leasedNodes
+	rs.LeasedCores = r.leasedCores
+	rs.LeasedMemMB = r.leasedMemMB
 	ran := r.ranFor
 	if r.running {
 		ran += now - r.runningSince
@@ -655,10 +715,45 @@ func (s *Scheduler) stateViewLocked(now time.Duration) State {
 	return State{
 		NowSec:     now.Seconds(),
 		TotalNodes: s.totalNodes,
+		TotalCores: s.totalCores,
+		TotalMemMB: s.totalMemMB,
 		FreeNodes:  s.cluster.UnreservedHealthy(),
 		s:          s,
 		now:        now,
 	}
+}
+
+// reserveFor draws a lease matching the run's demand shape: per-node
+// (cores, memMB) slices for runs submitted with a demand, whole nodes
+// otherwise.
+func (s *Scheduler) reserveFor(r *Run, nodes int) (*cluster.Reservation, error) {
+	if r.demandCores > 0 && r.demandMemMB > 0 {
+		return s.cluster.ReserveSlices(nodes, r.demandCores, r.demandMemMB)
+	}
+	return s.cluster.Reserve(nodes)
+}
+
+// leaseFootprint returns the total (cores, memMB) capacity a lease pins:
+// slice dimensions times nodes for slice leases, full node capacity times
+// nodes for whole-node leases.
+func (s *Scheduler) leaseFootprint(lease *cluster.Reservation) (cores, memMB int) {
+	n := lease.Size()
+	if sc, sm := lease.SliceDims(); sc > 0 {
+		return n * sc, n * sm
+	}
+	return n * s.nodeCores, n * s.nodeMemMB
+}
+
+// leaseGrantFields builds the lease-event payload; slice leases add their
+// per-node dimensions while whole-node leases keep the seed event schema
+// byte-for-byte.
+func leaseGrantFields(lease *cluster.Reservation) map[string]float64 {
+	f := map[string]float64{"nodes": float64(lease.Size())}
+	if sc, sm := lease.SliceDims(); sc > 0 {
+		f["coresPerNode"] = float64(sc)
+		f["memMBPerNode"] = float64(sm)
+	}
+	return f
 }
 
 // queuedLocked finds a run in the queue by id; s.mu held. O(1) via the
@@ -701,6 +796,8 @@ func (s *Scheduler) DecideRebuild() int {
 	st := State{
 		NowSec:     now.Seconds(),
 		TotalNodes: s.totalNodes,
+		TotalCores: s.totalCores,
+		TotalMemMB: s.totalMemMB,
 		FreeNodes:  s.cluster.UnreservedHealthy(),
 		s:          s,
 		now:        now,
@@ -716,16 +813,20 @@ func (s *Scheduler) DecideRebuild() int {
 // caller has already pulled the run out of the waiting structures
 // (dequeueForGrant/unsuspendForGrant).
 func (s *Scheduler) grantLocked(r *Run, lease *cluster.Reservation, status Status, now time.Duration) {
+	n := lease.Size()
+	cores, memMB := s.leaseFootprint(lease)
 	r.mu.Lock()
 	r.status = status
 	r.lease = lease
-	r.leasedNodes = lease.Size()
+	r.leasedNodes = n
+	r.leasedCores = cores
+	r.leasedMemMB = memMB
 	r.party = s.clock.Join()
 	r.running = true
 	r.runningSince = now
 	r.mu.Unlock()
 	s.active[r.id] = r
-	s.idx.granted(r, lease.Size(), now)
+	s.idx.granted(r, n, now)
 }
 
 // scheduleOnce performs one Decide/apply round and reports whether any
@@ -769,7 +870,7 @@ func (s *Scheduler) scheduleOnce() bool {
 			if r == nil || a.Nodes < 1 || r.canceled.Load() {
 				continue
 			}
-			lease, err := s.cluster.Reserve(a.Nodes)
+			lease, err := s.reserveFor(r, a.Nodes)
 			if err != nil {
 				continue
 			}
@@ -781,7 +882,7 @@ func (s *Scheduler) scheduleOnce() bool {
 			r.mu.Unlock()
 			s.tracer.Emit(trace.Event{
 				Type: trace.EvLeaseGrant, RunID: r.id,
-				Fields: map[string]float64{"nodes": float64(lease.Size())},
+				Fields: leaseGrantFields(lease),
 			}.At(now))
 			s.tracer.Emit(trace.Event{
 				Type: trace.EvRunAdmit, RunID: r.id, Operator: r.workflow,
@@ -795,7 +896,7 @@ func (s *Scheduler) scheduleOnce() bool {
 			if r == nil || a.Nodes < 1 || r.canceled.Load() {
 				continue
 			}
-			lease, err := s.cluster.Reserve(a.Nodes)
+			lease, err := s.reserveFor(r, a.Nodes)
 			if err != nil {
 				continue
 			}
@@ -808,7 +909,7 @@ func (s *Scheduler) scheduleOnce() bool {
 			r.mu.Unlock()
 			s.tracer.Emit(trace.Event{
 				Type: trace.EvLeaseGrant, RunID: r.id,
-				Fields: map[string]float64{"nodes": float64(lease.Size())},
+				Fields: leaseGrantFields(lease),
 			}.At(now))
 			s.tracer.Emit(trace.Event{
 				Type: trace.EvRunResume, RunID: r.id, Operator: r.workflow,
@@ -848,8 +949,11 @@ func (s *Scheduler) scheduleOnce() bool {
 				if err != nil || len(added) == 0 {
 					continue
 				}
+				cores, memMB := s.leaseFootprint(lease)
 				r.mu.Lock()
 				r.leasedNodes = lease.Size()
+				r.leasedCores = cores
+				r.leasedMemMB = memMB
 				r.mu.Unlock()
 				s.idx.resized(r, lease.Size(), now)
 				s.tracer.Emit(trace.Event{
@@ -862,8 +966,11 @@ func (s *Scheduler) scheduleOnce() bool {
 				if err != nil || len(removed) == 0 {
 					continue
 				}
+				cores, memMB := s.leaseFootprint(lease)
 				r.mu.Lock()
 				r.leasedNodes = lease.Size()
+				r.leasedCores = cores
+				r.leasedMemMB = memMB
 				r.mu.Unlock()
 				s.idx.resized(r, lease.Size(), now)
 				s.tracer.Emit(trace.Event{
@@ -909,7 +1016,7 @@ func (s *Scheduler) scheduleOnce() bool {
 			}
 		}
 		if pick != nil && free > 0 && !pick.canceled.Load() {
-			if lease, err := s.cluster.Reserve(free); err == nil {
+			if lease, err := s.reserveFor(pick, free); err == nil {
 				if _, ok := s.suspended[pick.id]; ok {
 					delete(s.suspended, pick.id)
 					s.idx.unsuspendForGrant(pick)
@@ -920,7 +1027,7 @@ func (s *Scheduler) scheduleOnce() bool {
 					pick.mu.Unlock()
 					s.tracer.Emit(trace.Event{
 						Type: trace.EvLeaseGrant, RunID: pick.id,
-						Fields: map[string]float64{"nodes": float64(lease.Size())},
+						Fields: leaseGrantFields(lease),
 					}.At(now))
 					s.tracer.Emit(trace.Event{
 						Type: trace.EvRunResume, RunID: pick.id, Operator: pick.workflow,
@@ -937,7 +1044,7 @@ func (s *Scheduler) scheduleOnce() bool {
 					pick.mu.Unlock()
 					s.tracer.Emit(trace.Event{
 						Type: trace.EvLeaseGrant, RunID: pick.id,
-						Fields: map[string]float64{"nodes": float64(lease.Size())},
+						Fields: leaseGrantFields(lease),
 					}.At(now))
 					s.tracer.Emit(trace.Event{
 						Type: trace.EvRunAdmit, RunID: pick.id, Operator: pick.workflow,
@@ -1117,6 +1224,8 @@ func (s *Scheduler) parkSuspended(r *Run) bool {
 	oldParty := r.party
 	r.lease = nil
 	r.leasedNodes = 0
+	r.leasedCores = 0
+	r.leasedMemMB = 0
 	r.party = nil
 	r.status = StatusSuspended
 	r.preemptions++

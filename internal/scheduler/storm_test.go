@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/asap-project/ires/internal/cluster"
 )
 
 // stormRun fires a randomized multi-tenant burst — staggered submissions
@@ -54,10 +56,24 @@ func stormRun(t *testing.T, policy Policy, seed int64) {
 		if rng.Intn(5) == 0 {
 			s.cancelAt = at + time.Duration(rng.Intn(30))*time.Second
 		}
+		if rng.Intn(3) == 0 {
+			// A third of the runs ask for per-node slices instead of whole
+			// nodes, stressing the multi-dimensional counters alongside the
+			// node-granular paths.
+			s.opts.DemandCores = 1 + rng.Intn(6)
+			s.opts.DemandMemMB = 1024 * (1 + rng.Intn(10))
+		}
 		subs[i] = s
 	}
 
 	rig := newSusRig(t, 6, policy, specs, estimates)
+	// Memory overcommit plus a seeded OOM killer: the churn arcs below
+	// oversubscribe nodes on purpose and the kill decision replays per seed.
+	if err := rig.clu.SetMemOvercommit(1.3); err != nil {
+		t.Fatal(err)
+	}
+	oomRng := rand.New(rand.NewSource(seed ^ 0x6f6f6d))
+	rig.clu.SetOOMKiller(func(string, int) bool { return oomRng.Intn(2) == 0 })
 	// Checks run inside clock callbacks, i.e. on party goroutines — a
 	// t.Fatalf there would Goexit the run mid-execution and wedge the
 	// scheduler. Record the first failure and report it from the test
@@ -67,7 +83,13 @@ func stormRun(t *testing.T, policy Policy, seed int64) {
 		checkErr error
 	)
 	check := func(now time.Duration) {
-		if err := rig.sched.CheckIndex(); err != nil {
+		err := rig.sched.CheckIndex()
+		if err == nil {
+			// Per-dimension slice accounting is cross-checked from scratch
+			// on the cluster side at the same quiescent points.
+			err = rig.clu.CheckInvariants()
+		}
+		if err != nil {
 			checkMu.Lock()
 			if checkErr == nil {
 				checkErr = fmt.Errorf("t=%v: %w", now, err)
@@ -113,6 +135,64 @@ func stormRun(t *testing.T, policy Policy, seed int64) {
 			}
 			rig.sched.schedule()
 			check(now)
+		})
+	}
+	// Churn arcs drive actual memory usage past physical capacity: pairs of
+	// memory-heavy slice reservations that first-fit onto the same node, so
+	// the second allocation triggers the OOM sweep (kill or tolerate per the
+	// seeded hook). Failed reservations are fine — under FIFO the scheduler
+	// may hold every node — the arcs only fire where slices fit.
+	for k := 0; k < 6; k++ {
+		at := time.Duration(15+40*k) * time.Second
+		holdSec := 10 + rng.Intn(20)
+		rig.clock.Schedule(at, func(now time.Duration) {
+			var ctrs []*cluster.Container
+			var leases []*cluster.Reservation
+			for j := 0; j < 2; j++ {
+				r, err := rig.clu.ReserveSlices(1, 1, 9216)
+				if err != nil {
+					break
+				}
+				leases = append(leases, r)
+				if got, err := rig.clu.AllocateIn(r, 1, 1, 9216); err == nil {
+					ctrs = append(ctrs, got...)
+				}
+			}
+			check(now)
+			rig.clock.Schedule(now+time.Duration(holdSec)*time.Second, func(now time.Duration) {
+				rig.clu.ReleaseAll(ctrs)
+				for _, r := range leases {
+					rig.clu.ReleaseReservation(r)
+				}
+				rig.sched.schedule()
+				check(now)
+			})
+		})
+	}
+	// Random per-dimension resizes of live slice leases: the cluster-side
+	// resize machinery must stay invariant-preserving under scheduler load
+	// (the scheduler's cached footprint may go stale; both index views share
+	// it, so CheckIndex is unaffected).
+	for tick := 25 * time.Second; tick < 280*time.Second; tick += 45 * time.Second {
+		dc, dm := 1+rng.Intn(4), 1024*(1+rng.Intn(8))
+		rig.clock.Schedule(tick, func(now time.Duration) {
+			for _, r := range runs {
+				if r == nil {
+					continue
+				}
+				r.mu.Lock()
+				lease := r.lease
+				r.mu.Unlock()
+				if lease == nil || lease.Released() {
+					continue
+				}
+				if sc, _ := lease.SliceDims(); sc == 0 {
+					continue
+				}
+				_ = rig.clu.ResizeSlice(lease, dc, dm)
+				check(now)
+				break
+			}
 		})
 	}
 	// Periodic sweeps catch drift between event-driven checks.
@@ -171,6 +251,9 @@ func TestIndexStorm(t *testing.T) {
 			return CostQuota{Budgets: map[string]float64{"acme": 12, "beta": 18}, DefaultBudget: 9}
 		},
 		func() Policy { return HierarchicalFairShare{MaxConcurrent: 3} },
+		func() Policy {
+			return DRF{Weights: map[string]float64{"acme": 2}, MaxConcurrent: 3}
+		},
 	}
 	for _, mk := range policies {
 		for seed := int64(1); seed <= 3; seed++ {

@@ -379,7 +379,9 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		// to a budget account (CostQuota) or fair-share group, ?user= and
 		// ?priority= refine hierarchical fair-share accounting, and
 		// ?deadlineSec= sets an absolute virtual-time deadline
-		// (Deadline/EDF).
+		// (Deadline/EDF), and ?demandCores=&demandMemMB= (both required
+		// together) ask for per-node resource slices instead of whole
+		// nodes (DRF and memory overcommit).
 		_, g, err := s.graphOf(name)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -405,6 +407,20 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			opts.Deadline = time.Duration(sec * float64(time.Second))
+		}
+		rawC, rawM := r.URL.Query().Get("demandCores"), r.URL.Query().Get("demandMemMB")
+		if (rawC == "") != (rawM == "") {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("demandCores and demandMemMB must be given together"))
+			return
+		}
+		if rawC != "" {
+			dc, errC := strconv.Atoi(rawC)
+			dm, errM := strconv.Atoi(rawM)
+			if errC != nil || errM != nil || dc < 1 || dm < 1 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid demand %q cores / %q memMB", rawC, rawM))
+				return
+			}
+			opts.DemandCores, opts.DemandMemMB = dc, dm
 		}
 		run := s.platform.SubmitWith(g, opts)
 		s.platform.Start()

@@ -412,6 +412,47 @@ func TestRunEndpoints(t *testing.T) {
 	}
 }
 
+func TestSubmitDemandParams(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	setupWordcount(t, ts)
+
+	// Demand parameters must come as a pair of positive integers.
+	for _, q := range []string{
+		"?demandCores=2",
+		"?demandMemMB=1024",
+		"?demandCores=0&demandMemMB=1024",
+		"?demandCores=2&demandMemMB=-1",
+		"?demandCores=x&demandMemMB=1024",
+	} {
+		resp, body := do(t, "POST", ts.URL+"/api/workflows/wc/submit"+q, "")
+		expectCode(t, resp, body, http.StatusBadRequest)
+	}
+
+	// A well-formed slice demand is accepted and the run completes on its
+	// slice lease.
+	resp, body := do(t, "POST", ts.URL+"/api/workflows/wc/submit?tenant=acme&demandCores=1&demandMemMB=1024", "")
+	expectCode(t, resp, body, http.StatusAccepted)
+	var snap struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.ID == "" {
+		t.Fatalf("submit snapshot: %s", body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for snap.Status != "succeeded" {
+		if snap.Status == "failed" || snap.Status == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("demand run %s ended %s", snap.ID, snap.Status)
+		}
+		time.Sleep(time.Millisecond)
+		resp, body = do(t, "GET", ts.URL+"/api/runs/"+snap.ID, "")
+		expectCode(t, resp, body, http.StatusOK)
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestFaultInjectionEndpoint(t *testing.T) {
 	_, ts, _ := newTestServer(t)
 	setupWordcount(t, ts)

@@ -51,10 +51,17 @@ const (
 	EvNodeCrash   EventType = "node.crash"
 	EvNodeRestore EventType = "node.restore"
 
-	// Chaos-injection layer.
+	// Chaos-injection layer. fault.oomkill records a container killed by
+	// the cluster's OOM killer when an allocation pushed a node's actual
+	// memory usage past its physical capacity under overcommit (containerID,
+	// memMB, overMB in Fields; the Node field names the oversubscribed
+	// node). The killed container surfaces to its executor as a lost
+	// container at the next completion sweep, feeding the ordinary
+	// retry/checkpoint-restore recovery stack.
 	EvFaultTransient EventType = "fault.transient"
 	EvFaultStraggler EventType = "fault.straggler"
 	EvFaultOutage    EventType = "fault.outage"
+	EvOOMKill        EventType = "fault.oomkill"
 
 	// Multi-workflow scheduler lifecycle: submission into the queue,
 	// admission (with the granted node quota and queue wait in Fields),

@@ -89,6 +89,9 @@ type (
 	NodeCrash = faults.NodeCrash
 	// StragglerFaults parameterises slowdown injection.
 	StragglerFaults = faults.Straggler
+	// OOMKillFaults parameterises the memory-oversubscription OOM killer
+	// (effective only with Options.MemOvercommit above 1).
+	OOMKillFaults = faults.OOMKill
 	// FaultStats counts what an armed fault schedule actually injected.
 	FaultStats = faults.Stats
 	// TraceEvent is one virtual-time-stamped structured event.
@@ -150,6 +153,20 @@ func Deadline() AdmissionPolicy { return scheduler.Deadline{} }
 // negative = unlimited).
 func CostQuota(budgets map[string]float64, defaultBudget float64) AdmissionPolicy {
 	return scheduler.CostQuota{Budgets: budgets, DefaultBudget: defaultBudget}
+}
+
+// DRF returns the Dominant Resource Fairness policy: each tenant's dominant
+// share is the larger of its cores share and its memory share across active
+// leases, divided by the tenant's weight (unlisted tenants weigh 1), and
+// admission always goes to a waiting run of the minimum-dominant-share
+// tenant — so cores-heavy and memory-heavy tenants each saturate their own
+// bottleneck dimension instead of splitting node counts. Submit runs with
+// SubmitOptions.DemandCores/DemandMemMB to lease per-node slices; whole-node
+// submissions participate with full-node footprints. When all maxConcurrent
+// slots are busy, a sufficiently starved tenant preempts the most-over-share
+// tenant's latest run, gated on the victim still making its deadline.
+func DRF(weights map[string]float64, maxConcurrent int) AdmissionPolicy {
+	return scheduler.DRF{Weights: weights, MaxConcurrent: maxConcurrent}
 }
 
 // Typed execution failures (see the executor package).
@@ -249,6 +266,11 @@ type Options struct {
 	// Admission picks the multi-workflow admission policy for Submit/Run
 	// (default FIFO: one workflow at a time, whole cluster leased).
 	Admission AdmissionPolicy
+	// MemOvercommit lets allocations oversubscribe each node's memory up to
+	// MemMB x ratio (cores are never overcommitted). Zero or 1 disables
+	// overcommit; values in (0,1) are rejected. Pair with FaultConfig.OOM to
+	// turn oversubscription into injected OOM kills.
+	MemOvercommit float64
 }
 
 // Platform is the IReS runtime: interface, optimizer and executor layers
@@ -308,6 +330,11 @@ func NewPlatform(opts Options) (*Platform, error) {
 	p.tracer = trace.Multi(p.recorder, opts.Tracer)
 	p.Cluster = cluster.New(p.Clock, opts.ClusterNodes, opts.CoresPerNode, opts.MemMBPerNode)
 	p.Cluster.SetTracer(p.tracer)
+	if opts.MemOvercommit != 0 {
+		if err := p.Cluster.SetMemOvercommit(opts.MemOvercommit); err != nil {
+			return nil, err
+		}
+	}
 	p.Monitor = cluster.NewMonitor(p.Cluster, p.Env, opts.MonitorPeriod)
 	p.Profiler = profiler.New(p.Env, opts.Seed)
 	p.provisioner = provision.New(p.Profiler, p.clusterBounds(), opts.Seed)
