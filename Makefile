@@ -89,8 +89,10 @@ bench-drf:
 	$(GO) run ./cmd/bench-drf -out BENCH_DRF.json
 
 # bench-planner runs the tracked planner benchmark suite (cold plan, warm
-# replan, warm Pareto) and rewrites the BENCH_PLANNER.json baseline; it
-# fails if the warm replan falls below the 3x-speedup / 50%-fewer-allocs
-# floor or if warm plans diverge from cold ones.
+# replan, warm Pareto, plus the 10k-operator giant-DAG flap-replan cell)
+# and rewrites the BENCH_PLANNER.json baseline; it fails if the warm
+# replan falls below the 3x-speedup / 50%-fewer-allocs floor, if the
+# giant-DAG partial-invalidation flap replan falls below 5x over the
+# wholesale-flush baseline, or if warm plans diverge from cold ones.
 bench-planner:
 	$(GO) run ./cmd/bench-planner -out BENCH_PLANNER.json

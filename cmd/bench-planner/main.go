@@ -1,73 +1,140 @@
 // Command bench-planner runs the tracked planner micro-benchmark suite
 // (cold plan, warm replan, warm Pareto on the Fig 12 text-analytics
-// workflow), verifies the warm builds reproduce the cold plans byte for
-// byte, and writes the measurements to BENCH_PLANNER.json.
+// workflow), plus the giant-DAG cell (a Pegasus Montage workflow at
+// -giant-size operators measuring cold plan, warm replan, and the replan
+// after a single engine flap under partial vs wholesale invalidation),
+// verifies the warm builds reproduce the cold plans byte for byte, and
+// writes the measurements to BENCH_PLANNER.json.
 //
 // Usage:
 //
 //	bench-planner [-seed N] [-docs N] [-out FILE] [-check]
+//	              [-giant-size N] [-giant-engines M]
+//	              [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/asap-project/ires/internal/experiments"
 )
 
-func main() {
+func fatal(a ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"bench-planner:"}, a...)...)
+	os.Exit(1)
+}
+
+func run() error {
 	seed := flag.Int64("seed", 42, "seed for the simulated environment")
 	docs := flag.Int64("docs", 100_000, "workflow input size (documents)")
 	out := flag.String("out", "BENCH_PLANNER.json", "output file (empty: stdout only)")
-	check := flag.Bool("check", true, "fail unless warm replan is >=3x faster and >=50% fewer allocs than cold plan")
+	check := flag.Bool("check", true, "fail unless warm replan is >=3x faster and >=50% fewer allocs than cold plan, and the giant-DAG partial flap replan is >=5x faster than the wholesale baseline")
+	giantSize := flag.Int("giant-size", 10_000, "giant-DAG operator count (0 skips the giant cell)")
+	giantEngines := flag.Int("giant-engines", 6, "giant-DAG engine implementations per algorithm")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to FILE")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the benchmark run to FILE")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	report, err := experiments.RunPlannerBench(*seed, *docs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench-planner:", err)
-		os.Exit(1)
+		return err
+	}
+	if *giantSize > 0 {
+		report.Giant, err = experiments.RunGiantDAGBench(*giantSize, *giantEngines)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	for _, r := range report.Results {
-		fmt.Printf("%-22s %10d ns/op  %8d B/op  %6d allocs/op\n",
+		fmt.Printf("%-34s %10d ns/op  %9d B/op  %7d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	fmt.Printf("replan speedup:  %.1fx (cold plan vs warm replan)\n", report.ReplanSpeedup)
 	fmt.Printf("alloc reduction: %.0f%%\n", report.AllocReduction*100)
 	fmt.Printf("warm identical:  %v   cache hits/misses: %d/%d (epoch %d)\n",
 		report.WarmIdentical, report.CacheHits, report.CacheMisses, report.CacheEpoch)
+	if g := report.Giant; g != nil {
+		fmt.Printf("giant DAG: %s, %d operators, %d engines/algorithm\n", g.Category, g.Operators, g.Engines)
+		for _, r := range g.Results {
+			fmt.Printf("%-34s %10d ns/op  %9d B/op  %7d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		fmt.Printf("partial flap speedup: %.1fx (wholesale vs partial invalidation)\n", g.PartialFlapSpeedup)
+		fmt.Printf("flap identical: %v   partial invalidations: %d   evicted entries: %d\n",
+			g.FlapIdentical, g.PartialInvalidations, g.EvictedEntries)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench-planner:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := report.WriteJSON(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "bench-planner:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "bench-planner:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println("wrote", *out)
 	}
 
 	if *check {
 		if report.ReplanSpeedup < 3 {
-			fmt.Fprintf(os.Stderr, "bench-planner: warm replan speedup %.2fx below the 3x floor\n", report.ReplanSpeedup)
-			os.Exit(1)
+			return fmt.Errorf("warm replan speedup %.2fx below the 3x floor", report.ReplanSpeedup)
 		}
 		if report.AllocReduction < 0.5 {
-			fmt.Fprintf(os.Stderr, "bench-planner: allocation reduction %.0f%% below the 50%% floor\n", report.AllocReduction*100)
-			os.Exit(1)
+			return fmt.Errorf("allocation reduction %.0f%% below the 50%% floor", report.AllocReduction*100)
 		}
 		if !report.WarmIdentical {
-			fmt.Fprintln(os.Stderr, "bench-planner: warm plans diverged from cold references")
-			os.Exit(1)
+			return fmt.Errorf("warm plans diverged from cold references")
 		}
+		if g := report.Giant; g != nil {
+			if g.PartialFlapSpeedup < 5 {
+				return fmt.Errorf("giant-DAG partial flap speedup %.2fx below the 5x floor", g.PartialFlapSpeedup)
+			}
+			if !g.FlapIdentical {
+				return fmt.Errorf("giant-DAG flap replans diverged from cold references")
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fatal(err)
 	}
 }

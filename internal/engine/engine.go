@@ -178,17 +178,29 @@ type Environment struct {
 	infra     Infrastructure
 	available map[string]bool
 	noise     *noiseSource
-	// gen counts planner-visible environment mutations (registrations,
-	// availability flips, infrastructure swaps); the planner folds it into
-	// its cache validity.
-	gen uint64
+	// availGen counts availability flips; infraGen counts registrations and
+	// infrastructure swaps. The planner handles availability changes with
+	// scoped partial invalidation (its per-engine fingerprint), while
+	// infrastructure changes — which shift every resource/estimate — force a
+	// wholesale flush via InfraGen.
+	availGen uint64
+	infraGen uint64
 }
 
-// Gen returns the environment's mutation generation counter.
+// Gen returns the environment's total mutation generation counter
+// (availability flips plus infrastructure/registration changes).
 func (e *Environment) Gen() uint64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.gen
+	return e.availGen + e.infraGen
+}
+
+// InfraGen returns the generation counter of infrastructure-shaped
+// mutations only: engine registrations and infrastructure swaps.
+func (e *Environment) InfraGen() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.infraGen
 }
 
 // NewEnvironment returns an environment with the given infrastructure and
@@ -209,7 +221,7 @@ func (e *Environment) Register(p Profile) {
 	defer e.mu.Unlock()
 	e.engines[p.Name] = p
 	e.available[p.Name] = true
-	e.gen++
+	e.infraGen++
 }
 
 // RegisterWorkload adds (or replaces) an algorithm workload profile.
@@ -245,7 +257,7 @@ func (e *Environment) SetAvailable(name string, on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.available[name] != on {
-		e.gen++
+		e.availGen++
 	}
 	e.available[name] = on
 }
@@ -270,7 +282,7 @@ func (e *Environment) SetInfrastructure(infra Infrastructure) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.infra = infra
-	e.gen++
+	e.infraGen++
 }
 
 // GroundTruthSec computes the noise-free execution time of algorithm on

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/asap-project/ires/internal/operator"
+	"github.com/asap-project/ires/internal/pegasus"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/trace"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// Giant-DAG planner benchmark: a Pegasus Montage workflow at thousands of
+// operators, m alternative engines per algorithm, plus one extra "flapEngine"
+// implementing only the sink-adjacent mShrink algorithm. Flapping that engine
+// up and down is the worst case the partial-invalidation scheme is designed
+// for: the typed event's footprint touches two node results (mShrink and its
+// mJPEG dependent) out of the whole DAG, so a replan after the flap re-derives
+// those two and insert-replays everything else warm. The wholesale baseline
+// flushes the entire cache for the same flap.
+
+// giantFlapEngine is the extra engine the flap benchmarks toggle.
+const giantFlapEngine = "flapEngine"
+
+// giantFlapAlg is the algorithm the flap engine implements; in Montage it is
+// adjacent to the sink (mShrink -> mJPEG -> target).
+const giantFlapAlg = "mShrink"
+
+// GiantDAGBench is a reusable giant-DAG benchmark environment.
+type GiantDAGBench struct {
+	G       *workflow.Graph
+	P       *planner.Planner
+	Size    int // operators in the generated graph
+	Engines int // engine implementations per algorithm (flap engine excluded)
+	lib     *operator.Library
+	flapUp  atomic.Bool
+	// RefUp and RefDown are cold-planner references for the two availability
+	// states; warm replans after a flap must describe identically.
+	RefUp, RefDown string
+}
+
+// giantLib builds the m-engine pegasus library plus the flap engine's
+// implementation of the flap algorithm.
+func giantLib(g *workflow.Graph, engines int) (*operator.Library, error) {
+	lib := operator.NewLibrary()
+	flapAlgSeen := false
+	for _, alg := range pegasus.Algorithms(g) {
+		if alg == giantFlapAlg {
+			flapAlgSeen = true
+		}
+		for e := 0; e < engines; e++ {
+			name := fmt.Sprintf("%s_engine%d", alg, e)
+			desc := fmt.Sprintf(`Constraints.Engine=engine%d
+Constraints.OpSpecification.Algorithm.name=%s
+Constraints.Input0.Engine.FS=FS%d
+Constraints.Output0.Engine.FS=FS%d
+`, e, alg, e%3, e%3)
+			if _, err := lib.AddOperatorDescription(name, desc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !flapAlgSeen {
+		return nil, fmt.Errorf("giant dag: graph has no %s operator to flap", giantFlapAlg)
+	}
+	desc := fmt.Sprintf(`Constraints.Engine=%s
+Constraints.OpSpecification.Algorithm.name=%s
+Constraints.Input0.Engine.FS=FS0
+Constraints.Output0.Engine.FS=FS0
+`, giantFlapEngine, giantFlapAlg)
+	if _, err := lib.AddOperatorDescription(giantFlapAlg+"_"+giantFlapEngine, desc); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// NewGiantDAGBench generates the Montage graph, builds the library and the
+// warm planner, and captures cold-planner references for both flap states.
+func NewGiantDAGBench(size, engines int) (*GiantDAGBench, error) {
+	g, err := pegasus.Generate(pegasus.Montage, size)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := giantLib(g, engines)
+	if err != nil {
+		return nil, err
+	}
+	e := &GiantDAGBench{G: g, Size: pegasus.OperatorCount(g), Engines: engines, lib: lib}
+	e.flapUp.Store(true)
+	p, err := planner.New(planner.Config{
+		Library:   lib,
+		Estimator: synthEstimator{},
+		EngineAvailable: func(name string) bool {
+			return name != giantFlapEngine || e.flapUp.Load()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.P = p
+
+	// Cold references: fresh planners pinned to each availability state.
+	for _, up := range []bool{true, false} {
+		up := up
+		ref, err := planner.New(planner.Config{
+			Library:         lib,
+			Estimator:       synthEstimator{},
+			EngineAvailable: func(name string) bool { return name != giantFlapEngine || up },
+		})
+		if err != nil {
+			return nil, err
+		}
+		pl, err := ref.Plan(g)
+		if err != nil {
+			return nil, err
+		}
+		if up {
+			e.RefUp = pl.Describe()
+		} else {
+			e.RefDown = pl.Describe()
+		}
+	}
+	return e, nil
+}
+
+// setFlap changes the flap engine's availability and sends the typed
+// invalidation event a platform would.
+func (e *GiantDAGBench) setFlap(up bool) {
+	e.flapUp.Store(up)
+	e.P.EngineAvailability(giantFlapEngine)
+}
+
+// VerifyFlap drives the warm planner through a down/up flap cycle and checks
+// each replan against the matching cold reference — the byte-identity gate
+// for partial invalidation at giant scale. The benched planner is verified
+// on Describe output; a second, trace-recording planner pair additionally
+// pins the trace bytes (kept off the benched planner so event emission
+// never skews the measurements).
+func (e *GiantDAGBench) VerifyFlap() error {
+	if _, err := e.P.Plan(e.G); err != nil {
+		return err
+	}
+	for _, step := range []struct {
+		up   bool
+		want string
+	}{{false, e.RefDown}, {true, e.RefUp}} {
+		e.setFlap(step.up)
+		pl, err := e.P.Plan(e.G)
+		if err != nil {
+			return err
+		}
+		if pl.Describe() != step.want {
+			return fmt.Errorf("giant dag: warm replan (flap up=%v) diverged from cold reference", step.up)
+		}
+	}
+	if cs := e.P.CacheStats(); cs.PartialInvalidations == 0 || cs.EvictedEntries == 0 {
+		return fmt.Errorf("giant dag: flap cycle recorded no partial invalidation: %+v", cs)
+	}
+	return e.verifyFlapTraces()
+}
+
+// verifyFlapTraces replays the flap cycle on a trace-recording warm planner
+// and compares the event bytes of each replan against a cold planner built
+// under the same availability.
+func (e *GiantDAGBench) verifyFlapTraces() error {
+	var up atomic.Bool
+	up.Store(true)
+	avail := func(name string) bool { return name != giantFlapEngine || up.Load() }
+	warmRec := trace.NewRecorder(0)
+	warm, err := planner.New(planner.Config{
+		Library: e.lib, Estimator: synthEstimator{},
+		EngineAvailable: avail, Tracer: warmRec,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := warm.Plan(e.G); err != nil {
+		return err
+	}
+	for _, state := range []bool{false, true} {
+		up.Store(state)
+		warm.EngineAvailability(giantFlapEngine)
+		before := len(warmRec.Events())
+		if _, err := warm.Plan(e.G); err != nil {
+			return err
+		}
+
+		coldRec := trace.NewRecorder(0)
+		cold, err := planner.New(planner.Config{
+			Library: e.lib, Estimator: synthEstimator{},
+			EngineAvailable: avail, Tracer: coldRec,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := cold.Plan(e.G); err != nil {
+			return err
+		}
+		coldEvents := coldRec.Events()
+		warmEvents := warmRec.Events()[before:]
+		if len(warmEvents) != len(coldEvents) {
+			return fmt.Errorf("giant dag: trace event counts diverged (flap up=%v): cold=%d warm=%d",
+				state, len(coldEvents), len(warmEvents))
+		}
+		for i := range warmEvents {
+			warmEvents[i].Seq = coldEvents[i].Seq
+		}
+		var want, got bytes.Buffer
+		if err := trace.WriteJSONL(&want, coldEvents); err != nil {
+			return err
+		}
+		if err := trace.WriteJSONL(&got, warmEvents); err != nil {
+			return err
+		}
+		if want.String() != got.String() {
+			return fmt.Errorf("giant dag: warm replan trace diverged from cold reference (flap up=%v)", state)
+		}
+	}
+	return nil
+}
+
+// BenchGiantPlanCold measures a from-scratch plan of the giant DAG.
+func (e *GiantDAGBench) BenchGiantPlanCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.P.FlushCache()
+		if _, err := e.P.Plan(e.G); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchGiantReplanWarm measures a fully warm replan (no invalidation).
+func (e *GiantDAGBench) BenchGiantReplanWarm(b *testing.B) {
+	b.ReportAllocs()
+	if _, err := e.P.Plan(e.G); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.P.Plan(e.G); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchGiantFlapReplanPartial measures the replan after a single engine flap
+// under dependency-scoped partial invalidation: each iteration toggles the
+// flap engine, sends the typed event, and replans.
+func (e *GiantDAGBench) BenchGiantFlapReplanPartial(b *testing.B) {
+	b.ReportAllocs()
+	if _, err := e.P.Plan(e.G); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.setFlap(i%2 != 0)
+		if _, err := e.P.Plan(e.G); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	e.setFlap(true)
+	if _, err := e.P.Plan(e.G); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchGiantFlapReplanWholesale is the baseline the tentpole replaces: the
+// same flap, but the whole cache is flushed before the replan.
+func (e *GiantDAGBench) BenchGiantFlapReplanWholesale(b *testing.B) {
+	b.ReportAllocs()
+	if _, err := e.P.Plan(e.G); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.flapUp.Store(i%2 != 0)
+		e.P.FlushCache()
+		if _, err := e.P.Plan(e.G); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	e.flapUp.Store(true)
+	e.P.FlushCache()
+	if _, err := e.P.Plan(e.G); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// GiantDAGReport is the giant-DAG section of BENCH_PLANNER.json.
+type GiantDAGReport struct {
+	Category  string               `json:"category"`
+	Operators int                  `json:"operators"`
+	Engines   int                  `json:"engines"`
+	Results   []PlannerBenchResult `json:"results"`
+	// PartialFlapSpeedup is wholesale flap-replan ns/op over partial
+	// flap-replan ns/op — the tracked gate (>= 5x).
+	PartialFlapSpeedup float64 `json:"partialFlapSpeedup"`
+	// FlapIdentical records that warm replans after each flap described
+	// identically to cold planners under the same availability.
+	FlapIdentical bool `json:"flapIdentical"`
+	// Planner cache counters after the run.
+	PartialInvalidations uint64 `json:"partialInvalidations"`
+	EvictedEntries       uint64 `json:"evictedEntries"`
+}
+
+// RunGiantDAGBench builds the giant-DAG environment, runs the identity gate,
+// then measures the four cells and derives the partial-vs-wholesale speedup.
+func RunGiantDAGBench(size, engines int) (*GiantDAGReport, error) {
+	env, err := NewGiantDAGBench(size, engines)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.VerifyFlap(); err != nil {
+		return nil, err
+	}
+
+	cold := testing.Benchmark(env.BenchGiantPlanCold)
+	warm := testing.Benchmark(env.BenchGiantReplanWarm)
+	partial := testing.Benchmark(env.BenchGiantFlapReplanPartial)
+	wholesale := testing.Benchmark(env.BenchGiantFlapReplanWholesale)
+
+	report := &GiantDAGReport{
+		Category:  string(pegasus.Montage),
+		Operators: env.Size,
+		Engines:   engines,
+		Results: []PlannerBenchResult{
+			toResult("BenchmarkGiantPlanCold", cold),
+			toResult("BenchmarkGiantReplanWarm", warm),
+			toResult("BenchmarkGiantFlapReplanPartial", partial),
+			toResult("BenchmarkGiantFlapReplanWholesale", wholesale),
+		},
+		FlapIdentical: true,
+	}
+	if partial.NsPerOp() > 0 {
+		report.PartialFlapSpeedup = float64(wholesale.NsPerOp()) / float64(partial.NsPerOp())
+	}
+	cs := env.P.CacheStats()
+	report.PartialInvalidations = cs.PartialInvalidations
+	report.EvictedEntries = cs.EvictedEntries
+	return report, nil
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestGiantDAGFlapIdentity is the small-size smoke version of the giant-DAG
+// benchmark: the flap-replan byte-identity gate plus the eviction-scope
+// property (a single engine flap must evict a constant couple of node
+// results, not a graph-sized fraction).
+func TestGiantDAGFlapIdentity(t *testing.T) {
+	env, err := NewGiantDAGBench(90, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.VerifyFlap(); err != nil {
+		t.Fatal(err)
+	}
+	cs := env.P.CacheStats()
+	if cs.Epoch != 0 {
+		t.Fatalf("flap cycle caused a wholesale flush: %+v", cs)
+	}
+	// Two flaps (down, up): the footprint hit is the mShrink node, and the
+	// parent-link walk adds its mJPEG dependent — 2 results per flap.
+	if cs.EvictedEntries > 4 {
+		t.Fatalf("flap eviction not scoped: evicted %d results for 2 flaps on a %d-operator graph (%+v)",
+			cs.EvictedEntries, env.Size, cs)
+	}
+	if cs.Hits < uint64(env.Size) {
+		t.Fatalf("flap replans were not warm: %+v for %d operators", cs, env.Size)
+	}
+}

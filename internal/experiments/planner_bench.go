@@ -138,6 +138,9 @@ type PlannerBenchReport struct {
 	CacheHits   uint64 `json:"cacheHits"`
 	CacheMisses uint64 `json:"cacheMisses"`
 	CacheEpoch  uint64 `json:"cacheEpoch"`
+	// Giant holds the giant-DAG flap-replan measurements (see giantdag.go);
+	// nil when the giant cell was skipped.
+	Giant *GiantDAGReport `json:"giantDAG,omitempty"`
 }
 
 func toResult(name string, r testing.BenchmarkResult) PlannerBenchResult {

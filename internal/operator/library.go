@@ -30,6 +30,10 @@ type Library struct {
 	// gen counts operator mutations; the planner folds it into its cache
 	// validity so library changes invalidate memoized plans.
 	gen uint64
+	// listeners are notified (with the operator name, under l.mu) on every
+	// operator mutation — the planner registers one to turn library changes
+	// into typed partial-invalidation events.
+	listeners []func(opName string)
 }
 
 // matchEntry is one memoized FindMaterialized result.
@@ -57,6 +61,22 @@ func (l *Library) Gen() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.gen
+}
+
+// AddChangeListener registers a callback invoked with the operator name on
+// every AddOperator/RemoveOperator, after the generation counter bumps. The
+// callback runs with the library lock held and must not call back into the
+// library; enqueueing the event for later processing is the intended use.
+func (l *Library) AddChangeListener(fn func(opName string)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.listeners = append(l.listeners, fn)
+}
+
+func (l *Library) notifyLocked(opName string) {
+	for _, fn := range l.listeners {
+		fn(opName)
+	}
 }
 
 // AddOperator registers a materialized operator. Re-registering a name
@@ -90,6 +110,7 @@ func (l *Library) AddOperator(m *Materialized) error {
 		}
 	}
 	l.gen++
+	l.notifyLocked(m.Name)
 	return nil
 }
 
@@ -143,6 +164,7 @@ func (l *Library) RemoveOperator(name string) bool {
 	delete(l.ops, name)
 	l.removeFromIndexLocked(m)
 	l.gen++
+	l.notifyLocked(name)
 	return true
 }
 

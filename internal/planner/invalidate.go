@@ -1,0 +1,395 @@
+package planner
+
+// Dependency-scoped partial invalidation. Every memoized node result records
+// a footprint of the external state it depends on — the engines of its
+// library matches, the materialized operators it estimated, the abstract
+// operator it matched against the library, and the structural signatures of
+// every table entry it read while being keyed (the DP parent links). The
+// planner maintains reverse indices over those footprints so a typed
+// invalidation event (an engine availability change, a profiler retrain of
+// one target, a library add/remove) evicts only the footprint-hit entries
+// plus everything reachable from them downstream; untouched subtrees stay
+// warm and insert-replay exactly as before.
+//
+// Wholesale flush (flushLocked) remains the fallback for untyped changes:
+// a Config.Epoch movement, a library generation delta not explained by
+// change-listener events, an untyped ("") event, or the cache-size bound.
+//
+// Correctness rests on two mechanisms. First, the per-engine availability
+// fingerprint is re-probed at every build boundary, so availability changes
+// no counter records (a circuit breaker re-opening on virtual-time cooldown)
+// evict the affected nodes even without a typed event. Second, a node's key
+// digests its input fronts, so once an upstream node re-evaluates
+// differently, every downstream key changes and misses; the eager downstream
+// eviction here additionally keeps the cache free of unreachable stale
+// results so the size bound measures live entries.
+
+import (
+	"sort"
+
+	"github.com/asap-project/ires/internal/operator"
+)
+
+// footprint records the external dependencies of one memoized node result.
+type footprint struct {
+	// abstract is the workflow operator the node matched against the
+	// library; library changes re-match it to detect candidate-set drift.
+	abstract *operator.Abstract
+	// matchSig digests the full library match list (names + definitions,
+	// before availability filtering).
+	matchSig sig
+	// engines lists the distinct engines over every library match,
+	// available or not — an unavailable engine coming back changes the
+	// candidate set just as an available one going down does.
+	engines []string
+	// estOps lists the materialized operator names whose estimates (and
+	// provisioned resources) the evaluation consumed.
+	estOps []string
+	// inSigs lists the structural signatures of every table entry read
+	// while keying the node — the DP parent links the eviction walks.
+	inSigs []sig
+}
+
+// pending accumulates typed invalidation events between builds. It is
+// guarded by Planner.pendMu, a leaf mutex, so producers (breaker trips,
+// profiler retrains, library mutations) never contend with a running build.
+type pending struct {
+	engines   map[string]struct{}
+	estOps    map[string]struct{}
+	lib       uint64 // library change-listener events seen
+	wholesale bool
+}
+
+// EngineAvailability records a typed invalidation event: the named engine's
+// availability changed (or may have changed). The next build evicts only the
+// node results whose candidate set touches that engine. An empty name is an
+// untyped change and forces a wholesale flush.
+func (p *Planner) EngineAvailability(engine string) {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	if engine == "" {
+		p.pend.wholesale = true
+		return
+	}
+	if p.pend.engines == nil {
+		p.pend.engines = make(map[string]struct{})
+	}
+	p.pend.engines[engine] = struct{}{}
+}
+
+// ProfilerRetrain records a typed invalidation event: the prediction models
+// for the named materialized operator changed. The next build evicts only
+// the node results that estimated that operator. An empty name is an untyped
+// change and forces a wholesale flush.
+func (p *Planner) ProfilerRetrain(opName string) {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	if opName == "" {
+		p.pend.wholesale = true
+		return
+	}
+	if p.pend.estOps == nil {
+		p.pend.estOps = make(map[string]struct{})
+	}
+	p.pend.estOps[opName] = struct{}{}
+}
+
+// libraryChanged is registered as a Library change listener (planner.New).
+// It only counts events: the build boundary re-matches cached footprints
+// against the library directly, which also catches replaced definitions that
+// keep the same operator name.
+func (p *Planner) libraryChanged(string) {
+	p.pendMu.Lock()
+	p.pend.lib++
+	p.pendMu.Unlock()
+}
+
+// drainPending atomically takes and clears the pending event set.
+func (p *Planner) drainPending() pending {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	out := p.pend
+	p.pend = pending{}
+	return out
+}
+
+// matchSigLocked digests the library's current match list for an abstract
+// operator (names and definition renderings). Equal digests mean the node
+// would see the same candidate set today.
+func (p *Planner) matchSigLocked(a *operator.Abstract) sig {
+	return p.matchListSigLocked(p.cfg.Library.FindMaterialized(a))
+}
+
+func (p *Planner) matchListSigLocked(mos []*operator.Materialized) sig {
+	h := newHasher()
+	h.str("match")
+	h.u64(uint64(len(mos)))
+	for _, mo := range mos {
+		h.str(mo.Name)
+		h.str(p.metaStrLocked(mo.Meta))
+	}
+	return h.sum()
+}
+
+// newFootprintLocked builds the footprint skeleton for a node evaluation
+// from its unfiltered library match list (estOps and inSigs are filled by
+// the caller).
+func (p *Planner) newFootprintLocked(a *operator.Abstract, mos []*operator.Materialized) *footprint {
+	f := &footprint{abstract: a, matchSig: p.matchListSigLocked(mos)}
+	for _, mo := range mos {
+		e := mo.Engine()
+		dup := false
+		for _, have := range f.engines {
+			if have == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			f.engines = append(f.engines, e)
+		}
+	}
+	sort.Strings(f.engines)
+	return f
+}
+
+// registerFootLocked indexes a freshly evaluated node result under every
+// footprint dimension.
+func (p *Planner) registerFootLocked(key sig, foot *footprint) {
+	c := &p.cache
+	c.feet[key] = foot
+	for _, e := range foot.engines {
+		addKeyIdx(c.byEngine, e, key)
+	}
+	for _, op := range foot.estOps {
+		addKeyIdx(c.byEstOp, op, key)
+	}
+	for _, s := range foot.inSigs {
+		addSigIdx(c.dependents, s, key)
+	}
+}
+
+func addKeyIdx(idx map[string]map[sig]struct{}, k string, key sig) {
+	b := idx[k]
+	if b == nil {
+		b = make(map[sig]struct{})
+		idx[k] = b
+	}
+	b[key] = struct{}{}
+}
+
+func delKeyIdx(idx map[string]map[sig]struct{}, k string, key sig) {
+	if b := idx[k]; b != nil {
+		delete(b, key)
+		if len(b) == 0 {
+			delete(idx, k)
+		}
+	}
+}
+
+func addSigIdx(idx map[sig]map[sig]struct{}, s, key sig) {
+	b := idx[s]
+	if b == nil {
+		b = make(map[sig]struct{})
+		idx[s] = b
+	}
+	b[key] = struct{}{}
+}
+
+func delSigIdx(idx map[sig]map[sig]struct{}, s, key sig) {
+	if b := idx[s]; b != nil {
+		delete(b, key)
+		if len(b) == 0 {
+			delete(idx, s)
+		}
+	}
+}
+
+// probeAvail renders one engine's availability bit.
+func (p *Planner) probeAvail(engine string) byte {
+	if p.cfg.EngineAvailable == nil || p.cfg.EngineAvailable(engine) {
+		return '1'
+	}
+	return '0'
+}
+
+// refreshEnginesLocked re-derives the sorted library engine list and carries
+// over the known availability bits whenever the library generation moved.
+// Steady-state builds reuse the cached list, so the per-build validity check
+// allocates nothing.
+func (p *Planner) refreshEnginesLocked(libGen uint64) {
+	c := &p.cache
+	if c.enginesInit && c.enginesGen == libGen {
+		return
+	}
+	engines := p.cfg.Library.Engines()
+	prev := make([]byte, len(engines))
+	for i, e := range engines {
+		j := sort.SearchStrings(c.engines, e)
+		if c.enginesInit && j < len(c.engines) && c.engines[j] == e && j < len(c.availPrev) {
+			prev[i] = c.availPrev[j]
+		} else {
+			prev[i] = p.probeAvail(e)
+		}
+	}
+	c.engines, c.availPrev = engines, prev
+	c.enginesGen, c.enginesInit = libGen, true
+}
+
+// availDiffLocked re-probes EngineAvailable for every library engine,
+// reports each engine whose availability flipped since the last build, and
+// updates the stored fingerprint in place. This catches availability changes
+// no typed event announces — e.g. a circuit breaker re-opening on
+// virtual-time cooldown — without allocating in the steady state.
+func (p *Planner) availDiffLocked(flipped func(engine string)) int {
+	if p.cfg.EngineAvailable == nil {
+		return 0
+	}
+	c := &p.cache
+	flips := 0
+	for i, e := range c.engines {
+		if bit := p.probeAvail(e); bit != c.availPrev[i] {
+			c.availPrev[i] = bit
+			flipped(e)
+			flips++
+		}
+	}
+	return flips
+}
+
+// ensureCacheValidLocked runs (with p.mu held) at the start of every build.
+// It drains the pending typed events and evicts exactly the footprint-hit
+// node results plus everything reachable from them through the DP parent
+// links; untouched subtrees stay warm. The wholesale flush fallback covers
+// untyped changes (see the file comment). Evictions never happen mid-build,
+// so one build never mixes entry generations.
+func (p *Planner) ensureCacheValidLocked() {
+	pend := p.drainPending()
+	libGen := p.cfg.Library.Gen()
+	var epoch uint64
+	if p.cfg.Epoch != nil {
+		epoch = p.cfg.Epoch()
+	}
+
+	if !p.cache.init {
+		p.cache.init = true
+		p.flushLocked()
+		p.cache.epoch = 0 // the initial allocation is not an invalidation
+		p.cache.validity = cacheValidity{epoch: epoch, libGen: libGen}
+		p.refreshEnginesLocked(libGen)
+		return
+	}
+
+	// libDelta is the library movement since the last build; when the typed
+	// change-listener events explain all of it, a re-match scan replaces the
+	// wholesale flush.
+	libDelta := libGen - p.cache.validity.libGen
+	wholesale := pend.wholesale ||
+		epoch != p.cache.validity.epoch ||
+		(libDelta != 0 && pend.lib < libDelta) ||
+		len(p.cache.nodes)+len(p.cache.pnodes)+len(p.cache.metaStrs) > p.maxCached
+	if wholesale {
+		p.flushLocked()
+		p.cache.validity = cacheValidity{epoch: epoch, libGen: libGen}
+		p.cache.enginesInit = false
+		p.refreshEnginesLocked(libGen)
+		return
+	}
+
+	var seeds map[sig]struct{}
+	addKey := func(k sig) {
+		if seeds == nil {
+			seeds = make(map[sig]struct{})
+		}
+		seeds[k] = struct{}{}
+	}
+	addBucket := func(b map[sig]struct{}) {
+		for k := range b {
+			addKey(k)
+		}
+	}
+	events := 0
+
+	if libDelta != 0 {
+		events++
+		for key, foot := range p.cache.feet {
+			if p.matchSigLocked(foot.abstract) != foot.matchSig {
+				addKey(key)
+			}
+		}
+		p.cache.validity.libGen = libGen
+		p.refreshEnginesLocked(libGen)
+	}
+	events += p.availDiffLocked(func(e string) { addBucket(p.cache.byEngine[e]) })
+	for e := range pend.engines {
+		addBucket(p.cache.byEngine[e])
+		events++
+	}
+	for op := range pend.estOps {
+		addBucket(p.cache.byEstOp[op])
+		events++
+	}
+	if events == 0 {
+		return
+	}
+	evicted := p.evictLocked(seeds)
+	p.cache.partials += uint64(events)
+	p.cache.evicted += uint64(evicted)
+	if p.cfg.Metrics != nil {
+		p.cfg.Metrics.Inc(MetricPartialInvalidations, nil, float64(events))
+		if evicted > 0 {
+			p.cfg.Metrics.Inc(MetricEvictedEntries, nil, float64(evicted))
+		}
+	}
+}
+
+// evictLocked removes every node result in seeds plus everything reachable
+// downstream through the dependents index (nodes whose key digested an
+// evicted node's output entries), detaching each from every reverse index.
+// It returns the number of node results evicted.
+func (p *Planner) evictLocked(seeds map[sig]struct{}) int {
+	if len(seeds) == 0 {
+		return 0
+	}
+	c := &p.cache
+	stack := make([]sig, 0, len(seeds))
+	for k := range seeds {
+		stack = append(stack, k)
+	}
+	evicted := 0
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		foot, ok := c.feet[k]
+		if !ok {
+			continue // already evicted (or never footprinted)
+		}
+		delete(c.feet, k)
+		evicted++
+		if res, ok := c.nodes[k]; ok {
+			delete(c.nodes, k)
+			for _, rec := range res.inserts {
+				for dep := range c.dependents[rec.e.sig] {
+					stack = append(stack, dep)
+				}
+			}
+		} else if pres, ok := c.pnodes[k]; ok {
+			delete(c.pnodes, k)
+			for _, rec := range pres.inserts {
+				for dep := range c.dependents[rec.e.sig] {
+					stack = append(stack, dep)
+				}
+			}
+		}
+		for _, e := range foot.engines {
+			delKeyIdx(c.byEngine, e, k)
+		}
+		for _, op := range foot.estOps {
+			delKeyIdx(c.byEstOp, op, k)
+		}
+		for _, s := range foot.inSigs {
+			delSigIdx(c.dependents, s, k)
+		}
+	}
+	return evicted
+}

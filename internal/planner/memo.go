@@ -15,12 +15,14 @@ package planner
 // same moves, same sizes, same accumulated estimates), so a signature match
 // on every input front implies the node would resolve identically.
 //
-// The whole cache is validated once per build against a composite of the
-// external epoch hook (breaker/availability/profiler generations), the
-// library generation, and a per-engine availability fingerprint; any change
-// flushes everything and bumps the planner epoch counter. The availability
-// fingerprint is load-bearing: a circuit breaker re-opening on virtual-time
-// cooldown changes EngineAvailable without any counter moving.
+// Invalidation is dependency-scoped (invalidate.go): every cached node
+// result carries a footprint of the engines, estimated operators, library
+// matches, and table entries it depends on; typed events (engine
+// availability, profiler retrain, library add/remove) and the per-build
+// availability fingerprint evict only the footprint-hit results plus their
+// downstream dependents. Wholesale flush survives as the fallback for
+// untyped changes (the Config.Epoch hook, unexplained library movement) and
+// the cache-size bound.
 
 import (
 	"fmt"
@@ -34,11 +36,12 @@ import (
 	"github.com/asap-project/ires/internal/workflow"
 )
 
-// maxCachedNodes bounds the number of memoized node results (scalar +
-// Pareto) held between builds; exceeding it clears the cache wholesale at
-// the next build boundary (never mid-build, so one build never mixes entry
-// generations).
-const maxCachedNodes = 4096
+// defaultMaxCachedNodes bounds the number of memoized node results (scalar +
+// Pareto) plus metadata renderings held between builds; exceeding it clears
+// the cache wholesale at the next build boundary (never mid-build, so one
+// build never mixes entry generations). Config.MaxCachedNodes overrides it —
+// the default is sized for the 10k-operator Pegasus stress DAGs.
+const defaultMaxCachedNodes = 65536
 
 // sig is a 128-bit structural digest (two independent FNV-1a-style streams).
 type sig struct{ a, b uint64 }
@@ -147,16 +150,19 @@ func pDerivedSig(c *pCandidate, outIndex int, metaKey string) sig {
 	return h.sum()
 }
 
-func entryMapSig(h *hasher, m map[string]*tagEntry) {
+// entryMapSig digests one tag front and records every entry signature read
+// into p.readSigs — the DP parent links captured by node footprints.
+func (p *Planner) entryMapSig(h *hasher, m map[string]*tagEntry) {
 	keys := sortedKeys(m)
 	h.u64(uint64(len(keys)))
 	for _, k := range keys {
 		h.str(k)
 		h.sig(m[k].sig)
+		p.readSigs = append(p.readSigs, m[k].sig)
 	}
 }
 
-func pEntryMapSig(h *hasher, m map[string][]*pEntry) {
+func (p *Planner) pEntryMapSig(h *hasher, m map[string][]*pEntry) {
 	keys := sortedPKeys(m)
 	h.u64(uint64(len(keys)))
 	for _, k := range keys {
@@ -164,6 +170,7 @@ func pEntryMapSig(h *hasher, m map[string][]*pEntry) {
 		h.u64(uint64(len(m[k])))
 		for _, e := range m[k] {
 			h.sig(e.sig)
+			p.readSigs = append(p.readSigs, e.sig)
 		}
 	}
 }
@@ -179,12 +186,12 @@ func (p *Planner) nodeKey(o *workflow.Node, dp map[*workflow.Node]map[string]*ta
 	h.u64(uint64(len(o.Inputs)))
 	for _, in := range o.Inputs {
 		h.str(in.Name)
-		entryMapSig(&h, dp[in])
+		p.entryMapSig(&h, dp[in])
 	}
 	h.u64(uint64(len(o.Outputs)))
 	for _, out := range o.Outputs {
 		h.str(out.Name)
-		entryMapSig(&h, dp[out])
+		p.entryMapSig(&h, dp[out])
 	}
 	return h.sum()
 }
@@ -198,12 +205,12 @@ func (p *Planner) pNodeKey(o *workflow.Node, dp map[*workflow.Node]map[string][]
 	h.u64(uint64(len(o.Inputs)))
 	for _, in := range o.Inputs {
 		h.str(in.Name)
-		pEntryMapSig(&h, dp[in])
+		p.pEntryMapSig(&h, dp[in])
 	}
 	h.u64(uint64(len(o.Outputs)))
 	for _, out := range o.Outputs {
 		h.str(out.Name)
-		pEntryMapSig(&h, dp[out])
+		p.pEntryMapSig(&h, dp[out])
 	}
 	return h.sum()
 }
@@ -230,12 +237,12 @@ type pNodeResult struct {
 	inserts []pInsertRec
 }
 
-// cacheValidity is the composite the cache is checked against at every
-// build boundary.
+// cacheValidity holds the counters the cache was last reconciled against.
+// Availability is tracked separately as a per-engine fingerprint
+// (planCache.engines/availPrev) diffed in place each build.
 type cacheValidity struct {
-	epoch  uint64 // Config.Epoch() — external invalidation counters
+	epoch  uint64 // Config.Epoch() — external untyped invalidation counter
 	libGen uint64 // operator library generation
-	avail  string // per-engine availability fingerprint, '0'/'1' per engine
 }
 
 // planCache holds every memoized artefact. It is guarded by Planner.mu,
@@ -259,8 +266,27 @@ type planCache struct {
 	// unsupported).
 	metaStrs map[*metadata.Tree]string
 
+	// feet records each cached node result's dependency footprint, and the
+	// reverse indices below map each footprint dimension back to the node
+	// keys that depend on it (invalidate.go).
+	feet       map[sig]*footprint
+	byEngine   map[string]map[sig]struct{} // engine -> dependent node keys
+	byEstOp    map[string]map[sig]struct{} // estimated op -> dependent node keys
+	dependents map[sig]map[sig]struct{}    // entry sig -> node keys that read it
+
+	// engines/availPrev are the availability fingerprint: the sorted library
+	// engine list (cached per library generation, keeping the steady-state
+	// validity check allocation-free) and the last observed '0'/'1' bit per
+	// engine.
+	engines     []string
+	availPrev   []byte
+	enginesGen  uint64
+	enginesInit bool
+
 	hits, misses uint64 // cumulative node-level lookups
 	rowsAlloc    uint64 // tagEntry/pEntry rows created since construction
+	partials     uint64 // typed invalidation events applied partially
+	evicted      uint64 // node results evicted by partial invalidation
 }
 
 // CacheStats is a snapshot of the planner's memoization counters.
@@ -269,13 +295,20 @@ type CacheStats struct {
 	// Plan/Replan/ParetoPlans builds.
 	Hits   uint64
 	Misses uint64
-	// Epoch counts completed cache flushes (invalidation events).
+	// Epoch counts completed wholesale cache flushes.
 	Epoch uint64
 	// NodeEntries is the number of node results currently cached.
 	NodeEntries int
 	// RowsAllocated counts DP table rows (tagEntry/pEntry) ever created;
 	// a fully warm build leaves it unchanged.
 	RowsAllocated uint64
+	// PartialInvalidations counts typed invalidation events applied as
+	// partial evictions (engine flaps, profiler retrains, library changes
+	// that did not force a wholesale flush).
+	PartialInvalidations uint64
+	// EvictedEntries counts node results evicted by partial invalidation,
+	// downstream dependents included.
+	EvictedEntries uint64
 }
 
 // CacheStats returns the planner's current memoization counters.
@@ -283,11 +316,13 @@ func (p *Planner) CacheStats() CacheStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return CacheStats{
-		Hits:          p.cache.hits,
-		Misses:        p.cache.misses,
-		Epoch:         p.cache.epoch,
-		NodeEntries:   len(p.cache.nodes) + len(p.cache.pnodes),
-		RowsAllocated: p.cache.rowsAlloc,
+		Hits:                 p.cache.hits,
+		Misses:               p.cache.misses,
+		Epoch:                p.cache.epoch,
+		NodeEntries:          len(p.cache.nodes) + len(p.cache.pnodes),
+		RowsAllocated:        p.cache.rowsAlloc,
+		PartialInvalidations: p.cache.partials,
+		EvictedEntries:       p.cache.evicted,
 	}
 }
 
@@ -309,6 +344,10 @@ func (p *Planner) flushLocked() {
 	p.cache.pleaves = make(map[sig]*pEntry)
 	p.cache.seeds = make(map[sig]map[string]*tagEntry)
 	p.cache.metaStrs = make(map[*metadata.Tree]string)
+	p.cache.feet = make(map[sig]*footprint)
+	p.cache.byEngine = make(map[string]map[sig]struct{})
+	p.cache.byEstOp = make(map[string]map[sig]struct{})
+	p.cache.dependents = make(map[sig]map[sig]struct{})
 	p.cache.epoch++
 }
 
@@ -326,52 +365,6 @@ func (p *Planner) metaStrLocked(t *metadata.Tree) string {
 	return s
 }
 
-// availFingerprint probes EngineAvailable for every distinct library engine
-// (sorted), catching availability changes that no generation counter
-// records — e.g. a circuit breaker re-opening after its virtual-time
-// cooldown.
-func (p *Planner) availFingerprint() string {
-	if p.cfg.EngineAvailable == nil {
-		return ""
-	}
-	engines := p.cfg.Library.Engines()
-	b := make([]byte, len(engines))
-	for i, e := range engines {
-		if p.cfg.EngineAvailable(e) {
-			b[i] = '1'
-		} else {
-			b[i] = '0'
-		}
-	}
-	return string(b)
-}
-
-// ensureCacheValidLocked is called (with p.mu held) at the start of every
-// build; it flushes the cache when any invalidation input moved or the
-// cache outgrew its bound. Flushes never happen mid-build.
-func (p *Planner) ensureCacheValidLocked() {
-	v := cacheValidity{libGen: p.cfg.Library.Gen(), avail: p.availFingerprint()}
-	if p.cfg.Epoch != nil {
-		v.epoch = p.cfg.Epoch()
-	}
-	if !p.cache.init {
-		p.cache.init = true
-		p.cache.validity = v
-		p.cache.epoch = 0
-		p.flushLocked()
-		p.cache.epoch = 0 // the initial allocation is not an invalidation
-		return
-	}
-	if v != p.cache.validity {
-		p.flushLocked()
-		p.cache.validity = v
-		return
-	}
-	if len(p.cache.nodes)+len(p.cache.pnodes)+len(p.cache.metaStrs) > maxCachedNodes {
-		p.flushLocked()
-	}
-}
-
 // recordBuildLocked folds one build's cache counters into the cumulative
 // stats and the metrics registry.
 func (p *Planner) recordBuildLocked(stats *dpStats) {
@@ -385,12 +378,14 @@ func (p *Planner) recordBuildLocked(stats *dpStats) {
 }
 
 // Metric names the planner reports through Config.Metrics. They are the
-// Prometheus spellings of the planner.cache.hit / planner.cache.miss /
-// planner.epoch counters.
+// Prometheus spellings of the planner cache counters; none of them are
+// trace-event fields, which must stay byte-identical warm vs cold.
 const (
-	MetricCacheHits   = "ires_planner_cache_hits_total"
-	MetricCacheMisses = "ires_planner_cache_misses_total"
-	MetricEpoch       = "ires_planner_epoch"
+	MetricCacheHits            = "ires_planner_cache_hits_total"
+	MetricCacheMisses          = "ires_planner_cache_misses_total"
+	MetricEpoch                = "ires_planner_epoch"
+	MetricPartialInvalidations = "ires_planner_partial_invalidations_total"
+	MetricEvictedEntries       = "ires_planner_evicted_entries_total"
 )
 
 // leafEntryLocked returns the (memoized) zero-cost entry for a materialized

@@ -260,9 +260,11 @@ func TestCacheMetricsAgree(t *testing.T) {
 	}
 }
 
-// TestEpochInvalidation covers every external invalidation channel: the
-// Epoch hook, a library mutation, and an availability flip each must flush
-// the cache (epoch bump, next build all-miss) and yield correct fresh plans.
+// TestEpochInvalidation covers every external invalidation channel. The
+// untyped Epoch hook must still flush wholesale (epoch bump, next build
+// all-miss); library mutations and availability flips are typed and must
+// evict only the dependent entries — no epoch bump, warm hits for the
+// untouched subtrees — while still yielding correct fresh plans.
 func TestEpochInvalidation(t *testing.T) {
 	t.Run("epoch hook", func(t *testing.T) {
 		var epoch uint64
@@ -309,8 +311,19 @@ Constraints.Output0.type=SequenceFile
 			t.Fatal(err)
 		}
 		after := p.CacheStats()
-		if after.Epoch != before.Epoch+1 {
-			t.Fatalf("library mutation did not flush: before=%+v after=%+v", before, after)
+		if after.Epoch != before.Epoch {
+			t.Fatalf("library mutation flushed wholesale: before=%+v after=%+v", before, after)
+		}
+		if after.PartialInvalidations != before.PartialInvalidations+1 {
+			t.Fatalf("library mutation not applied as a partial event: before=%+v after=%+v", before, after)
+		}
+		// Only the kmeans node's match list changed: its entry is evicted and
+		// re-evaluated, the tfidf subtree stays warm and hits.
+		if after.EvictedEntries != before.EvictedEntries+1 {
+			t.Fatalf("library mutation should evict exactly the kmeans node: before=%+v after=%+v", before, after)
+		}
+		if after.Hits != before.Hits+1 || after.Misses != before.Misses+1 {
+			t.Fatalf("expected 1 warm hit + 1 re-evaluation: before=%+v after=%+v", before, after)
 		}
 	})
 
@@ -340,8 +353,17 @@ Constraints.Output0.type=SequenceFile
 			t.Fatal(err)
 		}
 		after := p.CacheStats()
-		if after.Epoch != before.Epoch+1 {
-			t.Fatalf("availability flip did not flush: before=%+v after=%+v", before, after)
+		if after.Epoch != before.Epoch {
+			t.Fatalf("availability flip flushed wholesale: before=%+v after=%+v", before, after)
+		}
+		// No typed event was sent: the per-build availability fingerprint must
+		// catch the flip on its own. Both nodes match a Java operator, so both
+		// are footprint-hit and re-evaluated.
+		if after.PartialInvalidations != before.PartialInvalidations+1 {
+			t.Fatalf("fingerprint flip not applied as a partial event: before=%+v after=%+v", before, after)
+		}
+		if after.EvictedEntries != before.EvictedEntries+2 {
+			t.Fatalf("expected both Java-matching nodes evicted: before=%+v after=%+v", before, after)
 		}
 		for _, e := range flipped.Engines() {
 			if e == "Java" {

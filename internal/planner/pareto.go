@@ -114,14 +114,18 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 		return nil, err
 	}
 	for _, o := range ops {
+		p.readSigs = p.readSigs[:0]
 		key := p.pNodeKey(o, dp)
 		res, ok := p.cache.pnodes[key]
 		if ok {
 			stats.cacheHits++
 		} else {
 			stats.cacheMisses++
-			res = p.evalParetoNode(o, dp)
+			var foot *footprint
+			res, foot = p.evalParetoNode(o, dp)
+			foot.inSigs = append([]sig(nil), p.readSigs...)
 			p.cache.pnodes[key] = res
+			p.registerFootLocked(key, foot)
 		}
 		// Replay through the normal front merge so prunedFronts counts
 		// exactly as a cold build would.
@@ -163,15 +167,19 @@ func (p *Planner) ParetoPlans(g *workflow.Graph) ([]*Plan, error) {
 
 // evalParetoNode enumerates every available materialization of one operator
 // node cold, fanning the per-materialization candidate enumeration over the
-// worker pool and reducing in library (name) order for determinism.
-func (p *Planner) evalParetoNode(o *workflow.Node, dp map[*workflow.Node]map[string][]*pEntry) *pNodeResult {
+// worker pool and reducing in library (name) order for determinism. It also
+// returns the node's dependency footprint (inSigs left for the caller).
+func (p *Planner) evalParetoNode(o *workflow.Node, dp map[*workflow.Node]map[string][]*pEntry) (*pNodeResult, *footprint) {
 	res := &pNodeResult{}
+	all := p.cfg.Library.FindMaterialized(o.Operator)
+	foot := p.newFootprintLocked(o.Operator, all)
 	var mos []*matOp
-	for _, mo := range p.cfg.Library.FindMaterialized(o.Operator) {
+	for _, mo := range all {
 		if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
 			continue
 		}
 		mos = append(mos, mo)
+		foot.estOps = append(foot.estOps, mo.Name)
 	}
 	lists := make([][]*pCandidate, len(mos))
 	p.runConcurrent(len(mos), func(i int) { lists[i] = p.paretoCandidates(o, mos[i], dp) })
@@ -200,7 +208,7 @@ func (p *Planner) evalParetoNode(o *workflow.Node, dp map[*workflow.Node]map[str
 			}
 		}
 	}
-	return res
+	return res, foot
 }
 
 // paretoCandidates enumerates the non-dominated input combinations for one

@@ -100,29 +100,50 @@ type Config struct {
 	// Now supplies the virtual time stamped on trace events; nil stamps 0
 	// (the planner itself never consumes time on the virtual clock).
 	Now func() time.Duration
-	// Epoch supplies an external invalidation counter folded into the plan
-	// cache's validity check (the platform sums its breaker, availability
-	// and profiler generations); nil reads as 0. See memo.go.
+	// Epoch supplies an external untyped invalidation counter: any movement
+	// forces a wholesale cache flush at the next build boundary (the
+	// platform wires its infrastructure generation here); nil reads as 0.
+	// Typed changes — engine availability, profiler retrains, library
+	// mutations — should instead use EngineAvailability/ProfilerRetrain and
+	// the library change listener, which evict only the dependent cache
+	// entries. See invalidate.go.
 	Epoch func() uint64
-	// Metrics receives the planner cache hit/miss counters and epoch gauge
-	// (MetricCacheHits/MetricCacheMisses/MetricEpoch); nil discards them.
-	// Cache counters are deliberately not trace-event fields: warm and cold
-	// builds must emit byte-identical traces.
+	// Metrics receives the planner cache counters (MetricCacheHits,
+	// MetricCacheMisses, MetricEpoch, MetricPartialInvalidations,
+	// MetricEvictedEntries); nil discards them. Cache counters are
+	// deliberately not trace-event fields: warm and cold builds must emit
+	// byte-identical traces.
 	Metrics *trace.Registry
 	// Workers bounds the concurrent evaluation of one node's materialized
 	// candidates; 0 picks a small default, negative forces sequential.
 	Workers int
+	// MaxCachedNodes bounds the memoized node results (plus metadata
+	// renderings) held between builds; exceeding it flushes wholesale at
+	// the next build boundary. 0 uses the default (sized for 10k-operator
+	// DAGs).
+	MaxCachedNodes int
 }
 
 // Planner computes optimal materialized plans for abstract workflows.
 // Table builds are serialized on mu, which also guards the memo cache; the
 // candidate evaluations inside one build fan out over a worker pool.
 type Planner struct {
-	cfg     Config
-	workers int
+	cfg       Config
+	workers   int
+	maxCached int
 
 	mu    sync.Mutex
 	cache planCache
+	// readSigs is the scratch buffer nodeKey/pNodeKey fill with the entry
+	// signatures they read; buildTable copies it into the footprint of a
+	// freshly evaluated node. Guarded by mu (builds are serialized).
+	readSigs []sig
+
+	// pendMu guards the pending typed invalidation events. It is a leaf
+	// mutex: event producers (breaker trips, profiler retrains, library
+	// mutations) enqueue without contending with a running build.
+	pendMu sync.Mutex
+	pend   pending
 }
 
 // New builds a planner, filling Config defaults.
@@ -165,7 +186,15 @@ func New(cfg Config) (*Planner, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Planner{cfg: cfg, workers: workers}, nil
+	maxCached := cfg.MaxCachedNodes
+	if maxCached == 0 {
+		maxCached = defaultMaxCachedNodes
+	}
+	p := &Planner{cfg: cfg, workers: workers, maxCached: maxCached}
+	// Library mutations announce themselves as typed events, so the build
+	// boundary can re-match cached footprints instead of flushing wholesale.
+	cfg.Library.AddChangeListener(p.libraryChanged)
+	return p, nil
 }
 
 // emit stamps the current virtual time on ev and hands it to the tracer.
@@ -375,14 +404,18 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 		return nil, nil, err
 	}
 	for _, o := range ops {
+		p.readSigs = p.readSigs[:0]
 		key := p.nodeKey(o, dp)
 		res, ok := p.cache.nodes[key]
 		if ok {
 			stats.cacheHits++
 		} else {
 			stats.cacheMisses++
-			res = p.evalNode(o, dp)
+			var foot *footprint
+			res, foot = p.evalNode(o, dp)
+			foot.inSigs = append([]sig(nil), p.readSigs...)
 			p.cache.nodes[key] = res
+			p.registerFootLocked(key, foot)
 		}
 		// Replaying the recorded inserts through the normal min-merge
 		// reproduces the cold table exactly, entriesKept included (the key
@@ -400,15 +433,19 @@ func (p *Planner) buildTable(g *workflow.Graph, seed map[string]*tagEntry) (map[
 // evalNode evaluates every available materialization of one operator node
 // cold, fanning the candidate evaluations over the worker pool and reducing
 // strictly in library (name) order so the recorded insert sequence — and
-// therefore every downstream plan and trace byte — is deterministic.
-func (p *Planner) evalNode(o *workflow.Node, dp map[*workflow.Node]map[string]*tagEntry) *nodeResult {
+// therefore every downstream plan and trace byte — is deterministic. It also
+// returns the node's dependency footprint (inSigs left for the caller).
+func (p *Planner) evalNode(o *workflow.Node, dp map[*workflow.Node]map[string]*tagEntry) (*nodeResult, *footprint) {
 	res := &nodeResult{}
+	all := p.cfg.Library.FindMaterialized(o.Operator)
+	foot := p.newFootprintLocked(o.Operator, all)
 	var mos []*operator.Materialized
-	for _, mo := range p.cfg.Library.FindMaterialized(o.Operator) {
+	for _, mo := range all {
 		if p.cfg.EngineAvailable != nil && !p.cfg.EngineAvailable(mo.Engine()) {
 			continue
 		}
 		mos = append(mos, mo)
+		foot.estOps = append(foot.estOps, mo.Name)
 	}
 	res.tried = len(mos)
 	cands := make([]*candidate, len(mos))
@@ -447,7 +484,7 @@ func (p *Planner) evalNode(o *workflow.Node, dp map[*workflow.Node]map[string]*t
 			res.inserts = append(res.inserts, insertRec{out: idx, e: e})
 		}
 	}
-	return res
+	return res, foot
 }
 
 type pathTotals struct{ cost, time, money float64 }

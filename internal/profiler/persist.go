@@ -130,7 +130,7 @@ func (p *Profiler) Import(r io.Reader) error {
 		p.mu.Lock()
 		p.store[po.Operator] = om
 		p.mu.Unlock()
-		p.bumpGen()
+		p.noteRetrain(po.Operator)
 	}
 	return nil
 }

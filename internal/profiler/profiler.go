@@ -155,10 +155,13 @@ type Profiler struct {
 	mu    sync.RWMutex
 	env   *engine.Environment
 	store map[string]*OperatorModels
-	// gen counts model-state mutations (profiling, observation, import);
-	// the planner folds it into its cache validity so refits invalidate
-	// memoized plans. Accessed atomically.
+	// gen counts model-state mutations (profiling, observation, import).
+	// Accessed atomically.
 	gen uint64
+	// retrainListener, if set, is told which operator's models changed on
+	// every mutation — the planner wires this to a typed partial
+	// invalidation (ProfilerRetrain) instead of flushing its whole cache.
+	retrainListener func(opName string)
 
 	// Factories is the model zoo used for selection; defaults to
 	// model.DefaultFactories.
@@ -185,7 +188,26 @@ func New(env *engine.Environment, seed int64) *Profiler {
 // Gen returns the profiler's model-mutation generation counter.
 func (p *Profiler) Gen() uint64 { return atomic.LoadUint64(&p.gen) }
 
-func (p *Profiler) bumpGen() { atomic.AddUint64(&p.gen, 1) }
+// SetRetrainListener registers the callback notified with the operator name
+// on every model mutation (profiling, observation, import). Call before the
+// profiler is shared across goroutines.
+func (p *Profiler) SetRetrainListener(fn func(opName string)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retrainListener = fn
+}
+
+// noteRetrain bumps the generation counter and announces the retrained
+// operator to the listener.
+func (p *Profiler) noteRetrain(opName string) {
+	atomic.AddUint64(&p.gen, 1)
+	p.mu.RLock()
+	fn := p.retrainListener
+	p.mu.RUnlock()
+	if fn != nil {
+		fn(opName)
+	}
+}
 
 // PredictionCacheStats sums the Estimate cache counters across every
 // profiled operator.
@@ -281,7 +303,7 @@ func (p *Profiler) ProfileOffline(opName, engineName, algorithm string, space Sp
 	}
 	sort.Strings(paramNames)
 	om := p.ensure(opName, algorithm, engineName, paramNames)
-	defer p.bumpGen()
+	defer p.noteRetrain(opName)
 
 	succeeded := 0
 	for _, pt := range space.combinations() {
@@ -314,7 +336,7 @@ func (p *Profiler) Observe(opName string, run *metrics.Run) error {
 		// Reduce features to base + run params happens inside ensure; fall
 		// through to observation.
 	}
-	defer p.bumpGen()
+	defer p.noteRetrain(opName)
 	if run.Failed {
 		om.observeFailure(run)
 		return nil

@@ -46,7 +46,9 @@ func NewRecorder(max int) *Recorder {
 	reg.Help("ires_plans_total", "planner invocations, by kind")
 	reg.Help("ires_planner_cache_hits_total", "planner DP memo hits (operator nodes served from cache)")
 	reg.Help("ires_planner_cache_misses_total", "planner DP memo misses (operator nodes evaluated cold)")
-	reg.Help("ires_planner_epoch", "planner cache epoch (invalidation flushes from breaker/library/profiler/availability changes)")
+	reg.Help("ires_planner_epoch", "planner cache epoch (wholesale flushes: untyped changes and the cache-size bound)")
+	reg.Help("ires_planner_partial_invalidations_total", "typed invalidation events (engine flap, profiler retrain, library change) applied as scoped partial evictions")
+	reg.Help("ires_planner_evicted_entries_total", "planner cache node results evicted by partial invalidation, downstream dependents included")
 	reg.Help("ires_vtime_seconds", "current virtual time of the simulation")
 	reg.Help("ires_runs_submitted_total", "workflow runs submitted to the scheduler")
 	reg.Help("ires_runs_admitted_total", "workflow runs admitted (granted a node lease)")

@@ -357,6 +357,11 @@ func NewPlatform(opts Options) (*Platform, error) {
 		return nil, err
 	}
 	p.planner = pl
+	// Typed invalidation wiring: breaker transitions and profiler retrains
+	// evict only the planner-cache entries that depend on the flapped engine
+	// or retrained operator (invalidate.go) instead of flushing wholesale.
+	p.breaker.OnTransition = pl.EngineAvailability
+	p.Profiler.SetRetrainListener(pl.ProfilerRetrain)
 	launch := opts.LaunchOverheadSec
 	switch {
 	case launch == 0:
@@ -484,13 +489,16 @@ func (p *Platform) engineUsable(name string) bool {
 	return p.Env.Available(name) && p.breaker.Allows(name)
 }
 
-// plannerEpoch is the planner's cache-invalidation hook: the sum of every
-// generation counter whose movement can change planning decisions —
-// environment mutations (availability, infrastructure, registrations),
-// circuit-breaker transitions, and profiler refits. Each summand is
-// monotonic, so the sum is too.
+// plannerEpoch is the planner's untyped (wholesale-flush) invalidation
+// hook. Only infrastructure-shaped environment changes — engine
+// registrations and infrastructure swaps, which shift every estimate —
+// remain here. Availability changes (environment flips, breaker
+// trips/resets/half-opens) are handled by the planner's per-engine
+// availability fingerprint and typed EngineAvailability events, and
+// profiler refits by typed ProfilerRetrain events, all of which evict only
+// the dependent cache entries.
 func (p *Platform) plannerEpoch() uint64 {
-	return p.Env.Gen() + p.breaker.Gen() + p.Profiler.Gen()
+	return p.Env.InfraGen()
 }
 
 // PlannerCacheStats exposes the planner's memoization counters (see
@@ -826,9 +834,11 @@ func (p *Platform) LoadModels(path string) error {
 }
 
 // SetEngineAvailable flips an engine service ON/OFF (failure injection and
-// maintenance). Planning and replanning honour it immediately.
+// maintenance). Planning and replanning honour it immediately: the typed
+// event scopes the planner-cache eviction to the flipped engine.
 func (p *Platform) SetEngineAvailable(name string, on bool) {
 	p.Env.SetAvailable(name, on)
+	p.planner.EngineAvailability(name)
 	p.Monitor.Poll()
 }
 
