@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt staticcheck shuffle cover ci bench bench-smoke bench-planner bench-sched bench-sched-scale bench-ckpt bench-drf
+.PHONY: all build test race vet fmt staticcheck shuffle cover ci bench bench-smoke bench-planner bench-sched bench-sched-scale bench-ckpt bench-drf bench-fed
 
 all: build
 
@@ -31,9 +31,10 @@ shuffle:
 	$(GO) test -shuffle=on -count=2 ./...
 
 # cover enforces the statement-coverage floor on the scheduling core: the
-# scheduler and cluster packages must stay at or above 85%.
+# scheduler, cluster, agent and federation packages must stay at or above
+# 85%.
 cover:
-	@for pkg in ./internal/scheduler/ ./internal/cluster/; do \
+	@for pkg in ./internal/scheduler/ ./internal/cluster/ ./internal/agent/ ./internal/federation/; do \
 		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; exit 1; fi; \
 		ok=$$(awk -v p="$$pct" 'BEGIN{print (p >= 85) ? 1 : 0}'); \
@@ -52,7 +53,7 @@ bench:
 # bench-smoke runs a few small experiments end-to-end (planning, execution,
 # fault recovery, scheduler contention) as a fast sanity pass for the stack,
 # then the tracked planner benchmarks with their acceptance gate.
-bench-smoke: bench-planner bench-sched bench-sched-scale bench-ckpt bench-drf
+bench-smoke: bench-planner bench-sched bench-sched-scale bench-ckpt bench-drf bench-fed
 	$(GO) run ./cmd/ires-bench -quick -only FIG11,FIG20-22,SCHED
 
 # bench-sched runs the tracked scheduling benchmark and gate: the Deadline
@@ -96,3 +97,12 @@ bench-drf:
 # wholesale-flush baseline, or if warm plans diverge from cold ones.
 bench-planner:
 	$(GO) run ./cmd/bench-planner -out BENCH_PLANNER.json
+
+# bench-fed runs the tracked multi-cluster federation benchmark and gate:
+# two regions of 64 node agents run a checkpointing workload placed by data
+# locality; a full region outage mid-flight must be recovered by
+# cross-cluster replans that restore the mirrored durable checkpoints with
+# zero re-executed work units, and two fixed-seed executions must produce
+# byte-identical merged traces. Writes BENCH_FED.json.
+bench-fed:
+	$(GO) run ./cmd/bench-fed -out BENCH_FED.json

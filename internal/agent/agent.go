@@ -1,0 +1,365 @@
+// Package agent implements the per-node actor of the cluster layer: each
+// simulated machine owns its local truth — hosted containers, resource
+// usage, health, and the checkpoint replicas on its local disk — behind a
+// small message API (Offer/Place/Kill/Report). The cluster's reconciler
+// holds the *desired* state (reservations, leases, demanded containers) and
+// drives agents toward it; the agent never calls back up, so the lock order
+// is always control-plane lock → agent lock.
+//
+// Agents are synchronous deterministic actors, not goroutines: every
+// message is a method call under the agent's own mutex, and all mutation is
+// driven by the control plane on the shared virtual clock, so fixed-seed
+// scenarios stay byte-identical. The one asynchronous behaviour an agent
+// models is *observability*, not execution: a partitioned agent keeps
+// mutating its local truth but serves the report snapshot frozen at
+// partition time, which is exactly the stale-report drift a reconciler must
+// tolerate.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrAgentDown rejects a placement on a dead (failed, not yet restored)
+// agent. The control plane treats the node as unusable and picks another.
+var ErrAgentDown = errors.New("agent: node down")
+
+// ErrOverCommitted rejects a placement that would exceed the node's core
+// capacity. Cores are never oversubscribed; memory admission is the control
+// plane's job (overcommit is a policy, and the OOM model lives above the
+// agent), so the agent only tracks memory usage.
+var ErrOverCommitted = errors.New("agent: placement exceeds core capacity")
+
+// ErrDuplicateContainer rejects a placement whose container id the agent
+// already hosts.
+var ErrDuplicateContainer = errors.New("agent: duplicate container id")
+
+// Placement is one container installed on an agent: the agent-side record
+// of a granted lease. ResID names the control-plane reservation it was
+// allocated under (0 = unreserved pool) and is opaque to the agent.
+type Placement struct {
+	ID    int
+	Cores int
+	MemMB int
+	ResID int
+}
+
+// Offer is the agent's answer to "what could you host right now": spare
+// capacity and health, read from live local truth (offers are a control
+// channel, not a gossiped report, so they never go stale).
+type Offer struct {
+	Node      string
+	Healthy   bool
+	FreeCores int
+	FreeMemMB int
+}
+
+// Report is the agent's published view of its local truth — what a
+// heartbeat would carry. While the agent is partitioned, Report returns the
+// snapshot frozen at partition time with Stale set; the reconciler must
+// tolerate (not act on) stale reports and reconverge after the heal.
+type Report struct {
+	Node string
+	// Incarnation counts agent rebirths: it bumps on Restore, so a
+	// reconciler can tell "the node I knew" from "a fresh daemon that lost
+	// everything" even when both report healthy.
+	Incarnation int
+	// Seq bumps on every local mutation; a reconciler uses it to detect
+	// news without diffing full reports.
+	Seq        int64
+	Healthy    bool
+	UsedCores  int
+	UsedMemMB  int
+	Containers []int // hosted container ids, sorted
+	// Replicas lists the checkpoint keys replicated on this node's local
+	// disk, sorted.
+	Replicas []string
+	Stale    bool
+}
+
+// Agent is one node actor. It is safe for concurrent use; all methods are
+// synchronous and deterministic.
+type Agent struct {
+	name  string
+	cores int
+	memMB int
+
+	mu          sync.Mutex
+	healthy     bool
+	incarnation int
+	seq         int64
+	usedCores   int
+	usedMemMB   int
+	placements  map[int]Placement
+	replicas    map[string]bool
+
+	partitioned bool
+	frozen      Report
+}
+
+// New builds a healthy agent for a node of the given capacity.
+func New(name string, cores, memMB int) *Agent {
+	return &Agent{
+		name:       name,
+		cores:      cores,
+		memMB:      memMB,
+		healthy:    true,
+		placements: make(map[int]Placement),
+		replicas:   make(map[string]bool),
+	}
+}
+
+// Name returns the node name the agent manages.
+func (a *Agent) Name() string { return a.name }
+
+// Cores returns the node's core capacity.
+func (a *Agent) Cores() int { return a.cores }
+
+// MemMB returns the node's physical memory capacity.
+func (a *Agent) MemMB() int { return a.memMB }
+
+// Offer reports the node's spare capacity from live local truth.
+func (a *Agent) Offer() Offer {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Offer{
+		Node:      a.name,
+		Healthy:   a.healthy,
+		FreeCores: a.cores - a.usedCores,
+		FreeMemMB: a.memMB - a.usedMemMB,
+	}
+}
+
+// Place installs a container on the node. It fails on a dead agent, on a
+// duplicate id, and when the placement would exceed core capacity; memory
+// may exceed physical capacity (the control plane models overcommit and the
+// OOM killer above the agent).
+func (a *Agent) Place(p Placement) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.healthy {
+		return fmt.Errorf("%w: %s", ErrAgentDown, a.name)
+	}
+	if _, ok := a.placements[p.ID]; ok {
+		return fmt.Errorf("%w: %d on %s", ErrDuplicateContainer, p.ID, a.name)
+	}
+	if a.usedCores+p.Cores > a.cores {
+		return fmt.Errorf("%w: %d+%d of %d cores on %s", ErrOverCommitted, a.usedCores, p.Cores, a.cores, a.name)
+	}
+	a.placements[p.ID] = p
+	a.usedCores += p.Cores
+	a.usedMemMB += p.MemMB
+	a.seq++
+	return nil
+}
+
+// Kill removes a container from the node, returning its placement record.
+// Killing an unknown id is a safe no-op (the container may have died with a
+// previous incarnation).
+func (a *Agent) Kill(id int) (Placement, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.placements[id]
+	if !ok {
+		return Placement{}, false
+	}
+	delete(a.placements, id)
+	a.usedCores -= p.Cores
+	a.usedMemMB -= p.MemMB
+	a.seq++
+	return p, true
+}
+
+// Hosts reports whether the agent currently hosts the container.
+func (a *Agent) Hosts(id int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.placements[id]
+	return ok
+}
+
+// Placements returns the hosted placements sorted by container id.
+func (a *Agent) Placements() []Placement {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.placementsLocked()
+}
+
+func (a *Agent) placementsLocked() []Placement {
+	out := make([]Placement, 0, len(a.placements))
+	for _, p := range a.placements {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddReplica records a checkpoint replica on the node's local disk.
+func (a *Agent) AddReplica(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.replicas[key] {
+		a.replicas[key] = true
+		a.seq++
+	}
+}
+
+// DropReplica removes a checkpoint replica (the entry was cleared or
+// superseded). Unknown keys are a safe no-op.
+func (a *Agent) DropReplica(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.replicas[key] {
+		delete(a.replicas, key)
+		a.seq++
+	}
+}
+
+// HasReplica reports whether the node's local disk actually holds a replica
+// of the checkpoint (live truth, even behind a partition).
+func (a *Agent) HasReplica(key string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.replicas[key]
+}
+
+// Replicas returns the checkpoint keys on the node's local disk, sorted
+// (live truth, even behind a partition).
+func (a *Agent) Replicas() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make([]string, 0, len(a.replicas))
+	for k := range a.replicas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Report publishes the agent's local truth. While partitioned it returns
+// the snapshot frozen at partition time with Stale set.
+func (a *Agent) Report() Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.partitioned {
+		return a.frozen
+	}
+	return a.reportLocked()
+}
+
+func (a *Agent) reportLocked() Report {
+	ids := make([]int, 0, len(a.placements))
+	for id := range a.placements {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	keys := make([]string, 0, len(a.replicas))
+	for k := range a.replicas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return Report{
+		Node:        a.name,
+		Incarnation: a.incarnation,
+		Seq:         a.seq,
+		Healthy:     a.healthy,
+		UsedCores:   a.usedCores,
+		UsedMemMB:   a.usedMemMB,
+		Containers:  ids,
+		Replicas:    keys,
+	}
+}
+
+// Healthy reports the agent's live health truth (not the possibly-stale
+// published report).
+func (a *Agent) Healthy() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.healthy
+}
+
+// SetHealthy flips the agent's health flag without dropping state: the
+// node-manager daemon marking itself UNHEALTHY after a failed probe, not a
+// crash. Containers keep running (YARN semantics: an unhealthy node
+// finishes its work but takes no new containers).
+func (a *Agent) SetHealthy(healthy bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.healthy != healthy {
+		a.healthy = healthy
+		a.seq++
+	}
+}
+
+// Fail is agent death: the machine is gone, every hosted container and
+// local checkpoint replica with it. It returns the dropped placements
+// (sorted by id) and replica keys (sorted) so the control plane can
+// invalidate the matching desired state. Failing a dead agent is a no-op.
+func (a *Agent) Fail() (dropped []Placement, lostReplicas []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.healthy && len(a.placements) == 0 && len(a.replicas) == 0 {
+		return nil, nil
+	}
+	dropped = a.placementsLocked()
+	for k := range a.replicas {
+		lostReplicas = append(lostReplicas, k)
+	}
+	sort.Strings(lostReplicas)
+	a.placements = make(map[int]Placement)
+	a.replicas = make(map[string]bool)
+	a.usedCores, a.usedMemMB = 0, 0
+	a.healthy = false
+	a.seq++
+	return dropped, lostReplicas
+}
+
+// Restore is agent rebirth after a crash: a fresh daemon on repaired
+// hardware, healthy, hosting nothing, with a bumped incarnation.
+func (a *Agent) Restore() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.healthy = true
+	a.incarnation++
+	a.seq++
+}
+
+// Incarnation returns the agent's current incarnation number.
+func (a *Agent) Incarnation() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.incarnation
+}
+
+// Partition freezes the agent's published report at its current truth:
+// heartbeats stop flowing, so observers keep seeing the last pre-partition
+// snapshot (Stale=true) while the agent's actual state keeps moving.
+// Partitioning twice keeps the original snapshot.
+func (a *Agent) Partition() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.partitioned {
+		return
+	}
+	a.frozen = a.reportLocked()
+	a.frozen.Stale = true
+	a.partitioned = true
+}
+
+// Heal ends a partition: reports flow fresh again.
+func (a *Agent) Heal() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.partitioned = false
+	a.frozen = Report{}
+}
+
+// Partitioned reports whether the agent's reports are currently frozen.
+func (a *Agent) Partitioned() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.partitioned
+}

@@ -1,0 +1,148 @@
+package agent
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPlaceKillAccounting(t *testing.T) {
+	a := New("node0", 8, 16384)
+	if err := a.Place(Placement{ID: 1, Cores: 2, MemMB: 4096, ResID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Place(Placement{ID: 2, Cores: 4, MemMB: 8192}); err != nil {
+		t.Fatal(err)
+	}
+	off := a.Offer()
+	if off.FreeCores != 2 || off.FreeMemMB != 4096 || !off.Healthy {
+		t.Fatalf("offer = %+v", off)
+	}
+	if !a.Hosts(1) || a.Hosts(3) {
+		t.Fatal("Hosts wrong")
+	}
+	p, ok := a.Kill(1)
+	if !ok || p.Cores != 2 || p.ResID != 7 {
+		t.Fatalf("kill = %+v, %v", p, ok)
+	}
+	if _, ok := a.Kill(1); ok {
+		t.Fatal("double kill reported a placement")
+	}
+	rep := a.Report()
+	if rep.UsedCores != 4 || rep.UsedMemMB != 8192 || !reflect.DeepEqual(rep.Containers, []int{2}) {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestPlaceRejections(t *testing.T) {
+	a := New("node0", 4, 1024)
+	if err := a.Place(Placement{ID: 1, Cores: 3, MemMB: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Place(Placement{ID: 1, Cores: 1, MemMB: 1}); !errors.Is(err, ErrDuplicateContainer) {
+		t.Fatalf("duplicate id error = %v", err)
+	}
+	if err := a.Place(Placement{ID: 2, Cores: 2, MemMB: 1}); !errors.Is(err, ErrOverCommitted) {
+		t.Fatalf("core overflow error = %v", err)
+	}
+	// Memory may exceed physical capacity (overcommit is control-plane policy).
+	if err := a.Place(Placement{ID: 3, Cores: 1, MemMB: 4096}); err != nil {
+		t.Fatalf("memory overcommit rejected: %v", err)
+	}
+	a.Fail()
+	if err := a.Place(Placement{ID: 4, Cores: 1, MemMB: 1}); !errors.Is(err, ErrAgentDown) {
+		t.Fatalf("dead-agent error = %v", err)
+	}
+}
+
+func TestFailDropsEverythingAndRestoreBumpsIncarnation(t *testing.T) {
+	a := New("node0", 8, 16384)
+	for id := 1; id <= 3; id++ {
+		if err := a.Place(Placement{ID: id, Cores: 1, MemMB: 1024}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.AddReplica("ckpt/b")
+	a.AddReplica("ckpt/a")
+	dropped, lost := a.Fail()
+	if len(dropped) != 3 || dropped[0].ID != 1 || dropped[2].ID != 3 {
+		t.Fatalf("dropped = %+v", dropped)
+	}
+	if !reflect.DeepEqual(lost, []string{"ckpt/a", "ckpt/b"}) {
+		t.Fatalf("lost replicas = %v", lost)
+	}
+	if a.Healthy() {
+		t.Fatal("failed agent reports healthy")
+	}
+	rep := a.Report()
+	if rep.UsedCores != 0 || rep.UsedMemMB != 0 || len(rep.Containers) != 0 || len(rep.Replicas) != 0 {
+		t.Fatalf("post-fail report = %+v", rep)
+	}
+	if d2, l2 := a.Fail(); d2 != nil || l2 != nil {
+		t.Fatal("double fail dropped state")
+	}
+	inc := a.Incarnation()
+	a.Restore()
+	if !a.Healthy() || a.Incarnation() != inc+1 {
+		t.Fatalf("restore: healthy=%v incarnation=%d", a.Healthy(), a.Incarnation())
+	}
+}
+
+func TestPartitionFreezesReports(t *testing.T) {
+	a := New("node0", 8, 16384)
+	if err := a.Place(Placement{ID: 1, Cores: 2, MemMB: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	a.Partition()
+	if !a.Partitioned() {
+		t.Fatal("not partitioned")
+	}
+	// Local truth keeps moving; the published report does not.
+	if err := a.Place(Placement{ID: 2, Cores: 2, MemMB: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Report()
+	if !rep.Stale || rep.UsedCores != 2 || !reflect.DeepEqual(rep.Containers, []int{1}) {
+		t.Fatalf("frozen report = %+v", rep)
+	}
+	// Even death stays invisible behind the partition.
+	a.Fail()
+	if rep := a.Report(); !rep.Stale || !rep.Healthy {
+		t.Fatalf("report leaked death through partition: %+v", rep)
+	}
+	a.Heal()
+	rep = a.Report()
+	if rep.Stale || rep.Healthy || rep.UsedCores != 0 {
+		t.Fatalf("healed report = %+v", rep)
+	}
+}
+
+func TestReplicaBookkeeping(t *testing.T) {
+	a := New("node0", 8, 16384)
+	seq0 := a.Report().Seq
+	a.AddReplica("k1")
+	a.AddReplica("k1") // idempotent
+	if got := a.Report(); got.Seq != seq0+1 || !reflect.DeepEqual(got.Replicas, []string{"k1"}) {
+		t.Fatalf("report after add = %+v", got)
+	}
+	a.DropReplica("k1")
+	a.DropReplica("missing") // no-op
+	if got := a.Report(); len(got.Replicas) != 0 {
+		t.Fatalf("report after drop = %+v", got)
+	}
+}
+
+func TestSetHealthyKeepsState(t *testing.T) {
+	a := New("node0", 8, 16384)
+	if err := a.Place(Placement{ID: 1, Cores: 1, MemMB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a.SetHealthy(false)
+	if rep := a.Report(); rep.Healthy || rep.UsedCores != 1 {
+		t.Fatalf("unhealthy flip dropped state: %+v", rep)
+	}
+	a.SetHealthy(true)
+	if !a.Healthy() {
+		t.Fatal("not healthy after flip back")
+	}
+}

@@ -31,14 +31,48 @@ func (c *Cluster) PutCheckpoint(key, algorithm string, units, total int, nodes [
 		replicas = nil
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.checkpoints == nil {
 		c.checkpoints = make(map[string]*ckptEntry)
 	}
-	if old, ok := c.checkpoints[key]; ok && old.algorithm == algorithm && old.total == total && old.units >= units {
-		return
+	if old, ok := c.checkpoints[key]; ok {
+		if old.algorithm == algorithm && old.total == total && old.units >= units {
+			c.mu.Unlock()
+			return
+		}
+		// The entry advances or is replaced: its replica set moves to the
+		// new nodes, so the old hosts drop their local copies.
+		if !old.durable {
+			for _, nn := range old.nodes {
+				if n, ok := c.nodes[nn]; ok {
+					n.ag.DropReplica(key)
+				}
+			}
+		}
 	}
 	c.checkpoints[key] = &ckptEntry{algorithm: algorithm, units: units, total: total, durable: durable, nodes: replicas}
+	for _, nn := range replicas {
+		if n, ok := c.nodes[nn]; ok {
+			n.ag.AddReplica(key)
+		}
+	}
+	mirror := c.ckptMirror
+	c.mu.Unlock()
+	// The mirror hook fires only for entries that actually advanced, so two
+	// clusters mirroring each other reach a fixed point instead of looping.
+	if mirror != nil {
+		mirror(key, algorithm, units, total, durable)
+	}
+}
+
+// SetCheckpointMirror installs an observer called (without the cluster
+// lock) whenever a checkpoint entry is stored or advances. The federation
+// layer uses it to replicate durable checkpoints to sibling clusters, so a
+// cross-cluster replan after a region outage restores banked units instead
+// of recomputing them. A nil fn disables mirroring.
+func (c *Cluster) SetCheckpointMirror(fn func(key, algorithm string, units, total int, durable bool)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ckptMirror = fn
 }
 
 // CheckpointProgress returns the banked units under key, or zero when no
@@ -66,10 +100,19 @@ func (c *Cluster) CheckpointInfo(key string) (algorithm string, units, total int
 }
 
 // ClearCheckpoint drops the entry under key (the operator completed; its
-// checkpoints are garbage).
+// checkpoints are garbage) along with the agent-side replicas.
 func (c *Cluster) ClearCheckpoint(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	e, ok := c.checkpoints[key]
+	if !ok {
+		return
+	}
+	for _, nn := range e.nodes {
+		if n, ok := c.nodes[nn]; ok {
+			n.ag.DropReplica(key)
+		}
+	}
 	delete(c.checkpoints, key)
 }
 

@@ -3,6 +3,17 @@
 // allocation, and the two health mechanisms of D3.3 §2.3 — per-node health
 // scripts (HEALTHY/UNHEALTHY) and per-service availability checks (ON/OFF,
 // tracked by engine.Environment and polled through the Monitor here).
+//
+// Since the node-agent split, the package is layered: each node's *actual*
+// truth (hosted containers, usage, health, checkpoint replicas) lives in a
+// per-node agent actor (internal/agent) behind the Offer/Place/Kill/Report
+// contract, while Cluster keeps the *desired* control-plane state
+// (reservations, slices, demanded containers, believed health) and drives
+// the agents toward it. The public Cluster API is a façade over that
+// reconciler, so schedulers and executors — and their golden traces — are
+// unchanged. Desired and actual views agree at every quiescent point; they
+// diverge only while an agent drifts (stale reports behind a partition) or
+// dies undetected, and Reconcile converges them again.
 package cluster
 
 import (
@@ -13,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/asap-project/ires/internal/agent"
 	"github.com/asap-project/ires/internal/trace"
 	"github.com/asap-project/ires/internal/vtime"
 )
@@ -24,12 +36,42 @@ var ErrInsufficientResources = errors.New("cluster: insufficient resources")
 // ErrUnknownNode indicates a node name not present in the cluster.
 var ErrUnknownNode = errors.New("cluster: unknown node")
 
-// Node is one machine of the simulated cluster.
+// Reservation-misuse sentinels. Elastic-lease operations handed a lease in
+// the wrong state fail with one of these typed errors so callers (the
+// executor's retry classification above all) branch with errors.Is instead
+// of matching message substrings.
+var (
+	// ErrNilReservation rejects an elastic operation on a nil lease.
+	ErrNilReservation = errors.New("cluster: nil reservation")
+	// ErrReleasedReservation rejects an operation on a revoked lease.
+	ErrReleasedReservation = errors.New("cluster: released reservation")
+	// ErrForeignReservation rejects a lease that belongs to a different
+	// cluster — a federation-layer misuse, where several clusters coexist.
+	ErrForeignReservation = errors.New("cluster: reservation belongs to a different cluster")
+	// ErrWholeNodeReservation rejects slice-only operations (ResizeSlice)
+	// on a whole-node lease.
+	ErrWholeNodeReservation = errors.New("cluster: whole-node reservation (use Grow/Shrink)")
+)
+
+// Node is one machine of the simulated cluster, as the control plane sees
+// it: the exported fields and the private ones below are the *desired*
+// (believed) view — what the scheduler's admission math runs on — while the
+// node's actual truth lives in its agent. The two views are identical on
+// every legacy path and diverge only behind a partition, until Reconcile
+// detects the drift.
 type Node struct {
 	Name   string
 	Cores  int
 	MemMB  int
 	Labels map[string]string
+
+	// ag owns the node's actual truth (containers, usage, health,
+	// checkpoint replicas).
+	ag *agent.Agent
+	// lastSeq/lastIncarnation track the last agent report the reconciler
+	// observed, for news detection and rebirth detection respectively.
+	lastSeq         int64
+	lastIncarnation int
 
 	healthy   bool
 	usedCores int
@@ -50,14 +92,20 @@ type Node struct {
 	sliceRefs  int
 }
 
-// FreeCores returns the node's unallocated cores.
+// FreeCores returns the node's unallocated cores (desired view).
 func (n *Node) FreeCores() int { return n.Cores - n.usedCores }
 
-// FreeMemMB returns the node's unallocated memory.
+// FreeMemMB returns the node's unallocated memory (desired view).
 func (n *Node) FreeMemMB() int { return n.MemMB - n.usedMemMB }
 
-// Healthy reports the node's last health verdict.
+// Healthy reports the node's last health verdict as believed by the control
+// plane. Behind a partition this can lag the agent's actual truth (see
+// Agent().Report() for the published view).
 func (n *Node) Healthy() bool { return n.healthy }
+
+// Agent returns the node's agent actor — the owner of the node's actual
+// truth.
+func (n *Node) Agent() *agent.Agent { return n.ag }
 
 // Container is a granted resource lease on one node.
 type Container struct {
@@ -130,6 +178,25 @@ type Cluster struct {
 	// injection hook).
 	healthScript func(n *Node) bool
 
+	// ckptMirror, when set, observes every checkpoint entry that advances
+	// (see SetCheckpointMirror): the federation layer uses it to replicate
+	// durable checkpoints across clusters. Called WITHOUT c.mu held.
+	ckptMirror func(key, algorithm string, units, total int, durable bool)
+
+	// partitionedAt records, per currently partitioned node, the virtual
+	// time the partition began — the staleness clock agent.drift events and
+	// the MaxStaleness death bound run on.
+	partitionedAt map[string]time.Duration
+	// maxStaleness, when positive, is the reconciler's unilateral death
+	// bound: a node whose reports have been stale longer is declared dead
+	// (its desired containers invalidated) without waiting for the heal.
+	maxStaleness time.Duration
+	// reconcilerOn guards StartReconciler idempotence; drift/detected count
+	// reconciler observations for stats and tests.
+	reconcilerOn  bool
+	driftObserved int
+	deathDetected int
+
 	// tracer receives node crash/restore events; nil discards them.
 	tracer trace.Tracer
 }
@@ -162,15 +229,20 @@ func (c *Cluster) emit(ev trace.Event) {
 // New builds a cluster of count identical nodes named node0..node<count-1>.
 func New(clock *vtime.Clock, count, coresPerNode, memMBPerNode int) *Cluster {
 	c := &Cluster{
-		nodes:        make(map[string]*Node),
-		clock:        clock,
-		live:         make(map[int]*Container),
-		reservations: make(map[int]*Reservation),
-		checkpoints:  make(map[string]*ckptEntry),
+		nodes:         make(map[string]*Node),
+		clock:         clock,
+		live:          make(map[int]*Container),
+		reservations:  make(map[int]*Reservation),
+		checkpoints:   make(map[string]*ckptEntry),
+		partitionedAt: make(map[string]time.Duration),
 	}
 	for i := 0; i < count; i++ {
 		name := fmt.Sprintf("node%d", i)
-		c.nodes[name] = &Node{Name: name, Cores: coresPerNode, MemMB: memMBPerNode, healthy: true}
+		c.nodes[name] = &Node{
+			Name: name, Cores: coresPerNode, MemMB: memMBPerNode,
+			healthy: true,
+			ag:      agent.New(name, coresPerNode, memMBPerNode),
+		}
 		c.order = append(c.order, name)
 	}
 	c.freeHealthy = count
@@ -306,7 +378,9 @@ func (c *Cluster) RunHealthChecks() map[string]bool {
 	for _, name := range c.order {
 		n := c.nodes[name]
 		if c.healthScript != nil {
-			c.setHealthLocked(n, c.healthScript(n))
+			verdict := c.healthScript(n)
+			c.setHealthLocked(n, verdict)
+			n.ag.SetHealthy(verdict)
 		}
 		out[name] = n.healthy
 	}
@@ -322,6 +396,7 @@ func (c *Cluster) SetNodeHealth(name string, healthy bool) error {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
 	}
 	c.setHealthLocked(n, healthy)
+	n.ag.SetHealthy(healthy)
 	return nil
 }
 
@@ -347,8 +422,16 @@ func (c *Cluster) FailNode(name string, at time.Duration) error {
 	return nil
 }
 
-// failNodeNow performs the crash: flips health and invalidates the node's
-// live containers. It returns the number of containers lost.
+// failNodeNow performs the crash — node crash is agent death: the agent
+// drops every hosted container and local checkpoint replica, and the
+// control plane invalidates the matching desired state. It returns the
+// number of containers lost.
+//
+// When the node is partitioned the death is *silent*: the agent dies (its
+// actual truth is gone) but its frozen report keeps claiming health, so the
+// control plane learns nothing — no desired-state invalidation, no events —
+// until Reconcile observes a fresh report after the heal (or the staleness
+// bound trips) and detects the crash then.
 func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 	c.mu.Lock()
 	n, ok := c.nodes[name]
@@ -356,20 +439,12 @@ func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 		c.mu.Unlock()
 		return 0
 	}
-	c.setHealthLocked(n, false)
-	lost := 0
-	for id, ctr := range c.live {
-		if ctr.NodeName != name {
-			continue
-		}
-		ctr.lostAt.Store(int64(at))
-		ctr.lost.Store(true)
-		ctr.released = true // resources are gone with the node; Release is a no-op
-		delete(c.live, id)
-		c.dropContainerUsageLocked(ctr)
-		lost++
+	n.ag.Fail()
+	if n.ag.Partitioned() {
+		c.mu.Unlock()
+		return 0
 	}
-	lostCkpts := c.dropCheckpointReplicasLocked(name)
+	lost, lostCkpts := c.detectCrashLocked(n, at)
 	c.mu.Unlock()
 	c.emit(trace.Event{
 		Type: trace.EvNodeCrash, Node: name,
@@ -381,13 +456,123 @@ func (c *Cluster) failNodeNow(name string, at time.Duration) int {
 	return lost
 }
 
-// RestoreNode brings a failed node back (repaired hardware rejoining the
-// cluster): health is restored and its capacity becomes allocatable again.
-func (c *Cluster) RestoreNode(name string) error {
-	if err := c.SetNodeHealth(name, true); err != nil {
-		return err
+// detectCrashLocked applies a node crash to the control plane's desired
+// state: believed health flips, every desired container on the node is
+// invalidated and the node leaves every non-durable checkpoint's replica
+// set. Shared between the immediate crash path (FailNode on a reachable
+// node) and reconciler-driven death detection; c.mu held. Returns the lost
+// container count and checkpoint keys for post-lock event emission.
+func (c *Cluster) detectCrashLocked(n *Node, at time.Duration) (int, []string) {
+	c.setHealthLocked(n, false)
+	lost := 0
+	for id, ctr := range c.live {
+		if ctr.NodeName != n.Name {
+			continue
+		}
+		ctr.lostAt.Store(int64(at))
+		ctr.lost.Store(true)
+		ctr.released = true // resources are gone with the node; Release is a no-op
+		delete(c.live, id)
+		// Desired bookkeeping only — no kill is sent to the agent: the node
+		// is believed dead, and when the belief is premature (a staleness-
+		// bound declaration on a surviving agent) the containers live on as
+		// zombies until reconciliation fences them after the heal.
+		c.dropContainerDesiredLocked(ctr)
+		lost++
 	}
+	n.lastIncarnation = n.ag.Incarnation()
+	return lost, c.dropCheckpointReplicasLocked(n.Name)
+}
+
+// RestoreNode brings a failed node back (repaired hardware rejoining the
+// cluster): a fresh agent incarnation comes up healthy and its capacity
+// becomes allocatable again.
+//
+// A restore asserts a fresh daemon, so any desired state the agent does not
+// actually carry is invalidated here: containers the control plane still
+// believed in (a silent death behind a partition, never detected) are
+// marked lost, and checkpoint replica metadata pointing at copies the disk
+// no longer holds is pruned. On every detected-crash path both are already
+// empty, which keeps the legacy restore a pure health flip.
+func (c *Cluster) RestoreNode(name string) error {
+	var now time.Duration
+	if c.clock != nil {
+		now = c.clock.Now() // before c.mu: the clock has its own lock
+	}
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	n.ag.Restore()
+	n.lastIncarnation = n.ag.Incarnation()
+	for id, ctr := range c.live {
+		if ctr.NodeName != name || n.ag.Hosts(id) {
+			continue
+		}
+		ctr.lostAt.Store(int64(now))
+		ctr.lost.Store(true)
+		ctr.released = true
+		delete(c.live, id)
+		c.dropContainerDesiredLocked(ctr)
+	}
+	// The restore also re-establishes the command channel, so the agent side
+	// is fenced in the same breath: placements the control plane no longer
+	// wants (zombies of a premature death declaration) are killed, and
+	// replica copies whose checkpoint entry moved on are dropped.
+	for _, p := range n.ag.Placements() {
+		if ctr, ok := c.live[p.ID]; !ok || ctr.NodeName != name {
+			n.ag.Kill(p.ID)
+		}
+	}
+	for _, rep := range n.ag.Replicas() {
+		e, ok := c.checkpoints[rep]
+		hosted := false
+		if ok && !e.durable {
+			for _, nn := range e.nodes {
+				if nn == name {
+					hosted = true
+					break
+				}
+			}
+		}
+		if !hosted {
+			n.ag.DropReplica(rep)
+		}
+	}
+	var lostCkpts []string
+	keys := make([]string, 0, len(c.checkpoints))
+	for k := range c.checkpoints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := c.checkpoints[k]
+		if e.durable || n.ag.HasReplica(k) {
+			continue
+		}
+		kept := e.nodes[:0]
+		for _, nn := range e.nodes {
+			if nn != name {
+				kept = append(kept, nn)
+			}
+		}
+		if len(kept) == len(e.nodes) {
+			continue
+		}
+		e.nodes = kept
+		if len(e.nodes) == 0 {
+			delete(c.checkpoints, k)
+			lostCkpts = append(lostCkpts, k)
+		}
+	}
+	c.setHealthLocked(n, true)
+	c.mu.Unlock()
 	c.emit(trace.Event{Type: trace.EvNodeRestore, Node: name})
+	for _, key := range lostCkpts {
+		c.emit(trace.Event{Type: trace.EvCheckpointLost, Step: key, Node: name})
+	}
 	return nil
 }
 
@@ -623,7 +808,10 @@ func (c *Cluster) SliceFit(coresPer, memPer int) int {
 // returns the names of the added nodes.
 func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
 	if r == nil {
-		return nil, errors.New("cluster: grow of nil reservation")
+		return nil, fmt.Errorf("%w: grow", ErrNilReservation)
+	}
+	if r.c != c {
+		return nil, fmt.Errorf("%w: grow of reservation %d", ErrForeignReservation, r.id)
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: invalid grow size %d", n)
@@ -631,7 +819,7 @@ func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if r.released {
-		return nil, errors.New("cluster: grow of released reservation")
+		return nil, fmt.Errorf("%w: grow of reservation %d", ErrReleasedReservation, r.id)
 	}
 	if r.sliceCores > 0 {
 		held := make(map[string]bool, len(r.nodes))
@@ -695,7 +883,10 @@ func (c *Cluster) GrowReservation(r *Reservation, n int) ([]string, error) {
 // retries at a quieter boundary.
 func (c *Cluster) ResizeSlice(r *Reservation, coresPer, memPer int) error {
 	if r == nil {
-		return errors.New("cluster: resize of nil reservation")
+		return fmt.Errorf("%w: resize", ErrNilReservation)
+	}
+	if r.c != c {
+		return fmt.Errorf("%w: resize of reservation %d", ErrForeignReservation, r.id)
 	}
 	if coresPer <= 0 || memPer <= 0 {
 		return fmt.Errorf("cluster: invalid slice dimensions (%dc,%dMB)", coresPer, memPer)
@@ -703,10 +894,10 @@ func (c *Cluster) ResizeSlice(r *Reservation, coresPer, memPer int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if r.released {
-		return errors.New("cluster: resize of released reservation")
+		return fmt.Errorf("%w: resize of reservation %d", ErrReleasedReservation, r.id)
 	}
 	if r.sliceCores == 0 {
-		return errors.New("cluster: resize of whole-node reservation (use Grow/Shrink)")
+		return fmt.Errorf("%w: resize of reservation %d", ErrWholeNodeReservation, r.id)
 	}
 	dCores, dMem := coresPer-r.sliceCores, memPer-r.sliceMemMB
 	if dCores == 0 && dMem == 0 {
@@ -753,7 +944,10 @@ func (c *Cluster) ResizeSlice(r *Reservation, coresPer, memPer int) error {
 // fewer than requested when busy nodes pin the lease above target).
 func (c *Cluster) ShrinkReservation(r *Reservation, target int) ([]string, error) {
 	if r == nil {
-		return nil, errors.New("cluster: shrink of nil reservation")
+		return nil, fmt.Errorf("%w: shrink", ErrNilReservation)
+	}
+	if r.c != c {
+		return nil, fmt.Errorf("%w: shrink of reservation %d", ErrForeignReservation, r.id)
 	}
 	if target < 1 {
 		return nil, fmt.Errorf("cluster: invalid shrink target %d", target)
@@ -761,7 +955,7 @@ func (c *Cluster) ShrinkReservation(r *Reservation, target int) ([]string, error
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if r.released {
-		return nil, errors.New("cluster: shrink of released reservation")
+		return nil, fmt.Errorf("%w: shrink of reservation %d", ErrReleasedReservation, r.id)
 	}
 	busy := make(map[string]bool)
 	for _, ctr := range c.live {
@@ -833,8 +1027,19 @@ func (c *Cluster) RevokeReservation(r *Reservation) int {
 
 // dropContainerUsageLocked returns a container's resources to its node and,
 // when it was allocated under a slice lease, to the lease's per-node used
-// ledger; c.mu held.
+// ledger; c.mu held. The agent-side placement is killed too — a safe no-op
+// when the agent already dropped it (death took the container first).
 func (c *Cluster) dropContainerUsageLocked(ctr *Container) {
+	c.dropContainerDesiredLocked(ctr)
+	if n, ok := c.nodes[ctr.NodeName]; ok {
+		n.ag.Kill(ctr.ID)
+	}
+}
+
+// dropContainerDesiredLocked is dropContainerUsageLocked without the
+// agent-side kill: the desired-view half alone, for paths where the node is
+// believed dead and no kill can (or should) be delivered; c.mu held.
+func (c *Cluster) dropContainerDesiredLocked(ctr *Container) {
 	if n, ok := c.nodes[ctr.NodeName]; ok {
 		n.usedCores -= ctr.Cores
 		n.usedMemMB -= ctr.MemMB
@@ -977,8 +1182,11 @@ func (c *Cluster) allocate(r *Reservation, count, cores, memMB int) ([]*Containe
 
 	resID, slice := 0, false
 	if r != nil {
+		if r.c != c {
+			return nil, nil, fmt.Errorf("%w: allocation under reservation %d", ErrForeignReservation, r.id)
+		}
 		if r.released {
-			return nil, nil, fmt.Errorf("%w: reservation %d released", ErrInsufficientResources, r.id)
+			return nil, nil, fmt.Errorf("%w: %w %d", ErrInsufficientResources, ErrReleasedReservation, r.id)
 		}
 		resID, slice = r.id, r.sliceCores > 0
 	}
@@ -990,6 +1198,11 @@ func (c *Cluster) allocate(r *Reservation, count, cores, memMB int) ([]*Containe
 			c.dropContainerUsageLocked(ctr)
 		}
 	}
+	// down collects nodes whose agent refused the placement (a silently dead
+	// agent behind a partition looks healthy to the control plane until the
+	// Place bounces — a connection refused, in effect). Such nodes leave the
+	// candidate pool for the rest of this allocation.
+	var down map[string]bool
 	for i := 0; i < count; i++ {
 		// Most-free node first, name as tiebreak for determinism. For slice
 		// leases "free" means headroom left inside the lease's own slice.
@@ -998,7 +1211,7 @@ func (c *Cluster) allocate(r *Reservation, count, cores, memMB int) ([]*Containe
 		if slice {
 			for _, name := range r.nodes {
 				n, ok := c.nodes[name]
-				if !ok || !n.healthy {
+				if !ok || !n.healthy || down[name] {
 					continue
 				}
 				var uc, um int
@@ -1019,7 +1232,7 @@ func (c *Cluster) allocate(r *Reservation, count, cores, memMB int) ([]*Containe
 		} else {
 			for _, name := range c.order {
 				n := c.nodes[name]
-				if !n.healthy || n.reservedBy != resID || (resID == 0 && n.sliceRefs > 0) {
+				if !n.healthy || n.reservedBy != resID || (resID == 0 && n.sliceRefs > 0) || down[name] {
 					continue
 				}
 				if n.usedCores+cores > n.Cores || n.usedMemMB+memMB > c.memCapLocked(n) {
@@ -1033,6 +1246,17 @@ func (c *Cluster) allocate(r *Reservation, count, cores, memMB int) ([]*Containe
 		if best == nil {
 			rollback()
 			return nil, nil, fmt.Errorf("%w: want %dx(%dc,%dMB)", ErrInsufficientResources, count, cores, memMB)
+		}
+		// Install the container on the node's agent first: the placement is
+		// the actual truth, the bookkeeping below the desired mirror. A
+		// refusal disqualifies the node and the pick repeats.
+		if err := best.ag.Place(agent.Placement{ID: c.nextID + 1, Cores: cores, MemMB: memMB, ResID: resID}); err != nil {
+			if down == nil {
+				down = make(map[string]bool)
+			}
+			down[best.Name] = true
+			i--
+			continue
 		}
 		best.usedCores += cores
 		best.usedMemMB += memMB
@@ -1379,6 +1603,40 @@ func (c *Cluster) CheckInvariants() error {
 				id, ctr.resID, ctr.NodeName, n.reservedBy)
 		}
 	}
+	// Desired vs actual: whenever the control plane's view of a node is not
+	// known-stale — no partition in flight, believed health matching the
+	// agent's live truth, no unobserved rebirth — the agent must host
+	// exactly the desired containers with exactly the desired usage. Nodes
+	// with drift outstanding are skipped; Reconcile converges them and the
+	// storm tests assert the full check at every quiescent point.
+	for _, name := range names {
+		n := c.nodes[name]
+		if n.ag.Partitioned() || n.ag.Healthy() != n.healthy || n.ag.Incarnation() != n.lastIncarnation {
+			continue
+		}
+		rep := n.ag.Report()
+		if rep.UsedCores != n.usedCores || rep.UsedMemMB != n.usedMemMB {
+			return fmt.Errorf("cluster: node %s desired usage (%dc,%dMB) != agent truth (%dc,%dMB)",
+				name, n.usedCores, n.usedMemMB, rep.UsedCores, rep.UsedMemMB)
+		}
+		var desired []int
+		for id, ctr := range c.live {
+			if ctr.NodeName == name {
+				desired = append(desired, id)
+			}
+		}
+		sort.Ints(desired)
+		if len(desired) != len(rep.Containers) {
+			return fmt.Errorf("cluster: node %s desires %d containers, agent hosts %d",
+				name, len(desired), len(rep.Containers))
+		}
+		for i, id := range desired {
+			if rep.Containers[i] != id {
+				return fmt.Errorf("cluster: node %s desired container %d not hosted (agent has %d)",
+					name, id, rep.Containers[i])
+			}
+		}
+	}
 	// Checkpoint entries must hold consistent progress, and non-durable ones
 	// must have at least one replica on a known node (entries losing their
 	// last replica are deleted in the same critical section as the crash).
@@ -1392,9 +1650,25 @@ func (c *Cluster) CheckInvariants() error {
 		if len(e.nodes) == 0 {
 			return fmt.Errorf("cluster: non-durable checkpoint %q has no replicas", key)
 		}
-		for _, n := range e.nodes {
-			if _, ok := c.nodes[n]; !ok {
-				return fmt.Errorf("cluster: checkpoint %q replicated on unknown node %s", key, n)
+		for _, nn := range e.nodes {
+			n, ok := c.nodes[nn]
+			if !ok {
+				return fmt.Errorf("cluster: checkpoint %q replicated on unknown node %s", key, nn)
+			}
+			// When the node is not drifting, its agent must actually host
+			// the replica the store metadata claims.
+			if n.ag.Partitioned() || n.ag.Healthy() != n.healthy || n.ag.Incarnation() != n.lastIncarnation {
+				continue
+			}
+			hosted := false
+			for _, k := range n.ag.Report().Replicas {
+				if k == key {
+					hosted = true
+					break
+				}
+			}
+			if !hosted {
+				return fmt.Errorf("cluster: checkpoint %q lists replica on %s but the agent does not host it", key, nn)
 			}
 		}
 	}

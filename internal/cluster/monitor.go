@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/asap-project/ires/internal/agent"
 	"github.com/asap-project/ires/internal/engine"
 )
 
@@ -20,6 +21,7 @@ type Monitor struct {
 	period  time.Duration
 
 	nodeHealth map[string]bool
+	reports    map[string]agent.Report
 	services   map[string]bool
 	started    bool
 	ticks      int
@@ -40,6 +42,7 @@ func NewMonitor(c *Cluster, env *engine.Environment, period time.Duration) *Moni
 		env:        env,
 		period:     period,
 		nodeHealth: make(map[string]bool),
+		reports:    make(map[string]agent.Report),
 		services:   make(map[string]bool),
 	}
 }
@@ -48,7 +51,10 @@ func NewMonitor(c *Cluster, env *engine.Environment, period time.Duration) *Moni
 // a node or service changes status. Multiple callbacks may be registered;
 // they fire in registration order. The returned function deregisters the
 // callback — per-run executors subscribe for the duration of one Execute,
-// so a long-lived scheduler does not accumulate dead subscriptions.
+// so a long-lived scheduler does not accumulate dead subscriptions. Removal
+// is effective immediately, even from inside another callback of the same
+// poll: Poll re-checks each subscription's liveness right before invoking
+// it, so a callback removed mid-round never fires again.
 func (m *Monitor) OnChange(fn func()) (remove func()) {
 	if fn == nil {
 		return func() {}
@@ -96,17 +102,22 @@ func (m *Monitor) scheduleNext() {
 }
 
 // Poll runs one monitoring round immediately and returns whether any status
-// changed.
+// changed. Node status comes from the agents' published reports — the
+// heartbeat channel — so a partitioned node keeps its last-known (frozen)
+// status on the board until the partition heals, exactly the stale view a
+// real resource manager would hold.
 func (m *Monitor) Poll() bool {
-	health := m.cluster.RunHealthChecks()
+	m.cluster.RunHealthChecks()
+	reports := m.cluster.AgentReports()
 
 	m.mu.Lock()
 	changed := false
-	for node, ok := range health {
-		if prev, seen := m.nodeHealth[node]; !seen || prev != ok {
+	for _, rep := range reports {
+		if prev, seen := m.nodeHealth[rep.Node]; !seen || prev != rep.Healthy {
 			changed = true
 		}
-		m.nodeHealth[node] = ok
+		m.nodeHealth[rep.Node] = rep.Healthy
+		m.reports[rep.Node] = rep
 	}
 	if m.env != nil {
 		for _, name := range m.env.Engines() {
@@ -123,10 +134,34 @@ func (m *Monitor) Poll() bool {
 
 	if changed {
 		for _, cb := range cbs {
-			cb.fn()
+			// A callback may deregister others (an executor finishing tears
+			// its subscription down from inside a peer's notification), so
+			// each one's liveness is re-checked under the lock immediately
+			// before it fires instead of trusting the snapshot above.
+			m.mu.Lock()
+			alive := false
+			for _, live := range m.onChange {
+				if live.id == cb.id {
+					alive = true
+					break
+				}
+			}
+			m.mu.Unlock()
+			if alive {
+				cb.fn()
+			}
 		}
 	}
 	return changed
+}
+
+// NodeReport returns the last agent report observed for the node (zero
+// report, false when the node was never polled).
+func (m *Monitor) NodeReport(name string) (agent.Report, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep, ok := m.reports[name]
+	return rep, ok
 }
 
 // NodeHealthy returns the last observed health of a node (false when never

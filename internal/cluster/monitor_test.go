@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/asap-project/ires/internal/engine"
+	"github.com/asap-project/ires/internal/vtime"
+)
+
+// Regression: a subscription removed from inside another OnChange callback
+// of the same poll must not fire in that poll (or ever after). The old
+// implementation fired from a snapshot taken before the callbacks ran, so a
+// removal during the round was silently ignored until the next one.
+func TestMonitorOnChangeRemovalDuringPoll(t *testing.T) {
+	clock := vtime.NewClock()
+	c := New(clock, 2, 2, 4096)
+	m := NewMonitor(c, nil, 10*time.Second)
+	m.Poll() // seed the board so the next poll reports a change
+
+	var fired []string
+	var removeB func()
+	m.OnChange(func() {
+		fired = append(fired, "a")
+		removeB()
+	})
+	removeB = m.OnChange(func() { fired = append(fired, "b") })
+
+	if err := c.SetNodeHealth("node1", false); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Poll() {
+		t.Fatal("health flip not observed")
+	}
+	if len(fired) != 1 || fired[0] != "a" {
+		t.Fatalf("callbacks fired %v, want [a] (b was removed mid-poll)", fired)
+	}
+
+	// And b stays gone on later polls too.
+	if err := c.SetNodeHealth("node1", true); err != nil {
+		t.Fatal(err)
+	}
+	m.Poll()
+	if len(fired) != 2 || fired[1] != "a" {
+		t.Fatalf("callbacks fired %v, want [a a]", fired)
+	}
+}
+
+// The monitor's node board is fed by agent reports, so a partitioned node
+// keeps its last-known status — even across a silent death — until the
+// partition heals and a fresh report flows.
+func TestMonitorReadsAgentReports(t *testing.T) {
+	clock := vtime.NewClock()
+	c := New(clock, 2, 2, 4096)
+	env := engine.NewDefaultEnvironment(1)
+	m := NewMonitor(c, env, 10*time.Second)
+	m.Poll()
+
+	if rep, ok := m.NodeReport("node1"); !ok || !rep.Healthy || rep.Stale {
+		t.Fatalf("initial report = %+v, %v", rep, ok)
+	}
+
+	if err := c.PartitionNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode("node1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Poll() {
+		t.Fatal("poll saw a change through the partition")
+	}
+	if !m.NodeHealthy("node1") {
+		t.Fatal("partitioned node's frozen health not kept on the board")
+	}
+	if rep, _ := m.NodeReport("node1"); !rep.Stale {
+		t.Fatalf("report behind partition not marked stale: %+v", rep)
+	}
+
+	if err := c.HealPartition("node1"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Poll() {
+		t.Fatal("healed death not observed")
+	}
+	if m.NodeHealthy("node1") {
+		t.Fatal("dead node still healthy on the board after heal")
+	}
+}

@@ -660,6 +660,10 @@ func (st *planRun) startReady() (bool, error) {
 		}
 		if launchErr != nil {
 			if errors.Is(launchErr, cluster.ErrInsufficientResources) {
+				// Also reached when the lease was revoked mid-launch (the
+				// error wraps cluster.ErrReleasedReservation): the policy's
+				// suspend signal lands at this same boundary, so parking the
+				// step is right in both cases.
 				continue // wait for a completion to free resources
 			}
 			st.failAttempt(s, s.Engine, launchErr, copyRun)

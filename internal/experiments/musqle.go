@@ -2,10 +2,27 @@ package experiments
 
 import (
 	"fmt"
-	"time"
+	"strconv"
 
 	"github.com/asap-project/ires/internal/musqle"
 	"github.com/asap-project/ires/internal/sqldata"
+	"github.com/asap-project/ires/internal/trace"
+)
+
+// The MuSQLE figures keep their measurement bookkeeping in a trace.Registry
+// rather than ad-hoc accumulators: each figure records observations under
+// stable metric names and derives its report series from the registry, so
+// the same numbers are one WritePrometheus call away from any exposition
+// surface.
+const (
+	musqleOptSecondsMetric  = "musqle_opt_seconds"
+	musqleExecEstSecMetric  = "musqle_exec_est_seconds"
+	musqleExecTriedMetric   = "musqle_exec_attempted"
+	musqleExecFailedMetric  = "musqle_exec_failed"
+	musqleExecWinsMetric    = "musqle_exec_wins_total"
+	musqleExecQueriesMetric = "musqle_exec_queries_total"
+	musqleCorrectMetric     = "musqle_correct_total"
+	musqleSimSecondsMetric  = "musqle_sim_seconds"
 )
 
 // MusqleOptTime reproduces MuSQLE Fig 4: optimization time vs query size
@@ -18,6 +35,8 @@ func MusqleOptTime(seed int64, reps int) (*Report, error) {
 	reg := musqle.DefaultRegistry()
 	opt := musqle.NewOptimizer(cat, reg)
 
+	metrics := trace.NewRegistry()
+	metrics.Help(musqleOptSecondsMetric, "MuSQLE optimization time per query size")
 	r := &Report{
 		ID:     "MQ-F4",
 		Title:  "MuSQLE optimization time vs query size (3 engines)",
@@ -26,8 +45,7 @@ func MusqleOptTime(seed int64, reps int) (*Report, error) {
 	}
 	var pts []Point
 	for n := 2; n <= 7; n++ {
-		var total time.Duration
-		count := 0
+		labels := map[string]string{"tables": strconv.Itoa(n)}
 		for rep := 0; rep < reps; rep++ {
 			q, err := musqle.GenerateQuery(cat, n, rep%2 == 0, seed+int64(n*100+rep))
 			if err != nil {
@@ -37,10 +55,11 @@ func MusqleOptTime(seed int64, reps int) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("opt %d tables: %w", n, err)
 			}
-			total += plan.OptimizationTime
-			count++
+			metrics.Observe(musqleOptSecondsMetric, labels, plan.OptimizationTime.Seconds())
 		}
-		pts = append(pts, Point{X: float64(n), Y: (total / time.Duration(count)).Seconds()})
+		mean := metrics.HistogramSum(musqleOptSecondsMetric, labels) /
+			metrics.HistogramCount(musqleOptSecondsMetric, labels)
+		pts = append(pts, Point{X: float64(n), Y: mean})
 	}
 	r.AddSeries("3 engines", pts...)
 	return r, nil
@@ -49,6 +68,8 @@ func MusqleOptTime(seed int64, reps int) (*Report, error) {
 // MusqleEngineScaling reproduces MuSQLE Fig 5: optimization time vs query
 // size for 2-6 synthetic engine APIs.
 func MusqleEngineScaling(seed int64, reps int) (*Report, error) {
+	metrics := trace.NewRegistry()
+	metrics.Help(musqleOptSecondsMetric, "MuSQLE optimization time per engine count and query size")
 	r := &Report{
 		ID:     "MQ-F5",
 		Title:  "MuSQLE optimization time vs engine count (synthetic APIs)",
@@ -69,8 +90,10 @@ func MusqleEngineScaling(seed int64, reps int) (*Report, error) {
 		opt := musqle.NewOptimizer(cat, reg)
 		var pts []Point
 		for n := 2; n <= 7; n++ {
-			var total time.Duration
-			count := 0
+			labels := map[string]string{
+				"engines": strconv.Itoa(engines),
+				"tables":  strconv.Itoa(n),
+			}
 			for rep := 0; rep < reps; rep++ {
 				q, err := musqle.GenerateQuery(cat, n, false, seed+int64(n*100+rep))
 				if err != nil {
@@ -80,10 +103,11 @@ func MusqleEngineScaling(seed int64, reps int) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				total += plan.OptimizationTime
-				count++
+				metrics.Observe(musqleOptSecondsMetric, labels, plan.OptimizationTime.Seconds())
 			}
-			pts = append(pts, Point{X: float64(n), Y: (total / time.Duration(count)).Seconds()})
+			mean := metrics.HistogramSum(musqleOptSecondsMetric, labels) /
+				metrics.HistogramCount(musqleOptSecondsMetric, labels)
+			pts = append(pts, Point{X: float64(n), Y: mean})
 		}
 		r.AddSeries(fmt.Sprintf("%d engines", engines), pts...)
 	}
@@ -118,38 +142,57 @@ func MusqleExec(seed int64, statSF float64) (*Report, error) {
 		XLabel: "query",
 		YLabel: "estimated execution time (s)",
 	}
+	metrics := trace.NewRegistry()
+	metrics.Help(musqleExecEstSecMetric, "estimated execution seconds per query and planner series")
+	metrics.Help(musqleExecWinsMetric, "queries where the multi-engine plan beats the best single engine by >5%")
 	labels := append([]string{"MuSQLE"}, reg.Names()...)
-	series := make(map[string][]Point, len(labels))
-	wins := 0
+	qLabel := func(series string, qi int) map[string]string {
+		return map[string]string{"series": series, "query": strconv.Itoa(qi)}
+	}
 	for qi, q := range queries {
-		x := float64(qi)
+		metrics.Inc(musqleExecQueriesMetric, nil, 1)
 		multi, err := opt.Optimize(q)
 		if err != nil {
-			series["MuSQLE"] = append(series["MuSQLE"], Point{X: x, Failed: true})
+			metrics.Set(musqleExecFailedMetric, qLabel("MuSQLE", qi), 1)
 			continue
 		}
-		series["MuSQLE"] = append(series["MuSQLE"], Point{X: x, Y: multi.EstSec})
+		metrics.Set(musqleExecTriedMetric, qLabel("MuSQLE", qi), 1)
+		metrics.Set(musqleExecEstSecMetric, qLabel("MuSQLE", qi), multi.EstSec)
 		bestSingle := 0.0
 		anySingle := false
 		for _, e := range reg.Names() {
 			forced, err := opt.OptimizeOn(q, e)
 			if err != nil {
-				series[e] = append(series[e], Point{X: x, Failed: true})
+				metrics.Set(musqleExecFailedMetric, qLabel(e, qi), 1)
 				continue
 			}
-			series[e] = append(series[e], Point{X: x, Y: forced.EstSec})
+			metrics.Set(musqleExecTriedMetric, qLabel(e, qi), 1)
+			metrics.Set(musqleExecEstSecMetric, qLabel(e, qi), forced.EstSec)
 			if !anySingle || forced.EstSec < bestSingle {
 				bestSingle, anySingle = forced.EstSec, true
 			}
 		}
 		if anySingle && multi.EstSec < bestSingle*0.95 {
-			wins++
+			metrics.Inc(musqleExecWinsMetric, nil, 1)
 		}
 	}
+	// Derive the report series from the registry: one point per query a
+	// series attempted or failed; queries never reached (the MuSQLE plan
+	// itself failed) stay absent, matching the pre-registry bookkeeping.
 	for _, l := range labels {
-		r.Series = append(r.Series, Series{Label: l, Points: series[l]})
+		var pts []Point
+		for qi := range queries {
+			switch {
+			case metrics.Value(musqleExecFailedMetric, qLabel(l, qi)) > 0:
+				pts = append(pts, Point{X: float64(qi), Failed: true})
+			case metrics.Value(musqleExecTriedMetric, qLabel(l, qi)) > 0:
+				pts = append(pts, Point{X: float64(qi), Y: metrics.Value(musqleExecEstSecMetric, qLabel(l, qi))})
+			}
+		}
+		r.Series = append(r.Series, Series{Label: l, Points: pts})
 	}
-	r.Note("MuSQLE beats the best single engine by >5%% on %d of %d queries", wins, len(queries))
+	r.Note("MuSQLE beats the best single engine by >5%% on %.0f of %.0f queries",
+		metrics.Value(musqleExecWinsMetric, nil), metrics.Value(musqleExecQueriesMetric, nil))
 	return r, nil
 }
 
@@ -169,6 +212,9 @@ func MusqleCorrectness(seed int64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics := trace.NewRegistry()
+	metrics.Help(musqleCorrectMetric, "multi-engine executions verified against the reference executor")
+	metrics.Help(musqleSimSecondsMetric, "simulated execution seconds across the workload")
 	r := &Report{ID: "MQ-CORRECT", Title: "MuSQLE multi-engine execution correctness (vs reference joins)"}
 	table := Table{
 		Title:  "18-query workload, physical execution",
@@ -188,6 +234,12 @@ func MusqleCorrectness(seed int64) (*Report, error) {
 			return nil, fmt.Errorf("Q%d ref: %w", qi, err)
 		}
 		ok := res.Table.NumRows() == want.NumRows()
+		verdict := "pass"
+		if !ok {
+			verdict = "fail"
+		}
+		metrics.Inc(musqleCorrectMetric, map[string]string{"result": verdict}, 1)
+		metrics.Observe(musqleSimSecondsMetric, nil, res.SimSec)
 		table.Rows = append(table.Rows, []string{
 			fmt.Sprintf("Q%d", qi),
 			fmt.Sprintf("%d", len(q.Tables)),
@@ -201,5 +253,9 @@ func MusqleCorrectness(seed int64) (*Report, error) {
 		}
 	}
 	r.Tables = append(r.Tables, table)
+	if fails := metrics.Value(musqleCorrectMetric, map[string]string{"result": "fail"}); fails > 0 {
+		r.Note("%.0f of %.0f queries failed verification", fails,
+			metrics.Value(musqleCorrectMetric, map[string]string{"result": "pass"})+fails)
+	}
 	return r, nil
 }

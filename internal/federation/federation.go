@@ -1,0 +1,372 @@
+// Package federation composes several independent clusters — each with its
+// own scheduler, agents and reconciler — into one scheduling surface, the
+// multi-cluster layer of the IReS vision: workflows are placed on the
+// member whose region holds their input data and has capacity to spare, and
+// a region-wide outage is recovered by replanning the affected runs on a
+// surviving member.
+//
+// The layer is deliberately thin. It owns no resources: members keep full
+// authority over admission and execution, and the federation only decides
+// *which* member a workflow is submitted to (and re-submitted to after an
+// outage). Durable checkpoints are mirrored across members through the
+// cluster's checkpoint-mirror hook, so a cross-cluster replan restores
+// banked units instead of recomputing them.
+//
+// All members must share one virtual clock: the federation composes
+// schedulers on a single deterministic timeline.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/asap-project/ires/internal/cluster"
+	"github.com/asap-project/ires/internal/executor"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/scheduler"
+	"github.com/asap-project/ires/internal/trace"
+	"github.com/asap-project/ires/internal/vtime"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// ErrUnknownMember names a member the federation does not hold.
+var ErrUnknownMember = errors.New("federation: unknown member")
+
+// ErrNoMembers rejects placement when every member is down.
+var ErrNoMembers = errors.New("federation: no live member can host the run")
+
+// Member is one federated cluster: a region with its own resource manager,
+// scheduler and data.
+type Member struct {
+	Name      string
+	Cluster   *cluster.Cluster
+	Scheduler *scheduler.Scheduler
+	// Datasets names the inputs resident in this region; placement counts
+	// locality hits against it.
+	Datasets map[string]bool
+}
+
+// Federation is the multi-cluster scheduling surface. Safe for concurrent
+// use.
+type Federation struct {
+	clock  *vtime.Clock
+	tracer trace.Tracer
+
+	mu      sync.Mutex
+	members []*Member
+	byName  map[string]*Member
+	down    map[string]bool
+	runs    []*Run
+	nextID  int
+	replans int
+}
+
+// Run is the federation-level handle of a submitted workflow: it survives
+// cross-cluster replans, always pointing at the current member run.
+type Run struct {
+	fed    *Federation
+	id     string
+	name   string
+	g      *workflow.Graph
+	opts   scheduler.SubmitOptions
+	inputs []string
+
+	mu     sync.Mutex
+	member *Member
+	run    *scheduler.Run
+	moves  int
+}
+
+// New builds a federation over the given members. Every member must carry a
+// distinct name and all must share the same virtual clock. Durable
+// checkpoint mirroring between the members' clusters is installed here.
+func New(clock *vtime.Clock, tracer trace.Tracer, members ...*Member) (*Federation, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("federation: clock is required")
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("federation: need at least 2 members, have %d", len(members))
+	}
+	if tracer == nil {
+		tracer = trace.Nop()
+	}
+	f := &Federation{
+		clock:   clock,
+		tracer:  tracer,
+		members: members,
+		byName:  make(map[string]*Member, len(members)),
+		down:    make(map[string]bool),
+	}
+	for _, m := range members {
+		if m == nil || m.Cluster == nil || m.Scheduler == nil {
+			return nil, fmt.Errorf("federation: member with nil cluster or scheduler")
+		}
+		if m.Cluster.Clock() != clock {
+			return nil, fmt.Errorf("federation: member %s runs on a different clock", m.Name)
+		}
+		if _, dup := f.byName[m.Name]; dup {
+			return nil, fmt.Errorf("federation: duplicate member name %s", m.Name)
+		}
+		f.byName[m.Name] = m
+	}
+	// Mirror durable checkpoints to every sibling. The hook fires only when
+	// an entry actually advances and PutCheckpoint is monotonic, so mutual
+	// mirroring terminates at a fixed point instead of looping. Non-durable
+	// checkpoints live on region-local disks and are never mirrored.
+	for _, m := range members {
+		src := m
+		src.Cluster.SetCheckpointMirror(func(key, algorithm string, units, total int, durable bool) {
+			if !durable {
+				return
+			}
+			for _, other := range members {
+				if other != src {
+					other.Cluster.PutCheckpoint(key, algorithm, units, total, nil, true)
+				}
+			}
+		})
+	}
+	return f, nil
+}
+
+// Members returns the member list in federation order.
+func (f *Federation) Members() []*Member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Member(nil), f.members...)
+}
+
+// Replans returns the number of cross-cluster replans performed so far.
+func (f *Federation) Replans() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.replans
+}
+
+// placeLocked scores the live members for a run reading the given inputs
+// and returns the winner: most locality hits first, then most spare
+// capacity (unreserved healthy nodes), then federation order. skip names a
+// member to avoid (the region a replan is fleeing); f.mu held.
+func (f *Federation) placeLocked(inputs []string, skip string) (*Member, int, int) {
+	var best *Member
+	bestLoc, bestSpare := -1, -1
+	for _, m := range f.members {
+		if f.down[m.Name] || m.Name == skip {
+			continue
+		}
+		loc := 0
+		for _, in := range inputs {
+			if m.Datasets[in] {
+				loc++
+			}
+		}
+		spare := m.Cluster.UnreservedHealthy()
+		if loc > bestLoc || (loc == bestLoc && spare > bestSpare) {
+			best, bestLoc, bestSpare = m, loc, spare
+		}
+	}
+	return best, bestLoc, bestSpare
+}
+
+// Submit places a workflow on the best member — by data locality over
+// inputs, then spare capacity, then member order — and submits it there. It
+// returns the federation-level run handle, which follows the run across any
+// later cross-cluster replan.
+func (f *Federation) Submit(g *workflow.Graph, opts scheduler.SubmitOptions, inputs ...string) (*Run, error) {
+	f.mu.Lock()
+	m, loc, spare := f.placeLocked(inputs, "")
+	if m == nil {
+		f.mu.Unlock()
+		return nil, ErrNoMembers
+	}
+	f.nextID++
+	fr := &Run{
+		fed:    f,
+		id:     fmt.Sprintf("fed-%03d", f.nextID),
+		name:   opts.Name,
+		g:      g,
+		opts:   opts,
+		inputs: inputs,
+		member: m,
+	}
+	if fr.name == "" {
+		fr.name = g.Target
+	}
+	f.runs = append(f.runs, fr)
+	f.mu.Unlock()
+
+	run := m.Scheduler.SubmitWith(g, opts)
+	fr.mu.Lock()
+	fr.run = run
+	fr.mu.Unlock()
+	f.tracer.Emit(trace.Event{
+		Type: trace.EvFederationPlace, RunID: fr.id, Operator: fr.name, Node: m.Name,
+		Fields: map[string]float64{"locality": float64(loc), "spare": float64(spare)},
+	}.At(f.clock.Now()))
+	return fr, nil
+}
+
+// FailRegion takes a whole member down: every node of its cluster crashes
+// now, and every non-terminal federated run placed there is canceled and
+// replanned onto a surviving member. Durable checkpoints were mirrored at
+// write time, so replanned runs restore their banked units on arrival.
+func (f *Federation) FailRegion(name string) error {
+	f.mu.Lock()
+	m, ok := f.byName[name]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownMember, name)
+	}
+	f.down[name] = true
+	affected := make([]*Run, 0)
+	for _, fr := range f.runs {
+		fr.mu.Lock()
+		if fr.member == m && fr.run != nil && !statusTerminal(fr.run) {
+			affected = append(affected, fr)
+		}
+		fr.mu.Unlock()
+	}
+	f.mu.Unlock()
+
+	nodes := m.Cluster.Nodes()
+	now := f.clock.Now()
+	for _, n := range nodes {
+		_ = m.Cluster.FailNode(n.Name, now)
+	}
+	f.tracer.Emit(trace.Event{
+		Type: trace.EvFederationOutage, Node: name,
+		Fields: map[string]float64{"nodes": float64(len(nodes)), "affectedRuns": float64(len(affected))},
+	}.At(now))
+
+	for _, fr := range affected {
+		if err := f.replan(fr, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreRegion brings a failed member back: its nodes are restored and it
+// rejoins the placement pool. Runs moved away stay where they are.
+func (f *Federation) RestoreRegion(name string) error {
+	f.mu.Lock()
+	m, ok := f.byName[name]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownMember, name)
+	}
+	delete(f.down, name)
+	f.mu.Unlock()
+	for _, n := range m.Cluster.Nodes() {
+		if !n.Healthy() {
+			if err := m.Cluster.RestoreNode(n.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// replan moves one run off a dead region: pick the best surviving member,
+// swap the handle over, then cancel the stranded member run (in that order,
+// so a Wait on the handle follows the move instead of observing a terminal
+// cancellation).
+func (f *Federation) replan(fr *Run, from string) error {
+	f.mu.Lock()
+	m, loc, spare := f.placeLocked(fr.inputs, from)
+	if m == nil {
+		f.mu.Unlock()
+		return ErrNoMembers
+	}
+	f.replans++
+	f.mu.Unlock()
+
+	newRun := m.Scheduler.SubmitWith(fr.g, fr.opts)
+	fr.mu.Lock()
+	old := fr.run
+	fr.member = m
+	fr.run = newRun
+	fr.moves++
+	fr.mu.Unlock()
+	if old != nil {
+		old.Cancel()
+	}
+	now := f.clock.Now()
+	f.tracer.Emit(trace.Event{
+		Type: trace.EvFederationReplan, RunID: fr.id, Operator: fr.name, Node: m.Name,
+		Fields: map[string]float64{"fromDown": 1},
+	}.At(now))
+	f.tracer.Emit(trace.Event{
+		Type: trace.EvFederationPlace, RunID: fr.id, Operator: fr.name, Node: m.Name,
+		Fields: map[string]float64{"locality": float64(loc), "spare": float64(spare)},
+	}.At(now))
+	return nil
+}
+
+func statusTerminal(r *scheduler.Run) bool {
+	select {
+	case <-r.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// ID returns the federation-level run id (stamped on federation.* events).
+func (r *Run) ID() string { return r.id }
+
+// Member returns the member currently hosting the run.
+func (r *Run) Member() *Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.member
+}
+
+// Moves returns how many times the run has been replanned across clusters.
+func (r *Run) Moves() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.moves
+}
+
+// Current returns the member run currently backing the handle.
+func (r *Run) Current() *scheduler.Run {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.run
+}
+
+// Wait blocks until the run reaches a terminal state on whichever member
+// finally hosts it, following cross-cluster replans transparently.
+func (r *Run) Wait() (*planner.Plan, *executor.Result, error) {
+	for {
+		r.mu.Lock()
+		run := r.run
+		r.mu.Unlock()
+		plan, res, err := run.Wait()
+		r.mu.Lock()
+		moved := r.run != run
+		r.mu.Unlock()
+		if moved {
+			continue
+		}
+		return plan, res, err
+	}
+}
+
+// Status returns the snapshot of the current member run.
+func (r *Run) Status() scheduler.Snapshot {
+	r.mu.Lock()
+	run := r.run
+	r.mu.Unlock()
+	return run.Status()
+}
+
+// WaitIdle advances the shared clock until every member scheduler has
+// drained its queue (test/bench helper).
+func (f *Federation) WaitIdle() {
+	for _, m := range f.Members() {
+		m.Scheduler.Drain()
+	}
+}

@@ -1,0 +1,360 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asap-project/ires/internal/cluster"
+	"github.com/asap-project/ires/internal/executor"
+	"github.com/asap-project/ires/internal/planner"
+	"github.com/asap-project/ires/internal/scheduler"
+	"github.com/asap-project/ires/internal/trace"
+	"github.com/asap-project/ires/internal/vtime"
+	"github.com/asap-project/ires/internal/workflow"
+)
+
+// unitRecord tracks, per checkpoint key, every executed work unit and where
+// it ran — the evidence that a cross-cluster replan restores banked units
+// instead of recomputing them.
+type unitRecord struct {
+	mu    sync.Mutex
+	units map[string][]string // key -> "member/unit" in execution order
+}
+
+func newUnitRecord() *unitRecord {
+	return &unitRecord{units: make(map[string][]string)}
+}
+
+func (ur *unitRecord) record(key, member string, unit int) {
+	ur.mu.Lock()
+	defer ur.mu.Unlock()
+	ur.units[key] = append(ur.units[key], fmt.Sprintf("%s/%d", member, unit))
+}
+
+// duplicates returns units executed more than once for the key, regardless
+// of member.
+func (ur *unitRecord) duplicates(key string) []int {
+	ur.mu.Lock()
+	defer ur.mu.Unlock()
+	seen := make(map[int]int)
+	var dup []int
+	for _, s := range ur.units[key] {
+		var member string
+		var unit int
+		fmt.Sscanf(s, "%s", &member)
+		if _, err := fmt.Sscanf(s[len(s)-2:], "/%d", &unit); err != nil {
+			// unit >= 10: reparse from the slash
+			for i := len(s) - 1; i >= 0; i-- {
+				if s[i] == '/' {
+					fmt.Sscanf(s[i:], "/%d", &unit)
+					break
+				}
+			}
+		}
+		seen[unit]++
+		if seen[unit] == 2 {
+			dup = append(dup, unit)
+		}
+	}
+	return dup
+}
+
+func (ur *unitRecord) count(key string) int {
+	ur.mu.Lock()
+	defer ur.mu.Unlock()
+	return len(ur.units[key])
+}
+
+// ckptExec is a checkpointing unit-stepping stub: units sequential work
+// units of unitDur each, banking a durable checkpoint after every unit and
+// seeding from the banked progress at start — so a replanned run on a
+// cluster holding mirrored checkpoints resumes instead of recomputing.
+type ckptExec struct {
+	clock   *vtime.Clock
+	clu     *cluster.Cluster
+	member  string
+	ctx     scheduler.ExecContext
+	units   int
+	unitDur time.Duration
+	rec     *unitRecord
+}
+
+func (e *ckptExec) Execute(g *workflow.Graph, plan *planner.Plan) (*executor.Result, error) {
+	key := "fed/" + g.Target
+	begin := e.clock.Now()
+	start := e.clu.CheckpointProgress(key, "alg", e.units)
+	for i := start; i < e.units; i++ {
+		if e.ctx.Canceled() {
+			return nil, executor.ErrCanceled
+		}
+		if e.ctx.Suspend() {
+			return &executor.Result{Makespan: e.clock.Now() - begin}, executor.ErrSuspended
+		}
+		e.ctx.Party.WaitUntil(e.clock.Now() + e.unitDur)
+		// A cancellation that landed mid-unit discards the partial unit: the
+		// stranded side of a replan must not race the takeover side.
+		if e.ctx.Canceled() {
+			return nil, executor.ErrCanceled
+		}
+		e.rec.record(key, e.member, i)
+		e.clu.PutCheckpoint(key, "alg", i+1, e.units, nil, true)
+	}
+	return &executor.Result{Makespan: e.clock.Now() - begin}, nil
+}
+
+func (e *ckptExec) Resume(g *workflow.Graph, done []planner.MaterializedIntermediate) (*executor.Result, error) {
+	return e.Execute(g, nil)
+}
+
+// newMember wires one federated region: its own cluster and scheduler on
+// the shared clock, running ckptExec stubs.
+func newMember(t *testing.T, clock *vtime.Clock, name string, nodes, units int, unitDur time.Duration, rec *unitRecord, datasets ...string) *Member {
+	t.Helper()
+	clu := cluster.New(clock, nodes, 8, 16384)
+	sched, err := scheduler.New(scheduler.Config{
+		Clock:   clock,
+		Cluster: clu,
+		Policy:  scheduler.FIFO{},
+		Plan: func(g *workflow.Graph) (*planner.Plan, error) {
+			return &planner.Plan{Target: g.Target}, nil
+		},
+		NewExecutor: func(ctx scheduler.ExecContext) scheduler.Exec {
+			return &ckptExec{clock: clock, clu: clu, member: name, ctx: ctx, units: units, unitDur: unitDur, rec: rec}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make(map[string]bool, len(datasets))
+	for _, d := range datasets {
+		ds[d] = true
+	}
+	return &Member{Name: name, Cluster: clu, Scheduler: sched, Datasets: ds}
+}
+
+func fedGraph(name string) *workflow.Graph {
+	g := workflow.NewGraph()
+	g.Target = name
+	return g
+}
+
+type fedTracer struct {
+	mu  sync.Mutex
+	evs []trace.Event
+}
+
+func (ft *fedTracer) Emit(ev trace.Event) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.evs = append(ft.evs, ev)
+}
+
+func (ft *fedTracer) ofType(typ trace.EventType) []trace.Event {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	var out []trace.Event
+	for _, ev := range ft.evs {
+		if ev.Type == typ {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := vtime.NewClock()
+	rec := newUnitRecord()
+	east := newMember(t, clock, "east", 2, 2, time.Second, rec)
+	if _, err := New(clock, nil, east); err == nil {
+		t.Fatal("single-member federation accepted")
+	}
+	other := newMember(t, vtime.NewClock(), "west", 2, 2, time.Second, rec)
+	if _, err := New(clock, nil, east, other); err == nil {
+		t.Fatal("mismatched clocks accepted")
+	}
+	dup := newMember(t, clock, "east", 2, 2, time.Second, rec)
+	if _, err := New(clock, nil, east, dup); err == nil {
+		t.Fatal("duplicate member names accepted")
+	}
+}
+
+// Placement prefers data locality over spare capacity, spare capacity as
+// the tiebreak, and member order last.
+func TestPlacementLocalityAndSpare(t *testing.T) {
+	clock := vtime.NewClock()
+	rec := newUnitRecord()
+	ft := &fedTracer{}
+	east := newMember(t, clock, "east", 4, 1, time.Second, rec, "ds-east")
+	west := newMember(t, clock, "west", 2, 1, time.Second, rec, "ds-west")
+	f, err := New(clock, ft, east, west)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locality beats the bigger free pool on east.
+	fr, err := f.Submit(fedGraph("wf-local"), scheduler.SubmitOptions{}, "ds-west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Member().Name != "west" {
+		t.Fatalf("placed on %s, want west", fr.Member().Name)
+	}
+	// No locality anywhere: spare capacity decides.
+	fr2, err := f.Submit(fedGraph("wf-free"), scheduler.SubmitOptions{}, "ds-elsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Member().Name != "east" {
+		t.Fatalf("placed on %s, want east", fr2.Member().Name)
+	}
+	if _, _, err := fr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fr2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	places := ft.ofType(trace.EvFederationPlace)
+	if len(places) != 2 || places[0].Node != "west" || places[1].Node != "east" {
+		t.Fatalf("federation.place events = %+v", places)
+	}
+}
+
+// A region outage mid-run is recovered by a cross-cluster replan: the run
+// completes on the surviving member, restoring the durable checkpoints that
+// were mirrored at write time — zero work units are recomputed.
+func TestRegionOutageCrossClusterReplan(t *testing.T) {
+	clock := vtime.NewClock()
+	rec := newUnitRecord()
+	ft := &fedTracer{}
+	const units = 6
+	east := newMember(t, clock, "east", 2, units, 10*time.Second, rec, "ds-east")
+	west := newMember(t, clock, "west", 2, units, 10*time.Second, rec, "ds-west")
+	f, err := New(clock, ft, east, west)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := f.Submit(fedGraph("wf-outage"), scheduler.SubmitOptions{}, "ds-east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Member().Name != "east" {
+		t.Fatalf("placed on %s, want east", fr.Member().Name)
+	}
+	clock.Schedule(25*time.Second, func(time.Duration) {
+		if err := f.FailRegion("east"); err != nil {
+			t.Error(err)
+		}
+	})
+
+	if _, _, err := fr.Wait(); err != nil {
+		t.Fatalf("replanned run failed: %v", err)
+	}
+	if fr.Member().Name != "west" {
+		t.Fatalf("finished on %s, want west", fr.Member().Name)
+	}
+	if fr.Moves() != 1 || f.Replans() != 1 {
+		t.Fatalf("moves=%d replans=%d, want 1/1", fr.Moves(), f.Replans())
+	}
+
+	key := "fed/wf-outage"
+	if dup := rec.duplicates(key); len(dup) != 0 {
+		t.Fatalf("units re-executed after replan: %v (all: %v)", dup, rec.units[key])
+	}
+	if got := rec.count(key); got != units {
+		t.Fatalf("executed %d units total, want exactly %d: %v", got, units, rec.units[key])
+	}
+	if len(ft.ofType(trace.EvFederationOutage)) != 1 {
+		t.Fatal("missing federation.outage event")
+	}
+	if len(ft.ofType(trace.EvFederationReplan)) != 1 {
+		t.Fatal("missing federation.replan event")
+	}
+
+	// The dead region recovers and rejoins placement.
+	if err := f.RestoreRegion("east"); err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := f.Submit(fedGraph("wf-after"), scheduler.SubmitOptions{}, "ds-east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Member().Name != "east" {
+		t.Fatalf("post-restore placement on %s, want east", fr2.Member().Name)
+	}
+	if _, _, err := fr2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailUnknownRegion(t *testing.T) {
+	clock := vtime.NewClock()
+	rec := newUnitRecord()
+	east := newMember(t, clock, "east", 2, 1, time.Second, rec)
+	west := newMember(t, clock, "west", 2, 1, time.Second, rec)
+	f, err := New(clock, nil, east, west)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FailRegion("north"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("err = %v, want ErrUnknownMember", err)
+	}
+	if err := f.RestoreRegion("north"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("err = %v, want ErrUnknownMember", err)
+	}
+}
+
+// Run-handle accessors and the terminal/all-down edge cases.
+func TestRunHandleAndAllRegionsDown(t *testing.T) {
+	clock := vtime.NewClock()
+	rec := newUnitRecord()
+	east := newMember(t, clock, "east", 2, 1, time.Second, rec)
+	west := newMember(t, clock, "west", 2, 1, time.Second, rec)
+	f, err := New(clock, nil, east, west)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Members()); got != 2 {
+		t.Fatalf("Members() = %d, want 2", got)
+	}
+
+	fr, err := f.Submit(fedGraph("wf-handle"), scheduler.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.ID() != "fed-001" {
+		t.Fatalf("ID() = %q, want fed-001", fr.ID())
+	}
+	if fr.Current() == nil {
+		t.Fatal("Current() returned nil member run")
+	}
+	if _, _, err := fr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fr.Status(); st.Status != "succeeded" {
+		t.Fatalf("Status() = %+v, want succeeded", st)
+	}
+	f.WaitIdle()
+
+	// A terminal run is not replanned when its region fails.
+	if err := f.FailRegion(fr.Member().Name); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Moves() != 0 || f.Replans() != 0 {
+		t.Fatalf("terminal run was replanned: moves=%d replans=%d", fr.Moves(), f.Replans())
+	}
+	// With both regions down, placement has nowhere to go.
+	other := "east"
+	if fr.Member().Name == "east" {
+		other = "west"
+	}
+	if err := f.FailRegion(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(fedGraph("wf-nowhere"), scheduler.SubmitOptions{}); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("submit with all regions down: err = %v, want ErrNoMembers", err)
+	}
+}

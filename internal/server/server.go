@@ -52,6 +52,7 @@ func New(p *ires.Platform) *Server {
 	mux.HandleFunc("/api/engines", s.handleEngines)
 	mux.HandleFunc("/api/engines/", s.handleEngine)
 	mux.HandleFunc("/api/faults", s.handleFaults)
+	mux.HandleFunc("/api/cluster", s.handleCluster)
 	mux.HandleFunc("/web/main", s.handleWeb)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/" {
@@ -519,6 +520,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.platform.Metrics().WritePrometheus(w)
+}
+
+// --- cluster ---
+
+// agentNodeDTO pairs the control plane's believed (desired) view of a node
+// with the node agent's last published report. While a node is partitioned
+// the report is the snapshot frozen at partition time (stale=true), so the
+// two views can legitimately disagree until the next reconcile round.
+type agentNodeDTO struct {
+	Node             string   `json:"node"`
+	BelievedHealthy  bool     `json:"believedHealthy"`
+	DesiredUsedCores int      `json:"desiredUsedCores"`
+	DesiredUsedMemMB int      `json:"desiredUsedMemMB"`
+	ReportHealthy    bool     `json:"reportHealthy"`
+	Incarnation      int      `json:"incarnation"`
+	Seq              int64    `json:"seq"`
+	UsedCores        int      `json:"usedCores"`
+	UsedMemMB        int      `json:"usedMemMB"`
+	Containers       []int    `json:"containers,omitempty"`
+	Replicas         []string `json:"replicas,omitempty"`
+	Stale            bool     `json:"stale"`
+	Partitioned      bool     `json:"partitioned"`
+}
+
+type clusterDTO struct {
+	Nodes             []agentNodeDTO `json:"nodes"`
+	DriftObserved     int            `json:"driftObserved"`
+	DeathsDetected    int            `json:"deathsDetected"`
+	DesiredActualDiff int            `json:"desiredActualDiff"`
+	Checkpoints       int            `json:"checkpoints"`
+}
+
+// handleCluster serves GET /api/cluster: the per-agent desired/actual state
+// of every node plus the reconciler's drift and death counters.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	clu := s.platform.Cluster
+	reports := clu.AgentReports()
+	byName := make(map[string]int, len(reports))
+	for i, rep := range reports {
+		byName[rep.Node] = i
+	}
+	dto := clusterDTO{
+		Nodes:             []agentNodeDTO{},
+		DriftObserved:     clu.DriftObserved(),
+		DeathsDetected:    clu.DeathsDetected(),
+		DesiredActualDiff: clu.DesiredActualDiff(),
+		Checkpoints:       clu.Checkpoints(),
+	}
+	for _, n := range clu.Nodes() {
+		nd := agentNodeDTO{
+			Node:             n.Name,
+			BelievedHealthy:  n.Healthy(),
+			DesiredUsedCores: n.Cores - n.FreeCores(),
+			DesiredUsedMemMB: n.MemMB - n.FreeMemMB(),
+			Partitioned:      n.Agent().Partitioned(),
+		}
+		if i, ok := byName[n.Name]; ok {
+			rep := reports[i]
+			nd.ReportHealthy = rep.Healthy
+			nd.Incarnation = rep.Incarnation
+			nd.Seq = rep.Seq
+			nd.UsedCores = rep.UsedCores
+			nd.UsedMemMB = rep.UsedMemMB
+			nd.Containers = rep.Containers
+			nd.Replicas = rep.Replicas
+			nd.Stale = rep.Stale
+		}
+		dto.Nodes = append(dto.Nodes, nd)
+	}
+	writeJSON(w, http.StatusOK, dto)
 }
 
 // --- engines ---

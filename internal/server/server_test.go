@@ -521,3 +521,81 @@ func TestFaultInjectionEndpoint(t *testing.T) {
 	resp, body = do(t, "DELETE", ts.URL+"/api/faults", "")
 	expectCode(t, resp, body, http.StatusMethodNotAllowed)
 }
+
+// GET /api/cluster exposes the per-agent desired/actual split: fresh agents
+// agree with the control plane; a partitioned agent serves its frozen report
+// (stale) while the believed view keeps the last known health.
+func TestClusterEndpointAgentState(t *testing.T) {
+	_, ts, p := newTestServer(t)
+
+	var dto struct {
+		Nodes []struct {
+			Node            string `json:"node"`
+			BelievedHealthy bool   `json:"believedHealthy"`
+			ReportHealthy   bool   `json:"reportHealthy"`
+			Stale           bool   `json:"stale"`
+			Partitioned     bool   `json:"partitioned"`
+			Incarnation     int    `json:"incarnation"`
+		} `json:"nodes"`
+		DriftObserved     int `json:"driftObserved"`
+		DeathsDetected    int `json:"deathsDetected"`
+		DesiredActualDiff int `json:"desiredActualDiff"`
+	}
+	resp, body := do(t, "GET", ts.URL+"/api/cluster", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if err := json.Unmarshal([]byte(body), &dto); err != nil {
+		t.Fatalf("bad /api/cluster body %q: %v", body, err)
+	}
+	if len(dto.Nodes) == 0 {
+		t.Fatal("no nodes in /api/cluster")
+	}
+	for _, n := range dto.Nodes {
+		if !n.BelievedHealthy || !n.ReportHealthy || n.Stale || n.Partitioned {
+			t.Fatalf("fresh cluster node out of agreement: %+v", n)
+		}
+	}
+	if dto.DesiredActualDiff != 0 {
+		t.Fatalf("fresh cluster desired/actual diff = %d", dto.DesiredActualDiff)
+	}
+
+	// Partition node0 and silently fail it: the endpoint shows the stale
+	// frozen report still claiming health while the partition flag is up.
+	victim := dto.Nodes[0].Node
+	if err := p.Cluster.PartitionNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Cluster.FailNode(victim, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = do(t, "GET", ts.URL+"/api/cluster", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if err := json.Unmarshal([]byte(body), &dto); err != nil {
+		t.Fatal(err)
+	}
+	n0 := dto.Nodes[0]
+	if !n0.Partitioned || !n0.Stale || !n0.ReportHealthy || !n0.BelievedHealthy {
+		t.Fatalf("partitioned node state: %+v", n0)
+	}
+
+	// Heal and reconcile: the silent death is detected and both views agree
+	// on the crash.
+	if err := p.Cluster.HealPartition(victim); err != nil {
+		t.Fatal(err)
+	}
+	p.Cluster.Reconcile()
+	resp, body = do(t, "GET", ts.URL+"/api/cluster", "")
+	expectCode(t, resp, body, http.StatusOK)
+	if err := json.Unmarshal([]byte(body), &dto); err != nil {
+		t.Fatal(err)
+	}
+	n0 = dto.Nodes[0]
+	if n0.BelievedHealthy || n0.ReportHealthy || n0.Stale {
+		t.Fatalf("post-reconcile node state: %+v", n0)
+	}
+	if dto.DeathsDetected != 1 {
+		t.Fatalf("deathsDetected = %d, want 1", dto.DeathsDetected)
+	}
+	if dto.DesiredActualDiff != 0 {
+		t.Fatalf("post-reconcile desired/actual diff = %d", dto.DesiredActualDiff)
+	}
+}

@@ -100,6 +100,24 @@ const (
 	EvCheckpointRestore EventType = "checkpoint.restore"
 	EvCheckpointLost    EventType = "checkpoint.lost"
 	EvAttemptYield      EventType = "attempt.yield"
+
+	// Node-agent reconciliation layer. agent.report records a reconcile
+	// round observing a fresh agent report with news (seq/incarnation/used
+	// in Fields); agent.drift records a stale report tolerated behind a
+	// partition (staleSec in Fields). Death detected by reconciliation —
+	// rather than announced by FailNode — emits the ordinary node.crash
+	// with detected=1 in Fields. These fire only from explicit Reconcile
+	// rounds, so scenarios that never reconcile keep byte-identical traces.
+	EvAgentReport EventType = "agent.report"
+	EvAgentDrift  EventType = "agent.drift"
+
+	// Federation layer: a run placed on a member cluster (locality score
+	// and spare capacity in Fields; Node carries the member name), a
+	// region-wide correlated agent death, and a run moved across clusters
+	// by the outage-recovery replan.
+	EvFederationPlace  EventType = "federation.place"
+	EvFederationOutage EventType = "federation.outage"
+	EvFederationReplan EventType = "federation.replan"
 )
 
 // Event is one structured trace record. Only deterministic, virtual-time
